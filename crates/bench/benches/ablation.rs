@@ -1,0 +1,61 @@
+//! D1/D2 ablations as benchmarks: the symmetric (read-as-write) variant's
+//! analysis cost vs the paper's asymmetric algorithm, and the message-count
+//! effect of relevance filtering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmpax_bench::symmetric_instrument;
+use jmpax_core::gen::{random_execution, RandomExecutionConfig};
+use jmpax_core::{Relevance, VarId};
+
+fn bench_d1_instrumentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/d1_read_write_asymmetry");
+    let ex = random_execution(RandomExecutionConfig {
+        threads: 4,
+        vars: 4,
+        events: 10_000,
+        write_ratio: 0.4,
+        internal_ratio: 0.0,
+        seed: 11,
+    });
+    group.bench_function("asymmetric_paper", |b| {
+        b.iter(|| ex.instrument(Relevance::AllWrites).len());
+    });
+    group.bench_function("symmetric_ablated", |b| {
+        b.iter(|| symmetric_instrument(&ex.events, Relevance::AllWrites).len());
+    });
+    group.finish();
+}
+
+fn bench_d2_relevance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/d2_relevance_filtering");
+    let ex = random_execution(RandomExecutionConfig {
+        threads: 4,
+        vars: 16,
+        events: 10_000,
+        write_ratio: 0.5,
+        internal_ratio: 0.1,
+        seed: 12,
+    });
+    for (name, relevance) in [
+        ("everything", Relevance::Everything),
+        ("all_writes", Relevance::AllWrites),
+        (
+            "three_vars",
+            Relevance::writes_of([VarId(0), VarId(1), VarId(2)]),
+        ),
+        ("one_var", Relevance::writes_of([VarId(0)])),
+        ("nothing", Relevance::Nothing),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &relevance,
+            |b, relevance| {
+                b.iter(|| ex.instrument(relevance.clone()).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_d1_instrumentation, bench_d2_relevance);
+criterion_main!(benches);

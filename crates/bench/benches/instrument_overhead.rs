@@ -1,0 +1,110 @@
+//! Q2: runtime overhead of the instrumentation layer — the paper's "all
+//! these can add significant delays to the normal execution of programs",
+//! quantified. Compares raw lock-protected access against `Shared<T>` under
+//! different relevance policies, plus the instrumented mutex.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmpax_core::Relevance;
+use jmpax_instrument::Session;
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead/single_thread");
+
+    group.bench_function("raw_parking_lot_mutex", |b| {
+        let raw = parking_lot::Mutex::new(0i64);
+        b.iter(|| {
+            let mut g = raw.lock();
+            *g += 1;
+            *g
+        });
+    });
+
+    group.bench_function("shared_irrelevant", |b| {
+        let session = Session::new(Relevance::Nothing);
+        let x = session.shared("x", 0i64);
+        let mut ctx = session.register_thread();
+        b.iter(|| x.update(&mut ctx, |v| v + 1));
+    });
+
+    group.bench_function("shared_relevant_vecsink", |b| {
+        let session = Session::new(Relevance::AllWrites);
+        let x = session.shared("x", 0i64);
+        let mut ctx = session.register_thread();
+        b.iter(|| x.update(&mut ctx, |v| v + 1));
+        let _ = session.drain_messages();
+    });
+
+    group.bench_function("shared_relevant_framesink", |b| {
+        let sink = jmpax_instrument::FrameSink::new();
+        let session = Session::with_sink(Relevance::AllWrites, Box::new(sink.clone()));
+        let x = session.shared("x", 0i64);
+        let mut ctx = session.register_thread();
+        b.iter(|| x.update(&mut ctx, |v| v + 1));
+        let _ = sink.take_bytes();
+    });
+
+    group.bench_function("instr_mutex_roundtrip", |b| {
+        let session = Session::new(Relevance::Nothing);
+        let m = session.mutex("m", 0i64);
+        let mut ctx = session.register_thread();
+        b.iter(|| {
+            let mut g = m.lock(&mut ctx);
+            *g += 1;
+            *g
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead/contended_4_threads");
+    group.sample_size(10);
+
+    group.bench_function("raw_mutex_4x10k", |b| {
+        b.iter(|| {
+            let raw = std::sync::Arc::new(parking_lot::Mutex::new(0i64));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let raw = std::sync::Arc::clone(&raw);
+                    std::thread::spawn(move || {
+                        for _ in 0..10_000 {
+                            *raw.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let total = *raw.lock();
+            total
+        });
+    });
+
+    group.bench_function("shared_irrelevant_4x10k", |b| {
+        b.iter(|| {
+            let session = Session::new(Relevance::Nothing);
+            let x = session.shared("x", 0i64);
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let x = x.clone();
+                    session.spawn(move |ctx| {
+                        for _ in 0..10_000 {
+                            x.update(ctx, |v| v + 1);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            x.peek()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_contended);
+criterion_main!(benches);

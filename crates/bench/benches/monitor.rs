@@ -1,0 +1,84 @@
+//! Monitor-synthesis benchmarks: parsing, compilation, and per-state
+//! stepping cost of the synthesized ptLTL monitors (the paper's Section 4
+//! relies on monitor steps being cheap enough to run per lattice node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmpax_core::{SymbolTable, VarId};
+use jmpax_spec::{parse, ProgramState};
+
+const SPECS: &[(&str, &str)] = &[
+    ("atom", "x >= 0"),
+    ("landing", "start(landing = 1) -> [approved = 1, radio = 0)"),
+    ("example2", "(x > 0) -> [y = 0, y > z)"),
+    (
+        "nested",
+        "[*] ((a > 0 -> [b = 1, c > a)) /\\ (p S q = 2) \\/ <*> (d != 0))",
+    ),
+];
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor/parse");
+    for (name, src) in SPECS {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut syms = SymbolTable::new();
+                parse(src, &mut syms).unwrap().size()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor/step");
+    for (name, src) in SPECS {
+        let mut syms = SymbolTable::new();
+        let monitor = parse(src, &mut syms).unwrap().monitor().unwrap();
+        let mut state = ProgramState::new();
+        for i in 0..syms.len() {
+            state.set(VarId(i as u32), i as i64);
+        }
+        let (mem, _) = monitor.initial(&state);
+        group.bench_function(*name, |b| {
+            b.iter(|| monitor.step(mem, &state));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequence(c: &mut Criterion) {
+    // Full-trace monitoring cost vs the quadratic reference evaluator.
+    let mut group = c.benchmark_group("monitor/trace");
+    let mut syms = SymbolTable::new();
+    let formula = parse("(x > 0) -> [y = 0, y > z)", &mut syms).unwrap();
+    let monitor = formula.monitor().unwrap();
+    for len in [64usize, 512] {
+        let states: Vec<ProgramState> = (0..len)
+            .map(|i| {
+                let mut s = ProgramState::new();
+                s.set(VarId(0), (i as i64) % 5 - 2);
+                s.set(VarId(1), (i as i64) % 3);
+                s.set(VarId(2), (i as i64) % 2);
+                s
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("synthesized", len),
+            &states,
+            |b, states| b.iter(|| monitor.first_violation(states)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference_quadratic", len),
+            &states,
+            |b, states| {
+                b.iter(|| {
+                    (0..states.len()).position(|n| !jmpax_spec::eval_at(&formula, states, n))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_step, bench_sequence);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Fig. 2 / Q2: cost of Algorithm A itself — per-event MVC update
+//! throughput as a function of thread count and variable count, plus the
+//! cost split by event kind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jmpax_core::gen::{random_execution, RandomExecutionConfig};
+use jmpax_core::{Event, MvcInstrumentor, Relevance, ThreadId, VarId};
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvc/events_by_threads");
+    for threads in [2usize, 4, 8, 16, 32] {
+        let ex = random_execution(RandomExecutionConfig {
+            threads,
+            vars: 8,
+            events: 10_000,
+            write_ratio: 0.5,
+            internal_ratio: 0.1,
+            seed: 1,
+        });
+        group.throughput(Throughput::Elements(ex.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &ex, |b, ex| {
+            b.iter(|| {
+                let mut instr = MvcInstrumentor::new(threads, Relevance::AllWrites);
+                let mut emitted = 0usize;
+                for e in &ex.events {
+                    emitted += usize::from(instr.process(e).is_some());
+                }
+                emitted
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_vars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvc/events_by_vars");
+    for vars in [1usize, 4, 16, 64, 256] {
+        let ex = random_execution(RandomExecutionConfig {
+            threads: 8,
+            vars,
+            events: 10_000,
+            write_ratio: 0.5,
+            internal_ratio: 0.1,
+            seed: 2,
+        });
+        group.throughput(Throughput::Elements(ex.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &ex, |b, ex| {
+            b.iter(|| {
+                let mut instr = MvcInstrumentor::new(8, Relevance::AllWrites);
+                ex.events.iter().filter_map(|e| instr.process(e)).count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvc/event_kind");
+    let t = ThreadId(0);
+    let x = VarId(0);
+    group.bench_function("read", |b| {
+        let mut instr = MvcInstrumentor::new(4, Relevance::Nothing);
+        let e = Event::read(t, x);
+        b.iter(|| instr.process(&e));
+    });
+    group.bench_function("write", |b| {
+        let mut instr = MvcInstrumentor::new(4, Relevance::Nothing);
+        let e = Event::write(t, x, 1);
+        b.iter(|| instr.process(&e));
+    });
+    group.bench_function("write_relevant_emit", |b| {
+        let mut instr = MvcInstrumentor::new(4, Relevance::AllWrites);
+        let e = Event::write(t, x, 1);
+        b.iter(|| instr.process(&e));
+    });
+    group.bench_function("internal", |b| {
+        let mut instr = MvcInstrumentor::new(4, Relevance::Nothing);
+        let e = Event::internal(t);
+        b.iter(|| instr.process(&e));
+    });
+    group.finish();
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    // The O(n²) brute-force happens-before, for scale contrast with the
+    // O(n·threads) online algorithm.
+    let mut group = c.benchmark_group("mvc/ground_truth_closure");
+    for events in [256usize, 1024, 4096] {
+        let ex = random_execution(RandomExecutionConfig {
+            threads: 4,
+            vars: 4,
+            events,
+            write_ratio: 0.5,
+            internal_ratio: 0.1,
+            seed: 3,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(events), &ex, |b, ex| {
+            b.iter(|| jmpax_core::HappensBefore::compute(&ex.events).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threads,
+    bench_vars,
+    bench_event_kinds,
+    bench_ground_truth
+);
+criterion_main!(benches);

@@ -1,0 +1,533 @@
+//! The `jmpax` subcommands.
+
+use std::fmt::Write as _;
+
+use jmpax_core::{Relevance, SymbolTable};
+use jmpax_lattice::{to_dot, DotOptions, Lattice, LatticeInput, StreamingAnalyzer};
+use jmpax_observer::{check_execution, render_analysis};
+use jmpax_spec::{parse, ProgramState};
+use jmpax_workloads as workloads;
+
+use crate::args::Args;
+use crate::trace_text;
+
+/// Usage text.
+pub const USAGE: &str = "\
+jmpax — predictive runtime analysis of multithreaded programs
+(Rosu & Sen, 'An Instrumentation Technique for Online Analysis of
+Multithreaded Programs', IPDPS/PADTAD 2004)
+
+USAGE:
+    jmpax check --spec <FORMULA> --trace <FILE>
+                [--dot <OUT>] [--streaming] [--history <N>]
+        Check a safety property against EVERY interleaving consistent with
+        the recorded trace. The trace is the text format of
+        `jmpax gen` (one event per line, `init v = k` headers).
+        --streaming uses the constant-memory two-level analyzer;
+        --history N additionally retains N retired lattice levels so
+        violations carry a trail of recent states.
+
+    jmpax races --trace <FILE> [--locks <name,name,...>]
+        Predictive data-race detection over the trace: accesses are checked
+        against the happens-before built from program order and the given
+        lock variables only.
+
+    jmpax deadlocks --trace <FILE> --locks <name,name,...>
+        Predictive deadlock detection: build the lock-order graph from the
+        trace (lock vars written 1 on acquire, 0 on release) and report
+        cross-thread cycles.
+
+    jmpax demo <landing|xyz|bank|bank-locked|dining|handoff|peterson>
+        Run a built-in demonstration and print its analysis.
+
+    jmpax gen <landing|xyz|bank|bank-locked|dining|handoff|peterson> [--seed <N>]
+        Print a trace of the chosen workload under a random schedule
+        (redirect to a file, then `jmpax check` it).
+
+SPEC SYNTAX:
+    atoms        x > 0, y = 1, balance >= 150, x + 2*y != z
+    boolean      !f, f /\\ g, f \\/ g, f -> g, true, false
+    past-time    @ f (previously), [*] f (always), <*> f (eventually),
+                 f S g (since), f Sw g (weak since),
+                 [p, q)  — p held in the past and q never since,
+                 start(f), end(f)
+
+EXAMPLES:
+    jmpax gen xyz > xyz.trace
+    jmpax check --spec '(x > 0) -> [y = 0, y > z)' --trace xyz.trace
+";
+
+/// Runs the CLI; returns the process exit code and the full output text.
+pub fn run(args: &Args, trace_source: Option<&str>) -> (i32, String) {
+    match args.command() {
+        Some("check") => check(args, trace_source),
+        Some("races") => races(args, trace_source),
+        Some("deadlocks") => deadlocks(args, trace_source),
+        Some("demo") => demo(args),
+        Some("gen") => gen(args),
+        Some("help") | None => (0, USAGE.to_owned()),
+        Some(other) => (2, format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// Parses `--locks a,b,c` against already-interned names.
+fn lock_vars(
+    args: &Args,
+    symbols: &jmpax_core::SymbolTable,
+) -> Result<std::collections::BTreeSet<jmpax_core::VarId>, String> {
+    let Some(spec) = args.get("locks") else {
+        return Ok(std::collections::BTreeSet::new());
+    };
+    let mut out = std::collections::BTreeSet::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match symbols.lookup(name) {
+            Some(v) => {
+                out.insert(v);
+            }
+            None => return Err(format!("lock variable `{name}` not in the trace")),
+        }
+    }
+    Ok(out)
+}
+
+fn races(args: &Args, trace_source: Option<&str>) -> (i32, String) {
+    let Some(trace) = trace_source else {
+        return (2, "races: missing --trace <FILE>\n".to_owned());
+    };
+    let mut symbols = SymbolTable::new();
+    let execution = match trace_text::parse_trace(trace, &mut symbols) {
+        Ok(e) => e,
+        Err(e) => return (2, format!("races: {e}\n")),
+    };
+    let sync = match lock_vars(args, &symbols) {
+        Ok(s) => s,
+        Err(e) => return (2, format!("races: {e}\n")),
+    };
+    let found = jmpax_observer::detect_races(&execution, &sync);
+    let mut out = String::new();
+    if found.is_empty() {
+        let _ = writeln!(out, "no data races predicted");
+        return (0, out);
+    }
+    for r in &found {
+        // Thread names match the trace format (T0-based), not the paper's
+        // 1-based display.
+        let _ = writeln!(
+            out,
+            "race on {}: T{} {} vs T{} {} (events #{} / #{})",
+            symbols.name_or_default(r.var),
+            r.first.thread.0,
+            if r.first.is_write { "write" } else { "read" },
+            r.second.thread.0,
+            if r.second.is_write { "write" } else { "read" },
+            r.first.index,
+            r.second.index,
+        );
+    }
+    (1, out)
+}
+
+fn deadlocks(args: &Args, trace_source: Option<&str>) -> (i32, String) {
+    let Some(trace) = trace_source else {
+        return (2, "deadlocks: missing --trace <FILE>\n".to_owned());
+    };
+    let mut symbols = SymbolTable::new();
+    let execution = match trace_text::parse_trace(trace, &mut symbols) {
+        Ok(e) => e,
+        Err(e) => return (2, format!("deadlocks: {e}\n")),
+    };
+    let locks = match lock_vars(args, &symbols) {
+        Ok(s) if !s.is_empty() => s,
+        Ok(_) => return (2, "deadlocks: missing --locks <name,...>\n".to_owned()),
+        Err(e) => return (2, format!("deadlocks: {e}\n")),
+    };
+    let cycles = jmpax_observer::predict_deadlocks(&execution, &locks);
+    let mut out = String::new();
+    if cycles.is_empty() {
+        let _ = writeln!(out, "no deadlock cycles predicted");
+        return (0, out);
+    }
+    for c in &cycles {
+        let names: Vec<String> = c
+            .locks
+            .iter()
+            .map(|&l| symbols.name_or_default(l))
+            .collect();
+        let _ = writeln!(
+            out,
+            "potential deadlock: cycle {} across {} threads",
+            names.join(" -> "),
+            c.threads.len()
+        );
+    }
+    (1, out)
+}
+
+fn check(args: &Args, trace_source: Option<&str>) -> (i32, String) {
+    let mut out = String::new();
+    let Some(spec) = args.get("spec") else {
+        return (2, "check: missing --spec <FORMULA>\n".to_owned());
+    };
+    let Some(trace) = trace_source else {
+        return (2, "check: missing --trace <FILE>\n".to_owned());
+    };
+
+    let mut symbols = SymbolTable::new();
+    let execution = match trace_text::parse_trace(trace, &mut symbols) {
+        Ok(e) => e,
+        Err(e) => return (2, format!("check: {e}\n")),
+    };
+
+    if args.has("streaming") {
+        // Two-level streaming mode: constant memory, no counterexamples.
+        let formula = match parse(spec, &mut symbols) {
+            Ok(f) => f,
+            Err(e) => return (2, format!("check: {e}\n")),
+        };
+        let monitor = match formula.monitor() {
+            Ok(m) => m,
+            Err(e) => return (2, format!("check: {e}\n")),
+        };
+        let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
+        let messages = execution.instrument(relevance);
+        let initial = ProgramState::from_map(execution.initial.clone());
+        let history = args
+            .get("history")
+            .and_then(|h| h.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut s = StreamingAnalyzer::new(monitor, &initial, execution.thread_count())
+            .with_history(history);
+        s.push_all(messages);
+        let report = s.finish();
+        let _ = writeln!(
+            out,
+            "streaming analysis: {} states in {} levels (peak frontier {})",
+            report.states_explored, report.levels_built, report.peak_frontier
+        );
+        if report.satisfied() {
+            let _ = writeln!(out, "property satisfied on every run");
+            return (0, out);
+        }
+        for v in &report.violations {
+            let _ = writeln!(out, "violation at cut {} in state {}", v.cut, v.state);
+            if v.trail.len() > 1 {
+                let _ = writeln!(out, "  trail (last {} states):", v.trail.len());
+                for (cut, state) in &v.trail {
+                    let _ = writeln!(out, "    {cut} {state}");
+                }
+            }
+        }
+        return (1, out);
+    }
+
+    let report = match check_execution(&execution, spec, &mut symbols) {
+        Ok(r) => r,
+        Err(e) => return (2, format!("check: {e}\n")),
+    };
+    let analysis = report.verdict.analysis();
+    out.push_str(&render_analysis(analysis, &symbols));
+    if let Some(idx) = report.observed_violation {
+        let _ = writeln!(out, "the OBSERVED run violates at state #{idx}");
+    } else if report.predicted() {
+        let _ = writeln!(
+            out,
+            "the observed run was successful — the violation is PREDICTED"
+        );
+    }
+
+    if let Some(path) = args.get("dot") {
+        let relevance = report.relevance.clone();
+        let messages = execution.instrument(relevance);
+        let initial = ProgramState::from_map(execution.initial.clone());
+        if let Ok(input) = LatticeInput::from_messages(messages, initial) {
+            let lattice = Lattice::build(input);
+            let highlights = analysis.violations.iter().map(|v| v.cut.clone()).collect();
+            let dot = to_dot(&lattice, &symbols, &DotOptions::with_highlights(highlights));
+            if let Err(e) = std::fs::write(path, dot) {
+                let _ = writeln!(out, "warning: could not write {path}: {e}");
+            } else {
+                let _ = writeln!(out, "lattice written to {path}");
+            }
+        }
+    }
+
+    (i32::from(report.predicted()), out)
+}
+
+fn workload_by_name(name: &str) -> Option<workloads::Workload> {
+    match name {
+        "landing" => Some(workloads::landing::workload()),
+        "xyz" => Some(workloads::xyz::workload()),
+        "bank" => Some(workloads::bank::workload(false)),
+        "bank-locked" => Some(workloads::bank::workload(true)),
+        "dining" => Some(workloads::dining::workload(3, false)),
+        "handoff" => Some(workloads::handoff::workload(2, true)),
+        "peterson" => Some(workloads::peterson::workload()),
+        _ => None,
+    }
+}
+
+fn demo(args: &Args) -> (i32, String) {
+    let Some(name) = args.positional.get(1) else {
+        return (
+            2,
+            "demo: expected a workload name (landing|xyz|bank|dining)\n".to_owned(),
+        );
+    };
+    let Some(w) = workload_by_name(name) else {
+        return (2, format!("demo: unknown workload `{name}`\n"));
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name);
+    let _ = writeln!(out, "property: {}", w.spec);
+    let run = match name.as_str() {
+        "landing" => jmpax_sched::run_fixed(
+            &w.program,
+            workloads::landing::observed_success_schedule(),
+            300,
+        ),
+        "xyz" => {
+            jmpax_sched::run_fixed(&w.program, workloads::xyz::observed_success_schedule(), 100)
+        }
+        _ => jmpax_sched::run_random(&w.program, 0, 1000),
+    };
+    if !run.finished {
+        let _ = writeln!(
+            out,
+            "(schedule did not finish; deadlock = {})",
+            run.deadlocked
+        );
+    }
+    let mut symbols = w.symbols.clone();
+    match check_execution(&run.execution, &w.spec, &mut symbols) {
+        Ok(report) => {
+            out.push_str(&render_analysis(report.verdict.analysis(), &symbols));
+            (i32::from(report.predicted()), out)
+        }
+        Err(e) => (2, format!("demo: {e}\n")),
+    }
+}
+
+fn gen(args: &Args) -> (i32, String) {
+    let Some(name) = args.positional.get(1) else {
+        return (
+            2,
+            "gen: expected a workload name (landing|xyz|bank|dining)\n".to_owned(),
+        );
+    };
+    let Some(w) = workload_by_name(name) else {
+        return (2, format!("gen: unknown workload `{name}`\n"));
+    };
+    let seed = args
+        .get("seed")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let run = match name.as_str() {
+        "xyz" if seed == 0 => {
+            jmpax_sched::run_fixed(&w.program, workloads::xyz::observed_success_schedule(), 100)
+        }
+        "landing" if seed == 0 => jmpax_sched::run_fixed(
+            &w.program,
+            workloads::landing::observed_success_schedule(),
+            300,
+        ),
+        _ => jmpax_sched::run_random(&w.program, seed, 1000),
+    };
+    (0, trace_text::write_trace(&run.execution, &w.symbols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(argv: &[&str], trace: Option<&str>) -> (i32, String) {
+        let args = Args::parse(argv.iter().map(ToString::to_string));
+        run(&args, trace)
+    }
+
+    const XYZ_TRACE: &str = "\
+init x = -1
+init y = 0
+init z = 0
+T0 read x
+T0 write x 0
+T1 read x
+T1 write z 1
+T0 read x
+T0 write y 1
+T1 read x
+T1 write x 1
+";
+
+    #[test]
+    fn help_by_default() {
+        let (code, out) = run_cli(&[], None);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, out) = run_cli(&["frobnicate"], None);
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn check_predicts_on_xyz_trace() {
+        let (code, out) = run_cli(
+            &["check", "--spec", "(x > 0) -> [y = 0, y > z)"],
+            Some(XYZ_TRACE),
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("7 states"), "{out}");
+        assert!(out.contains("3 total, 1 violating"), "{out}");
+        assert!(out.contains("PREDICTED"), "{out}");
+    }
+
+    #[test]
+    fn check_satisfied_exits_zero() {
+        let (code, out) = run_cli(&["check", "--spec", "x >= -1"], Some(XYZ_TRACE));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("satisfied"), "{out}");
+    }
+
+    #[test]
+    fn check_streaming_mode() {
+        let (code, out) = run_cli(
+            &[
+                "check",
+                "--spec",
+                "(x > 0) -> [y = 0, y > z)",
+                "--streaming",
+            ],
+            Some(XYZ_TRACE),
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("streaming analysis: 7 states"), "{out}");
+        assert!(out.contains("violation at cut S2,2"), "{out}");
+    }
+
+    #[test]
+    fn check_streaming_with_history_prints_trail() {
+        let (code, out) = run_cli(
+            &[
+                "check",
+                "--spec",
+                "(x > 0) -> [y = 0, y > z)",
+                "--streaming",
+                "--history",
+                "8",
+            ],
+            Some(XYZ_TRACE),
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("trail (last 5 states)"), "{out}");
+        assert!(out.contains("S0,0"), "{out}");
+    }
+
+    #[test]
+    fn check_rejects_bad_spec_and_trace() {
+        let (code, out) = run_cli(&["check", "--spec", "x >"], Some(XYZ_TRACE));
+        assert_eq!(code, 2);
+        assert!(out.contains("parse error"), "{out}");
+        let (code, _) = run_cli(&["check", "--spec", "x > 0"], Some("garbage\n"));
+        assert_eq!(code, 2);
+        let (code, _) = run_cli(&["check"], Some(XYZ_TRACE));
+        assert_eq!(code, 2);
+        let (code, _) = run_cli(&["check", "--spec", "x > 0"], None);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn demo_xyz_matches_paper() {
+        let (code, out) = run_cli(&["demo", "xyz"], None);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("7 states"), "{out}");
+    }
+
+    #[test]
+    fn demo_landing_matches_paper() {
+        let (code, out) = run_cli(&["demo", "landing"], None);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("6 states"), "{out}");
+        assert!(out.contains("2 violating"), "{out}");
+    }
+
+    #[test]
+    fn gen_then_check_round_trips() {
+        let (code, trace) = run_cli(&["gen", "xyz"], None);
+        assert_eq!(code, 0);
+        let (code, out) = run_cli(
+            &["check", "--spec", "(x > 0) -> [y = 0, y > z)"],
+            Some(&trace),
+        );
+        assert_eq!(code, 1, "{out}");
+    }
+
+    const RACY_TRACE: &str = "\
+T0 write x 1
+T1 write y 1
+T1 read x
+";
+
+    const LOCKED_TRACE: &str = "\
+T0 write m 1
+T0 write x 1
+T0 write m 0
+T1 write m 1
+T1 read x
+T1 write m 0
+";
+
+    #[test]
+    fn races_detected_and_clean_with_locks() {
+        let (code, out) = run_cli(&["races"], Some(RACY_TRACE));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("race on x"), "{out}");
+        assert!(out.contains("T1 read"), "{out}");
+
+        let (code, out) = run_cli(&["races", "--locks", "m"], Some(LOCKED_TRACE));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("no data races"), "{out}");
+
+        // Without declaring the lock, the same trace races.
+        let (code, _) = run_cli(&["races"], Some(LOCKED_TRACE));
+        assert_eq!(code, 1);
+
+        let (code, out) = run_cli(&["races", "--locks", "nosuch"], Some(RACY_TRACE));
+        assert_eq!(code, 2);
+        assert!(out.contains("not in the trace"), "{out}");
+    }
+
+    const DEADLOCK_TRACE: &str = "\
+T0 write a 1
+T0 write b 1
+T0 write b 0
+T0 write a 0
+T1 write b 1
+T1 write a 1
+T1 write a 0
+T1 write b 0
+";
+
+    #[test]
+    fn deadlocks_predicted_from_cycle() {
+        let (code, out) = run_cli(&["deadlocks", "--locks", "a,b"], Some(DEADLOCK_TRACE));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("potential deadlock"), "{out}");
+        assert!(out.contains("across 2 threads"), "{out}");
+
+        // Locks required.
+        let (code, _) = run_cli(&["deadlocks"], Some(DEADLOCK_TRACE));
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn gen_unknown_workload() {
+        let (code, _) = run_cli(&["gen", "nope"], None);
+        assert_eq!(code, 2);
+        let (code, _) = run_cli(&["gen"], None);
+        assert_eq!(code, 2);
+    }
+}

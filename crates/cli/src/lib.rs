@@ -1,0 +1,18 @@
+//! # jmpax-cli
+//!
+//! Library backing the `jmpax` command-line tool:
+//!
+//! * [`trace_text`] — a human-editable text format for multithreaded
+//!   execution traces (one event per line), with reader and writer;
+//! * [`args`] — a minimal flag parser (no external dependencies);
+//! * [`commands`] — the `check`, `demo` and `gen` subcommands.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod trace_text;
+
+pub use args::Args;
+pub use trace_text::{parse_trace, write_trace, TraceParseError};

@@ -1,0 +1,19 @@
+//! The `jmpax` command-line tool.
+
+use jmpax_cli::args::Args;
+use jmpax_cli::commands;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    // `check` reads its trace file here so the command layer stays pure
+    // (and unit-testable).
+    let trace = args.get("trace").map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("jmpax: cannot read trace `{path}`: {e}");
+            std::process::exit(2);
+        })
+    });
+    let (code, output) = commands::run(&args, trace.as_deref());
+    print!("{output}");
+    std::process::exit(code);
+}

@@ -1,0 +1,241 @@
+//! The `.trace` text format: one event per line.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! init x = -1          # initial shared-variable values
+//! init y = 0
+//! T0 read x            # threads are T0, T1, …
+//! T0 write x 0         # writes carry the value (int, true/false, unit)
+//! T1 write z 1
+//! T0 internal
+//! ```
+//!
+//! Variable names are interned into a [`SymbolTable`] in order of first
+//! appearance, so a trace and a specification over the same names agree on
+//! identities.
+
+use std::fmt;
+
+use jmpax_core::{Event, Execution, SymbolTable, ThreadId, Value};
+
+/// Parse errors with line numbers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceParseError {
+    TraceParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, TraceParseError> {
+    match s {
+        "true" => Ok(Value::Bool(true)),
+        "false" => Ok(Value::Bool(false)),
+        "unit" | "()" => Ok(Value::Unit),
+        _ => s
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err(line, format!("invalid value `{s}`"))),
+    }
+}
+
+fn parse_thread(s: &str, line: usize) -> Result<ThreadId, TraceParseError> {
+    let id = s
+        .strip_prefix('T')
+        .and_then(|n| n.parse::<u32>().ok())
+        .ok_or_else(|| err(line, format!("invalid thread `{s}` (expected T<N>)")))?;
+    Ok(ThreadId(id))
+}
+
+/// Parses a trace, interning variable names into `symbols`.
+pub fn parse_trace(src: &str, symbols: &mut SymbolTable) -> Result<Execution, TraceParseError> {
+    let mut execution = Execution::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["init", var, "=", value] => {
+                let var = symbols.intern(var);
+                let value = parse_value(value, line_no)?;
+                execution.initial.insert(var, value);
+            }
+            [thread, "read", var] => {
+                let t = parse_thread(thread, line_no)?;
+                let var = symbols.intern(var);
+                execution.read(t, var);
+            }
+            [thread, "write", var, value] => {
+                let t = parse_thread(thread, line_no)?;
+                let var = symbols.intern(var);
+                let value = parse_value(value, line_no)?;
+                execution.push(Event::write(t, var, value));
+            }
+            [thread, "internal"] => {
+                let t = parse_thread(thread, line_no)?;
+                execution.internal(t);
+            }
+            _ => {
+                return Err(err(
+                    line_no,
+                    format!(
+                        "unrecognized line `{line}` \
+                         (expected `init v = k`, `T<N> read v`, `T<N> write v k`, `T<N> internal`)"
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(execution)
+}
+
+/// Renders an execution in the text format (inverse of [`parse_trace`]).
+#[must_use]
+pub fn write_trace(execution: &Execution, symbols: &SymbolTable) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (var, value) in &execution.initial {
+        let _ = writeln!(
+            out,
+            "init {} = {}",
+            symbols.name_or_default(*var),
+            fmt_value(*value)
+        );
+    }
+    for e in &execution.events {
+        let t = format!("T{}", e.thread.0);
+        match e.kind {
+            jmpax_core::EventKind::Internal => {
+                let _ = writeln!(out, "{t} internal");
+            }
+            jmpax_core::EventKind::Read { var } => {
+                let _ = writeln!(out, "{t} read {}", symbols.name_or_default(var));
+            }
+            jmpax_core::EventKind::Write { var, value } => {
+                let _ = writeln!(
+                    out,
+                    "{t} write {} {}",
+                    symbols.name_or_default(var),
+                    fmt_value(value)
+                );
+            }
+        }
+    }
+    out
+}
+
+fn fmt_value(v: Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Unit => "unit".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::VarId;
+
+    const SAMPLE: &str = "\
+# Example 2 of the paper
+init x = -1
+init y = 0
+init z = 0
+
+T0 read x
+T0 write x 0
+T1 read x
+T1 write z 1
+T0 read x
+T0 write y 1
+T1 read x
+T1 write x 1
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let mut syms = SymbolTable::new();
+        let ex = parse_trace(SAMPLE, &mut syms).unwrap();
+        assert_eq!(ex.events.len(), 8);
+        assert_eq!(ex.initial.len(), 3);
+        assert_eq!(syms.lookup("x"), Some(VarId(0)));
+        assert_eq!(ex.thread_count(), 2);
+        assert_eq!(ex.initial[&syms.lookup("x").unwrap()], Value::Int(-1));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut syms = SymbolTable::new();
+        let ex = parse_trace(SAMPLE, &mut syms).unwrap();
+        let printed = write_trace(&ex, &syms);
+        let mut syms2 = SymbolTable::new();
+        let reparsed = parse_trace(&printed, &mut syms2).unwrap();
+        assert_eq!(ex, reparsed);
+    }
+
+    #[test]
+    fn value_kinds() {
+        let mut syms = SymbolTable::new();
+        let ex = parse_trace(
+            "T0 write a true\nT0 write b false\nT0 write c unit\nT0 write d -7\n",
+            &mut syms,
+        )
+        .unwrap();
+        let vals: Vec<Value> = ex
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                jmpax_core::EventKind::Write { value, .. } => Some(value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Unit,
+                Value::Int(-7)
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut syms = SymbolTable::new();
+        let ex = parse_trace("# only comments\n\n   \n", &mut syms).unwrap();
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut syms = SymbolTable::new();
+        let e = parse_trace("T0 read x\nbogus line here extra\n", &mut syms).unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_trace("T0 write x notanumber\n", &mut syms).unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_trace("X0 read x\n", &mut syms).unwrap_err();
+        assert!(e.message.contains("thread"));
+        let e = parse_trace("init x 5\n", &mut syms).unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Random multithreaded-execution generator.
+//!
+//! Used by property tests (to validate Algorithm A against the brute-force
+//! [`crate::HappensBefore`]) and by benchmarks (to sweep thread counts,
+//! variable counts, and event mixes — experiment Q2 in DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{Event, ThreadId, VarId};
+use crate::trace::Execution;
+
+/// Parameters for random execution generation.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomExecutionConfig {
+    /// Number of threads (events are distributed uniformly).
+    pub threads: usize,
+    /// Number of shared variables.
+    pub vars: usize,
+    /// Total number of events to generate.
+    pub events: usize,
+    /// Probability that a variable access is a write (vs a read).
+    pub write_ratio: f64,
+    /// Probability that an event is internal (touches no variable).
+    pub internal_ratio: f64,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for RandomExecutionConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            vars: 4,
+            events: 256,
+            write_ratio: 0.5,
+            internal_ratio: 0.1,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A deterministic random execution generator.
+#[derive(Debug)]
+pub struct RandomExecution {
+    config: RandomExecutionConfig,
+    rng: StdRng,
+    write_counter: i64,
+}
+
+impl RandomExecution {
+    /// Creates a generator for the given configuration.
+    #[must_use]
+    pub fn new(config: RandomExecutionConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            write_counter: 0,
+        }
+    }
+
+    /// Generates the next event.
+    pub fn next_event(&mut self) -> Event {
+        let thread = ThreadId(self.rng.gen_range(0..self.config.threads.max(1)) as u32);
+        if self
+            .rng
+            .gen_bool(self.config.internal_ratio.clamp(0.0, 1.0))
+        {
+            return Event::internal(thread);
+        }
+        let var = VarId(self.rng.gen_range(0..self.config.vars.max(1)) as u32);
+        if self.rng.gen_bool(self.config.write_ratio.clamp(0.0, 1.0)) {
+            self.write_counter += 1;
+            Event::write(thread, var, self.write_counter)
+        } else {
+            Event::read(thread, var)
+        }
+    }
+
+    /// Generates the whole execution (all variables initialized to 0).
+    #[must_use]
+    pub fn generate(mut self) -> Execution {
+        let mut ex = Execution::new();
+        for v in 0..self.config.vars {
+            ex.initial
+                .insert(VarId(v as u32), crate::event::Value::Int(0));
+        }
+        for _ in 0..self.config.events {
+            let e = self.next_event();
+            ex.push(e);
+        }
+        ex
+    }
+}
+
+/// One-shot convenience: generate an execution from a config.
+#[must_use]
+pub fn random_execution(config: RandomExecutionConfig) -> Execution {
+    RandomExecution::new(config).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RandomExecutionConfig::default();
+        let a = random_execution(cfg);
+        let b = random_execution(cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_execution(RandomExecutionConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = random_execution(RandomExecutionConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let cfg = RandomExecutionConfig {
+            threads: 3,
+            vars: 2,
+            events: 500,
+            write_ratio: 0.5,
+            internal_ratio: 0.2,
+            seed: 7,
+        };
+        let ex = random_execution(cfg);
+        assert_eq!(ex.len(), 500);
+        assert!(ex.thread_count() <= 3);
+        assert!(ex.var_count() <= 2);
+        assert_eq!(ex.initial.len(), 2);
+    }
+
+    #[test]
+    fn extreme_ratios() {
+        let all_writes = random_execution(RandomExecutionConfig {
+            write_ratio: 1.0,
+            internal_ratio: 0.0,
+            events: 64,
+            ..Default::default()
+        });
+        assert!(all_writes
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::Write { .. })));
+
+        let all_internal = random_execution(RandomExecutionConfig {
+            internal_ratio: 1.0,
+            events: 64,
+            ..Default::default()
+        });
+        assert!(all_internal
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::Internal)));
+    }
+}

@@ -1,0 +1,301 @@
+//! Ground-truth causal partial order `≺` (Section 2.2), by brute force.
+//!
+//! The relation is defined as the smallest partial order such that:
+//!
+//! 1. `e^k_i ≺ e^l_i` when `k < l` (program order);
+//! 2. `e ≺ e'` when `e <_x e'` for some shared variable `x` and at least one
+//!    of `e`, `e'` is a write (read–write, write–read, write–write);
+//! 3. transitivity.
+//!
+//! No causal constraint is imposed on read–read pairs, so they are
+//! permutable. This module computes `≺` with an `O(n²/64)` bitset transitive
+//! closure; it exists so tests, property tests and benchmarks can verify
+//! that Algorithm A (which is `O(n·threads)`) agrees with the definition.
+
+use crate::event::{Event, EventKind, ThreadId, VarId};
+use crate::relevance::Relevance;
+
+/// Dense bitset matrix encoding `≺` over the events of one execution.
+#[derive(Clone, Debug)]
+pub struct HappensBefore {
+    n: usize,
+    words: usize,
+    /// Row `i` is the set of events that strictly precede event `i`.
+    preds: Vec<u64>,
+    events: Vec<Event>,
+}
+
+impl HappensBefore {
+    /// Computes `≺` for the given event sequence (the multithreaded
+    /// execution `M`, in observed order).
+    #[must_use]
+    pub fn compute(events: &[Event]) -> Self {
+        let n = events.len();
+        let words = n.div_ceil(64);
+        let mut preds = vec![0u64; n * words];
+
+        // Per-thread last event index (program order edges).
+        let mut last_of_thread: Vec<Option<usize>> = Vec::new();
+        // Per-variable bookkeeping for access-order edges:
+        //   last write index, and all reads since that write.
+        struct VarState {
+            last_write: Option<usize>,
+            reads_since_write: Vec<usize>,
+        }
+        let mut vars: Vec<VarState> = Vec::new();
+
+        fn thread_slot(v: &mut Vec<Option<usize>>, t: ThreadId) -> &mut Option<usize> {
+            if v.len() <= t.index() {
+                v.resize(t.index() + 1, None);
+            }
+            &mut v[t.index()]
+        }
+        fn var_slot(v: &mut Vec<VarState>, x: VarId) -> &mut VarState {
+            while v.len() <= x.index() {
+                v.push(VarState {
+                    last_write: None,
+                    reads_since_write: Vec::new(),
+                });
+            }
+            &mut v[x.index()]
+        }
+
+        // Single forward pass: every direct predecessor has a smaller index,
+        // so closing each row over its direct predecessors' rows yields the
+        // full transitive closure.
+        for (idx, e) in events.iter().enumerate() {
+            let mut direct: Vec<usize> = Vec::new();
+
+            if let Some(prev) = *thread_slot(&mut last_of_thread, e.thread) {
+                direct.push(prev);
+            }
+            *thread_slot(&mut last_of_thread, e.thread) = Some(idx);
+
+            match e.kind {
+                EventKind::Internal => {}
+                EventKind::Read { var } => {
+                    let vs = var_slot(&mut vars, var);
+                    if let Some(w) = vs.last_write {
+                        direct.push(w); // write-read edge
+                    }
+                    vs.reads_since_write.push(idx);
+                }
+                EventKind::Write { var, .. } => {
+                    let vs = var_slot(&mut vars, var);
+                    if let Some(w) = vs.last_write {
+                        direct.push(w); // write-write edge
+                    }
+                    // read-write edges from every read since the last write
+                    direct.append(&mut vs.reads_since_write);
+                    vs.last_write = Some(idx);
+                }
+            }
+
+            let (before, row) = preds.split_at_mut(idx * words);
+            let row = &mut row[..words];
+            for p in direct {
+                row[p / 64] |= 1u64 << (p % 64);
+                let prow = &before[p * words..(p + 1) * words];
+                for (r, pr) in row.iter_mut().zip(prow) {
+                    *r |= pr;
+                }
+            }
+        }
+
+        Self {
+            n,
+            words,
+            preds,
+            events: events.to_vec(),
+        }
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the execution is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The event at trace index `i`.
+    #[must_use]
+    pub fn event(&self, i: usize) -> &Event {
+        &self.events[i]
+    }
+
+    /// `events[a] ≺ events[b]` (strict).
+    #[must_use]
+    pub fn precedes(&self, a: usize, b: usize) -> bool {
+        debug_assert!(a < self.n && b < self.n);
+        self.preds[b * self.words + a / 64] >> (a % 64) & 1 == 1
+    }
+
+    /// `events[a] ∥ events[b]`: causally unrelated distinct events.
+    #[must_use]
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// The relevant causality `⊴ = ≺ ∩ (R × R)` (Section 2.3).
+    #[must_use]
+    pub fn relevant_precedes(&self, relevance: &Relevance, a: usize, b: usize) -> bool {
+        relevance.is_relevant(&self.events[a])
+            && relevance.is_relevant(&self.events[b])
+            && self.precedes(a, b)
+    }
+
+    /// Counts relevant events of thread `j` that strictly precede event
+    /// `idx`, plus `idx` itself when `idx` belongs to `j` and is relevant.
+    ///
+    /// This is exactly requirement (a) for Algorithm A and is used by tests
+    /// to verify the emitted clock components.
+    #[must_use]
+    pub fn expected_clock_component(&self, relevance: &Relevance, idx: usize, j: ThreadId) -> u32 {
+        let mut count = 0;
+        for p in 0..self.n {
+            let e = &self.events[p];
+            if e.thread != j || !relevance.is_relevant(e) {
+                continue;
+            }
+            if self.precedes(p, idx) || (p == idx && e.thread == j) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Indices of relevant events under `relevance`, in trace order.
+    #[must_use]
+    pub fn relevant_indices(&self, relevance: &Relevance) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&i| relevance.is_relevant(&self.events[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    const T1: ThreadId = ThreadId(0);
+    const T2: ThreadId = ThreadId(1);
+    const T3: ThreadId = ThreadId(2);
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    #[test]
+    fn program_order_is_transitive() {
+        let events = vec![
+            Event::internal(T1),
+            Event::internal(T1),
+            Event::internal(T1),
+        ];
+        let hb = HappensBefore::compute(&events);
+        assert!(hb.precedes(0, 1));
+        assert!(hb.precedes(1, 2));
+        assert!(hb.precedes(0, 2));
+        assert!(!hb.precedes(2, 0));
+    }
+
+    #[test]
+    fn different_threads_no_shared_vars_concurrent() {
+        let events = vec![Event::internal(T1), Event::internal(T2)];
+        let hb = HappensBefore::compute(&events);
+        assert!(hb.concurrent(0, 1));
+    }
+
+    #[test]
+    fn read_read_is_permutable() {
+        let events = vec![Event::read(T1, X), Event::read(T2, X)];
+        let hb = HappensBefore::compute(&events);
+        assert!(hb.concurrent(0, 1));
+    }
+
+    #[test]
+    fn write_read_write_chain() {
+        let events = vec![
+            Event::write(T1, X, 1), // 0
+            Event::read(T2, X),     // 1: w-r edge from 0
+            Event::write(T3, X, 2), // 2: r-w edge from 1, w-w edge from 0
+        ];
+        let hb = HappensBefore::compute(&events);
+        assert!(hb.precedes(0, 1));
+        assert!(hb.precedes(1, 2));
+        assert!(hb.precedes(0, 2));
+    }
+
+    #[test]
+    fn reads_between_writes_all_feed_the_write() {
+        let events = vec![
+            Event::write(T1, X, 1), // 0
+            Event::read(T2, X),     // 1
+            Event::read(T3, X),     // 2
+            Event::write(T1, X, 2), // 3: depends on 0, 1, 2
+        ];
+        let hb = HappensBefore::compute(&events);
+        assert!(hb.precedes(1, 3));
+        assert!(hb.precedes(2, 3));
+        assert!(hb.precedes(0, 3));
+        assert!(hb.concurrent(1, 2));
+    }
+
+    #[test]
+    fn cross_variable_transitivity() {
+        // T1 writes x; T2 reads x then writes y; T3 reads y.
+        // T1's write must precede T3's read transitively.
+        let events = vec![
+            Event::write(T1, X, 1), // 0
+            Event::read(T2, X),     // 1
+            Event::write(T2, Y, 2), // 2
+            Event::read(T3, Y),     // 3
+        ];
+        let hb = HappensBefore::compute(&events);
+        assert!(hb.precedes(0, 3));
+    }
+
+    #[test]
+    fn expected_clock_component_counts_relevant_only() {
+        let rel = Relevance::writes_of([Y]);
+        let events = vec![
+            Event::write(T1, X, 1), // 0: irrelevant
+            Event::write(T1, Y, 2), // 1: relevant (T1's 1st)
+            Event::read(T2, Y),     // 2
+            Event::write(T2, Y, 3), // 3: relevant (T2's 1st), after 1
+        ];
+        let hb = HappensBefore::compute(&events);
+        // Event 3's view of thread T1: one relevant event (index 1).
+        assert_eq!(hb.expected_clock_component(&rel, 3, T1), 1);
+        // Event 3's view of itself/thread T2: includes itself.
+        assert_eq!(hb.expected_clock_component(&rel, 3, T2), 1);
+        // Event 1's view of T2: nothing.
+        assert_eq!(hb.expected_clock_component(&rel, 1, T2), 0);
+    }
+
+    #[test]
+    fn relevant_precedes_filters_both_ends() {
+        let rel = Relevance::writes_of([X]);
+        let events = vec![
+            Event::write(T1, X, 1), // relevant
+            Event::read(T2, X),     // irrelevant
+            Event::write(T2, X, 2), // relevant
+        ];
+        let hb = HappensBefore::compute(&events);
+        assert!(hb.relevant_precedes(&rel, 0, 2));
+        assert!(!hb.relevant_precedes(&rel, 0, 1)); // rhs irrelevant
+        assert!(!hb.relevant_precedes(&rel, 1, 2)); // lhs irrelevant
+        assert_eq!(hb.relevant_indices(&rel), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_execution() {
+        let hb = HappensBefore::compute(&[]);
+        assert!(hb.is_empty());
+        assert_eq!(hb.len(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Relevant events and the relevant causality `⊴` (Section 2.3).
+//!
+//! Some shared variables are of no importance to an observer checking a
+//! particular property: only the variables the specification mentions are
+//! *relevant*, and — following JMPaX (Section 4.1) — only *writes* of those
+//! variables produce messages. Irrelevant accesses still update the MVCs,
+//! because they can indirectly influence the causal order.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind, VarId};
+
+/// A policy deciding which events are *relevant* (emit messages).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Relevance {
+    /// No event is relevant: pure causality tracking, no messages.
+    Nothing,
+    /// Every event (even internal ones) is relevant.
+    Everything,
+    /// Every write, of any shared variable, is relevant.
+    AllWrites,
+    /// Writes of the given variables are relevant (the JMPaX policy:
+    /// "if the shared variable is relevant and the access is a write then
+    /// the event is considered relevant").
+    WritesOf(BTreeSet<VarId>),
+    /// Reads *and* writes of the given variables are relevant.
+    AccessesOf(BTreeSet<VarId>),
+}
+
+impl Relevance {
+    /// Convenience constructor for [`Relevance::WritesOf`].
+    #[must_use]
+    pub fn writes_of(vars: impl IntoIterator<Item = VarId>) -> Self {
+        Relevance::WritesOf(vars.into_iter().collect())
+    }
+
+    /// Convenience constructor for [`Relevance::AccessesOf`].
+    #[must_use]
+    pub fn accesses_of(vars: impl IntoIterator<Item = VarId>) -> Self {
+        Relevance::AccessesOf(vars.into_iter().collect())
+    }
+
+    /// Is `event` relevant under this policy?
+    #[must_use]
+    pub fn is_relevant(&self, event: &Event) -> bool {
+        match (self, &event.kind) {
+            (Relevance::Nothing, _) => false,
+            (Relevance::Everything, _) => true,
+            (Relevance::AllWrites, EventKind::Write { .. }) => true,
+            (Relevance::AllWrites, _) => false,
+            (Relevance::WritesOf(vars), EventKind::Write { var, .. }) => vars.contains(var),
+            (Relevance::WritesOf(_), _) => false,
+            (Relevance::AccessesOf(vars), EventKind::Read { var })
+            | (Relevance::AccessesOf(vars), EventKind::Write { var, .. }) => vars.contains(var),
+            (Relevance::AccessesOf(_), EventKind::Internal) => false,
+        }
+    }
+
+    /// The set of variables this policy watches, if it is variable-scoped.
+    #[must_use]
+    pub fn watched_vars(&self) -> Option<&BTreeSet<VarId>> {
+        match self {
+            Relevance::WritesOf(v) | Relevance::AccessesOf(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Relevance {
+    /// The JMPaX default is per-property, but `AllWrites` is the most useful
+    /// property-agnostic default: every state update reaches the observer.
+    fn default() -> Self {
+        Relevance::AllWrites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ThreadId, Value};
+
+    const T: ThreadId = ThreadId(0);
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    #[test]
+    fn nothing_and_everything() {
+        let w = Event::write(T, X, 1);
+        let r = Event::read(T, X);
+        let i = Event::internal(T);
+        assert!(!Relevance::Nothing.is_relevant(&w));
+        assert!(Relevance::Everything.is_relevant(&w));
+        assert!(Relevance::Everything.is_relevant(&r));
+        assert!(Relevance::Everything.is_relevant(&i));
+    }
+
+    #[test]
+    fn all_writes_ignores_reads_and_internal() {
+        let p = Relevance::AllWrites;
+        assert!(p.is_relevant(&Event::write(T, Y, Value::Unit)));
+        assert!(!p.is_relevant(&Event::read(T, Y)));
+        assert!(!p.is_relevant(&Event::internal(T)));
+    }
+
+    #[test]
+    fn writes_of_is_variable_scoped() {
+        let p = Relevance::writes_of([X]);
+        assert!(p.is_relevant(&Event::write(T, X, 1)));
+        assert!(!p.is_relevant(&Event::write(T, Y, 1)));
+        assert!(!p.is_relevant(&Event::read(T, X)));
+    }
+
+    #[test]
+    fn accesses_of_includes_reads() {
+        let p = Relevance::accesses_of([X]);
+        assert!(p.is_relevant(&Event::read(T, X)));
+        assert!(p.is_relevant(&Event::write(T, X, 1)));
+        assert!(!p.is_relevant(&Event::read(T, Y)));
+        assert!(!p.is_relevant(&Event::internal(T)));
+    }
+
+    #[test]
+    fn watched_vars_exposed() {
+        let p = Relevance::writes_of([X, Y]);
+        assert_eq!(p.watched_vars().unwrap().len(), 2);
+        assert!(Relevance::AllWrites.watched_vars().is_none());
+    }
+}

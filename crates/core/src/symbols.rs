@@ -1,0 +1,125 @@
+//! Interning table mapping human-readable shared-variable names to dense
+//! [`VarId`]s.
+//!
+//! The instrumentation layer, the structured-program interpreter and the
+//! specification parser all need to agree on variable identities; they do so
+//! by sharing one `SymbolTable`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::VarId;
+
+/// A bidirectional name ↔ [`VarId`] mapping. Ids are handed out densely in
+/// interning order, which keeps downstream tables (MVC slots, state vectors)
+/// compact.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already interned name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `id`, if `id` was handed out by this table.
+    #[must_use]
+    pub fn name(&self, id: VarId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// The name for `id`, falling back to the `v<N>` debug form.
+    #[must_use]
+    pub fn name_or_default(&self, id: VarId) -> String {
+        self.name(id).map_or_else(|| id.to_string(), str::to_owned)
+    }
+
+    /// Number of interned names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(VarId, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let x1 = t.intern("x");
+        let y = t.intern("y");
+        let x2 = t.intern("x");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_order() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern("a"), VarId(0));
+        assert_eq!(t.intern("b"), VarId(1));
+        assert_eq!(t.intern("c"), VarId(2));
+    }
+
+    #[test]
+    fn lookup_and_name() {
+        let mut t = SymbolTable::new();
+        let x = t.intern("radio");
+        assert_eq!(t.lookup("radio"), Some(x));
+        assert_eq!(t.lookup("nope"), None);
+        assert_eq!(t.name(x), Some("radio"));
+        assert_eq!(t.name(VarId(99)), None);
+        assert_eq!(t.name_or_default(VarId(99)), "v99");
+        assert_eq!(t.name_or_default(x), "radio");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<_> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(!t.is_empty());
+        assert!(SymbolTable::new().is_empty());
+    }
+}

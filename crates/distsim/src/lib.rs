@@ -1,0 +1,364 @@
+//! # jmpax-distsim
+//!
+//! The distributed-systems interpretation of the MVC algorithm
+//! (Section 3.2 and Fig. 3 of the paper).
+//!
+//! Could Algorithm A be derived from classical vector-clock algorithms for
+//! message-passing systems? The paper's answer is "*almost*": associate to
+//! each shared variable `x` two processes — an **access process** `xa` and
+//! a **write process** `xw` — and interpret:
+//!
+//! * a **write** of `x` by thread `i` as: `i → xa` (request), `xa → xw`
+//!   (request), `xw → i` (acknowledgment) — all ordinary messages that join
+//!   the receiver's clock with the sender's;
+//! * a **read** of `x` by thread `i` as: `i → xa` (request), `xa → xw`
+//!   (**hidden** request — the receiver does *not* join, which is exactly
+//!   what keeps reads permutable), `xw → i` (acknowledgment).
+//!
+//! [`DistSim`] simulates these processes literally, logging every message
+//! (including hidden ones), and the test suite verifies the resulting
+//! clocks coincide with [`jmpax_core::MvcInstrumentor`]'s on arbitrary
+//! executions — a mechanized version of the paper's "this is consistent
+//! with step 3 of the algorithm" argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jmpax_core::{Event, EventKind, Relevance, ThreadId, VarId, VectorClock};
+
+/// A process of the simulated distributed system.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ProcId {
+    /// A thread process.
+    Thread(ThreadId),
+    /// The access process `xa` of a variable.
+    Access(VarId),
+    /// The write process `xw` of a variable.
+    Write(VarId),
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcId::Thread(t) => write!(f, "{t}"),
+            ProcId::Access(v) => write!(f, "{v}a"),
+            ProcId::Write(v) => write!(f, "{v}w"),
+        }
+    }
+}
+
+/// One simulated message exchange.
+#[derive(Clone, Debug)]
+pub struct SimMessage {
+    /// Sender.
+    pub from: ProcId,
+    /// Receiver.
+    pub to: ProcId,
+    /// Hidden messages carry no clock join (dotted arrows in Fig. 3).
+    pub hidden: bool,
+    /// The sender's clock at send time (attached even to hidden messages,
+    /// for the log).
+    pub clock: VectorClock,
+}
+
+/// The literal process simulation of Fig. 3.
+///
+/// ```
+/// use jmpax_core::{Event, Relevance, ThreadId, VarId};
+/// use jmpax_distsim::DistSim;
+///
+/// let mut sim = DistSim::new(Relevance::AllWrites);
+/// sim.process(&Event::write(ThreadId(0), VarId(0), 1));
+/// sim.process(&Event::read(ThreadId(1), VarId(0)));
+/// // write: 3 ordinary messages; read: 2 ordinary + 1 hidden.
+/// assert_eq!(sim.log().len(), 6);
+/// assert_eq!(sim.hidden_count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DistSim {
+    relevance: Relevance,
+    threads: Vec<VectorClock>,
+    access: Vec<VectorClock>,
+    write: Vec<VectorClock>,
+    log: Vec<SimMessage>,
+}
+
+impl DistSim {
+    /// A simulator with the given relevance policy (ticks mirror
+    /// Algorithm A's step 1).
+    #[must_use]
+    pub fn new(relevance: Relevance) -> Self {
+        Self {
+            relevance,
+            ..Self::default()
+        }
+    }
+
+    fn thread_mut(&mut self, t: ThreadId) -> &mut VectorClock {
+        if self.threads.len() <= t.index() {
+            self.threads.resize_with(t.index() + 1, VectorClock::new);
+        }
+        &mut self.threads[t.index()]
+    }
+
+    fn var_slot(table: &mut Vec<VectorClock>, v: VarId) -> &mut VectorClock {
+        if table.len() <= v.index() {
+            table.resize_with(v.index() + 1, VectorClock::new);
+        }
+        &mut table[v.index()]
+    }
+
+    fn send(&mut self, from: ProcId, to: ProcId, hidden: bool, clock: VectorClock) {
+        self.log.push(SimMessage {
+            from,
+            to,
+            hidden,
+            clock,
+        });
+    }
+
+    /// Simulates one event of the multithreaded program as message
+    /// exchanges between the thread and the variable processes.
+    pub fn process(&mut self, event: &Event) {
+        let i = event.thread;
+        if self.relevance.is_relevant(event) {
+            self.thread_mut(i).tick(i);
+        }
+        match event.kind {
+            EventKind::Internal => {}
+            EventKind::Write { var, .. } => {
+                // i → xa: ordinary request.
+                let vi = self.thread_mut(i).clone();
+                self.send(ProcId::Thread(i), ProcId::Access(var), false, vi.clone());
+                let xa = Self::var_slot(&mut self.access, var);
+                xa.join(&vi);
+                let xa_clock = xa.clone();
+                // xa → xw: ordinary request.
+                self.send(
+                    ProcId::Access(var),
+                    ProcId::Write(var),
+                    false,
+                    xa_clock.clone(),
+                );
+                let xw = Self::var_slot(&mut self.write, var);
+                xw.join(&xa_clock);
+                let xw_clock = xw.clone();
+                // xw → i: acknowledgment.
+                self.send(
+                    ProcId::Write(var),
+                    ProcId::Thread(i),
+                    false,
+                    xw_clock.clone(),
+                );
+                self.thread_mut(i).join(&xw_clock);
+                // After a write all three clocks coincide; fold the
+                // thread's view back into xa/xw so the invariant
+                // V^w ≤ V^a and the coincidence hold exactly.
+                let vi = self.thread_mut(i).clone();
+                Self::var_slot(&mut self.access, var).join(&vi);
+                Self::var_slot(&mut self.write, var).join(&vi);
+            }
+            EventKind::Read { var } => {
+                // i → xa: ordinary request (xa learns about the reader).
+                let vi = self.thread_mut(i).clone();
+                self.send(ProcId::Thread(i), ProcId::Access(var), false, vi.clone());
+                Self::var_slot(&mut self.access, var).join(&vi);
+                // xa → xw: hidden request — xw's clock is NOT updated; its
+                // only role is to trigger the acknowledgment.
+                let xa_clock = Self::var_slot(&mut self.access, var).clone();
+                self.send(ProcId::Access(var), ProcId::Write(var), true, xa_clock);
+                // xw → i: acknowledgment joining V^w into the reader.
+                let xw_clock = Self::var_slot(&mut self.write, var).clone();
+                self.send(
+                    ProcId::Write(var),
+                    ProcId::Thread(i),
+                    false,
+                    xw_clock.clone(),
+                );
+                self.thread_mut(i).join(&xw_clock);
+                // The reader's (possibly ticked) clock is what xa must
+                // reflect; fold it in (order is immaterial because
+                // V^w ≤ V^a always holds).
+                let vi = self.thread_mut(i).clone();
+                Self::var_slot(&mut self.access, var).join(&vi);
+            }
+        }
+    }
+
+    /// Thread `t`'s clock.
+    #[must_use]
+    pub fn thread_clock(&self, t: ThreadId) -> VectorClock {
+        self.threads.get(t.index()).cloned().unwrap_or_default()
+    }
+
+    /// The access process clock of `v`.
+    #[must_use]
+    pub fn access_clock(&self, v: VarId) -> VectorClock {
+        self.access.get(v.index()).cloned().unwrap_or_default()
+    }
+
+    /// The write process clock of `v`.
+    #[must_use]
+    pub fn write_clock(&self, v: VarId) -> VectorClock {
+        self.write.get(v.index()).cloned().unwrap_or_default()
+    }
+
+    /// The message log (3 messages per variable access, hidden included).
+    #[must_use]
+    pub fn log(&self) -> &[SimMessage] {
+        &self.log
+    }
+
+    /// Count of hidden messages (one per read).
+    #[must_use]
+    pub fn hidden_count(&self) -> usize {
+        self.log.iter().filter(|m| m.hidden).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::MvcInstrumentor;
+
+    const T1: ThreadId = ThreadId(0);
+    const T2: ThreadId = ThreadId(1);
+    const X: VarId = VarId(0);
+
+    /// Replays `events` through both implementations, asserting clock
+    /// equality after every event.
+    fn assert_equivalent(events: &[Event], relevance: Relevance) {
+        let mut sim = DistSim::new(relevance.clone());
+        let mut alg = MvcInstrumentor::with_relevance(relevance);
+        let threads = events
+            .iter()
+            .map(|e| e.thread.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let vars = events
+            .iter()
+            .filter_map(|e| e.var().map(|v| v.index() + 1))
+            .max()
+            .unwrap_or(0);
+        for (k, e) in events.iter().enumerate() {
+            sim.process(e);
+            alg.process(e);
+            for t in 0..threads {
+                let t = ThreadId(t as u32);
+                assert_eq!(
+                    sim.thread_clock(t).normalized(),
+                    alg.thread_clock(t).normalized(),
+                    "thread {t} clock diverged after event #{k} ({e})"
+                );
+            }
+            for v in 0..vars {
+                let v = VarId(v as u32);
+                assert_eq!(
+                    sim.access_clock(v).normalized(),
+                    alg.access_clock(v).normalized(),
+                    "V^a_{v} diverged after event #{k} ({e})"
+                );
+                assert_eq!(
+                    sim.write_clock(v).normalized(),
+                    alg.write_clock(v).normalized(),
+                    "V^w_{v} diverged after event #{k} ({e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_read_write_chain_equivalent() {
+        assert_equivalent(
+            &[
+                Event::write(T1, X, 1),
+                Event::read(T2, X),
+                Event::write(T2, X, 2),
+                Event::read(T1, X),
+            ],
+            Relevance::AllWrites,
+        );
+    }
+
+    #[test]
+    fn paper_example2_equivalent() {
+        let y = VarId(1);
+        let z = VarId(2);
+        assert_equivalent(
+            &[
+                Event::read(T1, X),
+                Event::write(T1, X, 0),
+                Event::read(T2, X),
+                Event::write(T2, z, 1),
+                Event::read(T1, X),
+                Event::write(T1, y, 1),
+                Event::read(T2, X),
+                Event::write(T2, X, 1),
+            ],
+            Relevance::writes_of([X, y, z]),
+        );
+    }
+
+    #[test]
+    fn random_executions_equivalent() {
+        use jmpax_core::gen::{random_execution, RandomExecutionConfig};
+        for seed in 0..12 {
+            let ex = random_execution(RandomExecutionConfig {
+                threads: 4,
+                vars: 3,
+                events: 200,
+                write_ratio: 0.4,
+                internal_ratio: 0.1,
+                seed,
+            });
+            assert_equivalent(&ex.events, Relevance::AllWrites);
+            assert_equivalent(&ex.events, Relevance::accesses_of([X]));
+            assert_equivalent(&ex.events, Relevance::Everything);
+        }
+    }
+
+    #[test]
+    fn reads_produce_exactly_one_hidden_message() {
+        let mut sim = DistSim::new(Relevance::AllWrites);
+        sim.process(&Event::write(T1, X, 1));
+        assert_eq!(sim.hidden_count(), 0);
+        sim.process(&Event::read(T2, X));
+        assert_eq!(sim.hidden_count(), 1);
+        sim.process(&Event::read(T1, X));
+        assert_eq!(sim.hidden_count(), 2);
+        // Every access exchanges exactly 3 messages.
+        assert_eq!(sim.log().len(), 9);
+    }
+
+    #[test]
+    fn message_log_shape_matches_fig3() {
+        let mut sim = DistSim::new(Relevance::AllWrites);
+        sim.process(&Event::read(T1, X));
+        let log = sim.log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].from, ProcId::Thread(T1));
+        assert_eq!(log[0].to, ProcId::Access(X));
+        assert!(!log[0].hidden);
+        assert_eq!(log[1].from, ProcId::Access(X));
+        assert_eq!(log[1].to, ProcId::Write(X));
+        assert!(log[1].hidden, "the read's xa→xw request is hidden");
+        assert_eq!(log[2].from, ProcId::Write(X));
+        assert_eq!(log[2].to, ProcId::Thread(T1));
+        assert!(!log[2].hidden);
+    }
+
+    #[test]
+    fn internal_events_exchange_no_messages() {
+        let mut sim = DistSim::new(Relevance::Everything);
+        sim.process(&Event::internal(T1));
+        assert!(sim.log().is_empty());
+        assert_eq!(sim.thread_clock(T1).get(T1), 1);
+    }
+
+    #[test]
+    fn proc_id_display() {
+        assert_eq!(ProcId::Thread(T1).to_string(), "T1");
+        assert_eq!(ProcId::Access(X).to_string(), "v0a");
+        assert_eq!(ProcId::Write(X).to_string(), "v0w");
+    }
+}

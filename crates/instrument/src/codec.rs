@@ -1,0 +1,482 @@
+//! Wire format for observer messages.
+//!
+//! JMPaX ships messages "via a socket to an external observer" (Section
+//! 4.1). This module defines the equivalent length-prefixed binary frame:
+//!
+//! ```text
+//! frame   := len:u32le payload
+//! payload := thread:u32le kind:u8 body clock
+//! body    := ε                         (kind 0, internal)
+//!          | var:u32le                 (kind 1, read)
+//!          | var:u32le value           (kind 2, write)
+//! value   := 0:u8 v:i64le | 1:u8 b:u8 | 2:u8      (int / bool / unit)
+//! clock   := n:u16le c_1:u32le … c_n:u32le
+//! ```
+//!
+//! The format is deliberately hand-rolled (no serde data format crates are
+//! used by this workspace) and versioned only by this documentation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use jmpax_core::{Event, EventKind, Message, ThreadId, Value, VarId, VectorClock};
+
+/// Decoding errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// The buffer ended inside a frame.
+    Truncated,
+    /// An unknown kind or value tag was found.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends one encoded frame to `out`.
+pub fn encode_frame(message: &Message, out: &mut BytesMut) {
+    let mut payload = BytesMut::with_capacity(32);
+    payload.put_u32_le(message.event.thread.0);
+    match message.event.kind {
+        EventKind::Internal => payload.put_u8(0),
+        EventKind::Read { var } => {
+            payload.put_u8(1);
+            payload.put_u32_le(var.0);
+        }
+        EventKind::Write { var, value } => {
+            payload.put_u8(2);
+            payload.put_u32_le(var.0);
+            match value {
+                Value::Int(v) => {
+                    payload.put_u8(0);
+                    payload.put_i64_le(v);
+                }
+                Value::Bool(b) => {
+                    payload.put_u8(1);
+                    payload.put_u8(u8::from(b));
+                }
+                Value::Unit => payload.put_u8(2),
+            }
+        }
+    }
+    let clock = message.clock.as_slice();
+    payload.put_u16_le(clock.len() as u16);
+    for &c in clock {
+        payload.put_u32_le(c);
+    }
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+}
+
+/// Decodes every complete frame in `bytes`.
+pub fn decode_frames(bytes: &Bytes) -> Result<Vec<Message>, CodecError> {
+    let mut buf = bytes.clone();
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        if buf.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        let mut frame = buf.split_to(len);
+        out.push(decode_payload(&mut frame)?);
+    }
+    Ok(out)
+}
+
+fn decode_payload(buf: &mut Bytes) -> Result<Message, CodecError> {
+    if buf.remaining() < 5 {
+        return Err(CodecError::Truncated);
+    }
+    let thread = ThreadId(buf.get_u32_le());
+    let kind = match buf.get_u8() {
+        0 => EventKind::Internal,
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            EventKind::Read {
+                var: VarId(buf.get_u32_le()),
+            }
+        }
+        2 => {
+            if buf.remaining() < 5 {
+                return Err(CodecError::Truncated);
+            }
+            let var = VarId(buf.get_u32_le());
+            let value = match buf.get_u8() {
+                0 => {
+                    if buf.remaining() < 8 {
+                        return Err(CodecError::Truncated);
+                    }
+                    Value::Int(buf.get_i64_le())
+                }
+                1 => {
+                    if buf.remaining() < 1 {
+                        return Err(CodecError::Truncated);
+                    }
+                    Value::Bool(buf.get_u8() != 0)
+                }
+                2 => Value::Unit,
+                t => return Err(CodecError::BadTag(t)),
+            };
+            EventKind::Write { var, value }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let n = buf.get_u16_le() as usize;
+    if buf.remaining() < n * 4 {
+        return Err(CodecError::Truncated);
+    }
+    let mut components = Vec::with_capacity(n);
+    for _ in 0..n {
+        components.push(buf.get_u32_le());
+    }
+    Ok(Message {
+        event: Event { thread, kind },
+        clock: VectorClock::from_components(components),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Compact (varint) encoding
+// ---------------------------------------------------------------------------
+
+/// Appends one message in the *compact* wire format: same structure as
+/// [`encode_frame`] but all integers are LEB128 varints and the clock drops
+/// trailing zeros. Typical messages shrink 2–3× (most clock components and
+/// ids are small); decode with [`decode_compact_frames`].
+pub fn encode_compact_frame(message: &Message, out: &mut BytesMut) {
+    let mut payload = BytesMut::with_capacity(16);
+    put_varint(&mut payload, u64::from(message.event.thread.0));
+    match message.event.kind {
+        EventKind::Internal => payload.put_u8(0),
+        EventKind::Read { var } => {
+            payload.put_u8(1);
+            put_varint(&mut payload, u64::from(var.0));
+        }
+        EventKind::Write { var, value } => {
+            payload.put_u8(2);
+            put_varint(&mut payload, u64::from(var.0));
+            match value {
+                Value::Int(v) => {
+                    payload.put_u8(0);
+                    put_varint(&mut payload, zigzag(v));
+                }
+                Value::Bool(b) => {
+                    payload.put_u8(1);
+                    payload.put_u8(u8::from(b));
+                }
+                Value::Unit => payload.put_u8(2),
+            }
+        }
+    }
+    let clock = message.clock.normalized();
+    let comps = clock.as_slice();
+    put_varint(&mut payload, comps.len() as u64);
+    for &c in comps {
+        put_varint(&mut payload, u64::from(c));
+    }
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+}
+
+/// Decodes every complete compact frame in `bytes`.
+pub fn decode_compact_frames(bytes: &Bytes) -> Result<Vec<Message>, CodecError> {
+    let mut buf = bytes.clone();
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        let len = get_varint(&mut buf)? as usize;
+        if buf.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        let mut frame = buf.split_to(len);
+        out.push(decode_compact_payload(&mut frame)?);
+    }
+    Ok(out)
+}
+
+fn decode_compact_payload(buf: &mut Bytes) -> Result<Message, CodecError> {
+    let thread = ThreadId(get_varint(buf)? as u32);
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let kind = match buf.get_u8() {
+        0 => EventKind::Internal,
+        1 => EventKind::Read {
+            var: VarId(get_varint(buf)? as u32),
+        },
+        2 => {
+            let var = VarId(get_varint(buf)? as u32);
+            if !buf.has_remaining() {
+                return Err(CodecError::Truncated);
+            }
+            let value = match buf.get_u8() {
+                0 => Value::Int(unzigzag(get_varint(buf)?)),
+                1 => {
+                    if !buf.has_remaining() {
+                        return Err(CodecError::Truncated);
+                    }
+                    Value::Bool(buf.get_u8() != 0)
+                }
+                2 => Value::Unit,
+                t => return Err(CodecError::BadTag(t)),
+            };
+            EventKind::Write { var, value }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let n = get_varint(buf)? as usize;
+    if n > u16::MAX as usize {
+        return Err(CodecError::Truncated);
+    }
+    let mut components = Vec::with_capacity(n);
+    for _ in 0..n {
+        components.push(get_varint(buf)? as u32);
+    }
+    Ok(Message {
+        event: Event { thread, kind },
+        clock: VectorClock::from_components(components),
+    })
+}
+
+fn put_varint(out: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(CodecError::BadTag(byte));
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let mut buf = BytesMut::new();
+        encode_compact_frame(&msg, &mut buf);
+        let decoded = decode_compact_frames(&buf.freeze()).unwrap();
+        // Clocks are normalized by the compact encoding; compare modulo
+        // trailing zeros.
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].event, msg.event);
+        assert_eq!(decoded[0].clock, msg.clock.normalized());
+    }
+
+    #[test]
+    fn compact_roundtrips() {
+        roundtrip(Message {
+            event: Event::write(ThreadId(3), VarId(700), -42i64),
+            clock: VectorClock::from_components(vec![1, 0, 5, 0, 0]),
+        });
+        roundtrip(Message {
+            event: Event::read(ThreadId(0), VarId(0)),
+            clock: VectorClock::new(),
+        });
+        roundtrip(Message {
+            event: Event::write(ThreadId(1), VarId(2), Value::Unit),
+            clock: VectorClock::from_components(vec![i64::MAX as u32 >> 16, 2]),
+        });
+        roundtrip(Message {
+            event: Event::write(ThreadId(9), VarId(1), true),
+            clock: VectorClock::from_components(vec![300]),
+        });
+        roundtrip(Message {
+            event: Event::internal(ThreadId(200)),
+            clock: VectorClock::from_components(vec![0, 0, 9]),
+        });
+    }
+
+    #[test]
+    fn compact_is_smaller_on_typical_messages() {
+        use jmpax_core::gen::{random_execution, RandomExecutionConfig};
+        use jmpax_core::Relevance;
+        let ex = random_execution(RandomExecutionConfig {
+            threads: 4,
+            vars: 8,
+            events: 2_000,
+            write_ratio: 0.5,
+            internal_ratio: 0.0,
+            seed: 3,
+        });
+        let msgs = ex.instrument(Relevance::AllWrites);
+        let mut plain = BytesMut::new();
+        let mut compact = BytesMut::new();
+        for m in &msgs {
+            encode_frame(m, &mut plain);
+            encode_compact_frame(m, &mut compact);
+        }
+        assert!(
+            compact.len() * 2 < plain.len(),
+            "compact {} vs plain {}",
+            compact.len(),
+            plain.len()
+        );
+        // And it all decodes back.
+        let decoded = decode_compact_frames(&compact.freeze()).unwrap();
+        assert_eq!(decoded.len(), msgs.len());
+    }
+
+    #[test]
+    fn zigzag_edge_cases() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1234567, -7654321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn compact_truncation_detected() {
+        let mut buf = BytesMut::new();
+        encode_compact_frame(
+            &Message {
+                event: Event::write(ThreadId(1), VarId(1), 99i64),
+                clock: VectorClock::from_components(vec![1, 2]),
+            },
+            &mut buf,
+        );
+        let full = buf.freeze();
+        for cut in 1..full.len() {
+            assert!(
+                decode_compact_frames(&full.slice(..cut)).is_err(),
+                "cut {cut} must fail"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf);
+        let decoded = decode_frames(&buf.freeze()).unwrap();
+        assert_eq!(decoded, vec![msg]);
+    }
+
+    #[test]
+    fn roundtrip_write_int() {
+        roundtrip(Message {
+            event: Event::write(ThreadId(3), VarId(7), -42i64),
+            clock: VectorClock::from_components(vec![1, 0, 5]),
+        });
+    }
+
+    #[test]
+    fn roundtrip_write_bool_and_unit() {
+        roundtrip(Message {
+            event: Event::write(ThreadId(0), VarId(0), true),
+            clock: VectorClock::new(),
+        });
+        roundtrip(Message {
+            event: Event::write(ThreadId(0), VarId(1), Value::Unit),
+            clock: VectorClock::from_components(vec![9]),
+        });
+    }
+
+    #[test]
+    fn roundtrip_read_and_internal() {
+        roundtrip(Message {
+            event: Event::read(ThreadId(1), VarId(2)),
+            clock: VectorClock::from_components(vec![0, 1]),
+        });
+        roundtrip(Message {
+            event: Event::internal(ThreadId(9)),
+            clock: VectorClock::from_components(vec![0, 0, 0, 4]),
+        });
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = BytesMut::new();
+        let msgs: Vec<Message> = (0..10)
+            .map(|i| Message {
+                event: Event::write(ThreadId(i), VarId(i), i64::from(i)),
+                clock: VectorClock::from_components(vec![i; (i as usize % 3) + 1]),
+            })
+            .collect();
+        for m in &msgs {
+            encode_frame(m, &mut buf);
+        }
+        assert_eq!(decode_frames(&buf.freeze()).unwrap(), msgs);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let mut buf = BytesMut::new();
+        encode_frame(
+            &Message {
+                event: Event::internal(ThreadId(0)),
+                clock: VectorClock::new(),
+            },
+            &mut buf,
+        );
+        let full = buf.freeze();
+        for cut in 1..full.len() {
+            let partial = full.slice(..cut);
+            assert_eq!(
+                decode_frames(&partial),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(5);
+        buf.put_u32_le(0); // thread
+        buf.put_u8(9); // bogus kind
+        assert_eq!(decode_frames(&buf.freeze()), Err(CodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn empty_buffer_is_ok() {
+        assert_eq!(decode_frames(&Bytes::new()).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,431 @@
+//! Instrumentation sessions and per-thread contexts.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use jmpax_core::{Event, Message, Relevance, SymbolTable, ThreadId, VarId, VectorClock};
+
+use crate::shared::Shared;
+use crate::sink::{EventSink, VecSink};
+
+/// Shared state of one instrumentation session.
+pub(crate) struct SessionInner {
+    pub(crate) relevance: Relevance,
+    pub(crate) sink: Mutex<Box<dyn EventSink>>,
+    symbols: Mutex<SymbolTable>,
+    next_thread: AtomicU32,
+    /// Global linearization counter, bumped inside variable critical
+    /// sections; used only when logging is on.
+    seq: AtomicU64,
+    logging: bool,
+    log: Mutex<Vec<(u64, Event)>>,
+}
+
+impl SessionInner {
+    /// Records `event` in the linearization log (when enabled) and emits a
+    /// message when the event is relevant. MUST be called while holding the
+    /// variable's critical section so the log order is a true
+    /// linearization.
+    pub(crate) fn record(&self, ctx: &ThreadCtx, event: Event, relevant: bool) {
+        if self.logging {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            self.log.lock().push((seq, event));
+        }
+        if relevant {
+            let message = Message {
+                event,
+                clock: ctx.clock.clone(),
+            };
+            self.sink.lock().emit(&message);
+        }
+    }
+}
+
+/// An instrumentation session: the factory for [`Shared`] variables,
+/// instrumented locks and registered threads, and the owner of the event
+/// sink. Clone freely — clones share the same session.
+#[derive(Clone)]
+pub struct Session {
+    pub(crate) inner: Arc<SessionInner>,
+    /// Retained when the session owns the default in-memory sink.
+    vec_sink: Option<VecSink>,
+}
+
+impl Session {
+    /// A session emitting to an in-memory [`VecSink`] (drain with
+    /// [`Session::drain_messages`]).
+    #[must_use]
+    pub fn new(relevance: Relevance) -> Self {
+        let vec_sink = VecSink::new();
+        let mut s = Self::with_sink(relevance, Box::new(vec_sink.clone()));
+        s.vec_sink = Some(vec_sink);
+        s
+    }
+
+    /// A session emitting to a custom sink.
+    #[must_use]
+    pub fn with_sink(relevance: Relevance, sink: Box<dyn EventSink>) -> Self {
+        Self {
+            inner: Arc::new(SessionInner {
+                relevance,
+                sink: Mutex::new(sink),
+                symbols: Mutex::new(SymbolTable::new()),
+                next_thread: AtomicU32::new(0),
+                seq: AtomicU64::new(0),
+                logging: false,
+                log: Mutex::new(Vec::new()),
+            }),
+            vec_sink: None,
+        }
+    }
+
+    /// Like [`Session::new`] but additionally records the global
+    /// linearization of every shared access — used by the equivalence tests
+    /// against the sequential Algorithm A.
+    #[must_use]
+    pub fn new_logged(relevance: Relevance) -> Self {
+        let vec_sink = VecSink::new();
+        Self {
+            inner: Arc::new(SessionInner {
+                relevance,
+                sink: Mutex::new(Box::new(vec_sink.clone())),
+                symbols: Mutex::new(SymbolTable::new()),
+                next_thread: AtomicU32::new(0),
+                seq: AtomicU64::new(0),
+                logging: true,
+                log: Mutex::new(Vec::new()),
+            }),
+            vec_sink: Some(vec_sink),
+        }
+    }
+
+    /// The relevance policy.
+    #[must_use]
+    pub fn relevance(&self) -> &Relevance {
+        &self.inner.relevance
+    }
+
+    /// Interns a variable name (stable across calls).
+    #[must_use]
+    pub fn var_id(&self, name: &str) -> VarId {
+        self.inner.symbols.lock().intern(name)
+    }
+
+    /// Looks up a previously interned name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.inner.symbols.lock().lookup(name)
+    }
+
+    /// A snapshot of the symbol table.
+    #[must_use]
+    pub fn symbols(&self) -> SymbolTable {
+        self.inner.symbols.lock().clone()
+    }
+
+    /// Creates an instrumented shared variable.
+    #[must_use]
+    pub fn shared<T: Copy + Into<jmpax_core::Value> + Send>(
+        &self,
+        name: &str,
+        initial: T,
+    ) -> Shared<T> {
+        Shared::new(self.var_id(name), initial, Arc::clone(&self.inner))
+    }
+
+    /// Creates an instrumented mutex (Section 3.1: lock operations write a
+    /// pseudo shared variable named `name`).
+    #[must_use]
+    pub fn mutex<T: Send>(&self, name: &str, value: T) -> crate::lock::InstrMutex<T> {
+        crate::lock::InstrMutex::new(self.var_id(name), value, Arc::clone(&self.inner))
+    }
+
+    /// Creates an instrumented condition variable whose notifications write
+    /// the dummy shared variable `name`.
+    #[must_use]
+    pub fn condvar(&self, name: &str) -> crate::lock::InstrCondvar {
+        crate::lock::InstrCondvar::new(self.var_id(name), Arc::clone(&self.inner))
+    }
+
+    /// Registers the calling thread, allocating its `ThreadId` and MVC.
+    #[must_use]
+    pub fn register_thread(&self) -> ThreadCtx {
+        let id = ThreadId(self.inner.next_thread.fetch_add(1, Ordering::Relaxed));
+        ThreadCtx {
+            id,
+            clock: VectorClock::new(),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Spawns an instrumented thread. The context is allocated *before* the
+    /// thread starts, so thread ids are deterministic in spawn order.
+    pub fn spawn<F>(&self, f: F) -> std::thread::JoinHandle<()>
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        let mut ctx = self.register_thread();
+        std::thread::spawn(move || f(&mut ctx))
+    }
+
+    /// Spawns a *child* thread with fork-join causality — the dynamic
+    /// thread creation extension mentioned in Section 2 of the paper
+    /// ("systems consisting of a variable number of threads, where these
+    /// can be dynamically created and/or destroyed").
+    ///
+    /// The child's MVC starts as a copy of the parent's, so everything the
+    /// parent did before the fork causally precedes everything the child
+    /// does; joining the returned handle merges the child's final clock
+    /// back into the parent, closing the join edge.
+    pub fn spawn_child<F>(&self, parent: &mut ThreadCtx, f: F) -> InstrJoinHandle
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        let id = ThreadId(self.inner.next_thread.fetch_add(1, Ordering::Relaxed));
+        let mut ctx = ThreadCtx {
+            id,
+            clock: parent.clock.clone(),
+            inner: Arc::clone(&self.inner),
+        };
+        let handle = std::thread::spawn(move || {
+            f(&mut ctx);
+            ctx.clock
+        });
+        InstrJoinHandle { handle }
+    }
+
+    /// Drains the default in-memory sink.
+    ///
+    /// Returns an empty vector when the session was created with a custom
+    /// sink ([`Session::with_sink`]).
+    #[must_use]
+    pub fn drain_messages(&self) -> Vec<Message> {
+        self.vec_sink
+            .as_ref()
+            .map(VecSink::drain)
+            .unwrap_or_default()
+    }
+
+    /// Takes the linearization log (sorted by global sequence number).
+    /// Empty unless the session was created with [`Session::new_logged`].
+    #[must_use]
+    pub fn take_log(&self) -> Vec<Event> {
+        let mut log = std::mem::take(&mut *self.inner.log.lock());
+        log.sort_by_key(|&(seq, _)| seq);
+        log.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("relevance", &self.inner.relevance)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Join handle of a child thread spawned with [`Session::spawn_child`].
+pub struct InstrJoinHandle {
+    handle: std::thread::JoinHandle<VectorClock>,
+}
+
+impl InstrJoinHandle {
+    /// Waits for the child and merges its final clock into `parent` — the
+    /// join edge: everything the child did causally precedes everything
+    /// the parent does afterwards.
+    pub fn join(self, parent: &mut ThreadCtx) -> std::thread::Result<()> {
+        let child_clock = self.handle.join()?;
+        parent.clock.join(&child_clock);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for InstrJoinHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstrJoinHandle").finish_non_exhaustive()
+    }
+}
+
+/// Per-thread instrumentation context: the thread's identity and its MVC
+/// `V_i`. Owned by the thread — never shared — so clock updates need no
+/// synchronization beyond the per-variable critical sections.
+pub struct ThreadCtx {
+    pub(crate) id: ThreadId,
+    pub(crate) clock: VectorClock,
+    pub(crate) inner: Arc<SessionInner>,
+}
+
+impl ThreadCtx {
+    /// This thread's id.
+    #[must_use]
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// A snapshot of this thread's MVC.
+    #[must_use]
+    pub fn clock(&self) -> &VectorClock {
+        &self.clock
+    }
+
+    /// Processes an *internal* event (no shared access). Only emits a
+    /// message under [`Relevance::Everything`].
+    pub fn internal_event(&mut self) {
+        let event = Event::internal(self.id);
+        let relevant = self.inner.relevance.is_relevant(&event);
+        if relevant {
+            self.clock.tick(self.id);
+        }
+        self.inner.record(self, event, relevant);
+    }
+}
+
+impl std::fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("id", &self.id)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ids_allocated_in_spawn_order() {
+        let s = Session::new(Relevance::AllWrites);
+        let a = s.register_thread();
+        let b = s.register_thread();
+        assert_eq!(a.id(), ThreadId(0));
+        assert_eq!(b.id(), ThreadId(1));
+    }
+
+    #[test]
+    fn var_ids_are_interned() {
+        let s = Session::new(Relevance::AllWrites);
+        let x1 = s.var_id("x");
+        let y = s.var_id("y");
+        let x2 = s.var_id("x");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert_eq!(s.lookup("x"), Some(x1));
+        assert_eq!(s.lookup("zzz"), None);
+        assert_eq!(s.symbols().name(x1), Some("x"));
+    }
+
+    #[test]
+    fn internal_events_only_relevant_under_everything() {
+        let s = Session::new(Relevance::Everything);
+        let mut ctx = s.register_thread();
+        ctx.internal_event();
+        ctx.internal_event();
+        assert_eq!(ctx.clock().get(ctx.id()), 2);
+        assert_eq!(s.drain_messages().len(), 2);
+
+        let s = Session::new(Relevance::AllWrites);
+        let mut ctx = s.register_thread();
+        ctx.internal_event();
+        assert_eq!(ctx.clock().get(ctx.id()), 0);
+        assert!(s.drain_messages().is_empty());
+    }
+
+    #[test]
+    fn custom_sink_session_has_no_default_drain() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let s = Session::with_sink(
+            Relevance::Everything,
+            Box::new(crate::sink::ChannelSink::new(tx)),
+        );
+        let mut ctx = s.register_thread();
+        ctx.internal_event();
+        assert!(s.drain_messages().is_empty());
+        assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn fork_join_causality() {
+        use jmpax_core::VarId;
+        let s = Session::new(Relevance::AllWrites);
+        let before = s.shared("before", 0i64);
+        let inside = s.shared("inside", 0i64);
+        let after = s.shared("after", 0i64);
+        let mut parent = s.register_thread();
+
+        before.write(&mut parent, 1);
+        let child_inside = inside.clone();
+        let handle = s.spawn_child(&mut parent, move |ctx| {
+            child_inside.write(ctx, 1);
+        });
+        handle.join(&mut parent).unwrap();
+        after.write(&mut parent, 1);
+
+        let msgs = s.drain_messages();
+        assert_eq!(msgs.len(), 3);
+        let get = |v: VarId| msgs.iter().find(|m| m.var() == Some(v)).unwrap();
+        let (b, i, a) = (get(before.var()), get(inside.var()), get(after.var()));
+        // Fork edge: before ≺ inside. Join edge: inside ≺ after.
+        assert!(b.causally_precedes(i), "fork edge missing");
+        assert!(i.causally_precedes(a), "join edge missing");
+        assert!(b.causally_precedes(a));
+    }
+
+    #[test]
+    fn sibling_children_are_concurrent() {
+        let s = Session::new(Relevance::AllWrites);
+        let x = s.shared("x", 0i64);
+        let y = s.shared("y", 0i64);
+        let mut parent = s.register_thread();
+        let (xc, yc) = (x.clone(), y.clone());
+        let h1 = s.spawn_child(&mut parent, move |ctx| xc.write(ctx, 1));
+        let h2 = s.spawn_child(&mut parent, move |ctx| yc.write(ctx, 1));
+        h1.join(&mut parent).unwrap();
+        h2.join(&mut parent).unwrap();
+        let msgs = s.drain_messages();
+        assert_eq!(msgs.len(), 2);
+        assert!(
+            msgs[0].concurrent_with(&msgs[1]),
+            "independent children must stay concurrent"
+        );
+    }
+
+    #[test]
+    fn nested_forks() {
+        let s = Session::new(Relevance::AllWrites);
+        let x = s.shared("x", 0i64);
+        let mut root = s.register_thread();
+        x.write(&mut root, 1);
+        let s2 = s.clone();
+        let xc = x.clone();
+        let h = s.spawn_child(&mut root, move |ctx| {
+            let xg = xc.clone();
+            let hh = s2.spawn_child(ctx, move |gctx| {
+                xg.write(gctx, 2);
+            });
+            hh.join(ctx).unwrap();
+        });
+        h.join(&mut root).unwrap();
+        x.write(&mut root, 3);
+        let msgs = s.drain_messages();
+        assert_eq!(msgs.len(), 3);
+        // Grandchild's write is between the root's two writes.
+        assert!(msgs[0].causally_precedes(&msgs[1]));
+        assert!(msgs[1].causally_precedes(&msgs[2]));
+    }
+
+    #[test]
+    fn log_disabled_by_default() {
+        let s = Session::new(Relevance::Everything);
+        let mut ctx = s.register_thread();
+        ctx.internal_event();
+        assert!(s.take_log().is_empty());
+
+        let s = Session::new_logged(Relevance::Everything);
+        let mut ctx = s.register_thread();
+        ctx.internal_event();
+        assert_eq!(s.take_log().len(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Instrumented shared variables.
+//!
+//! A [`Shared<T>`] couples the variable's value with its access and write
+//! MVCs (`V^a_x`, `V^w_x`) under one mutex, so that each read/write together
+//! with its Algorithm A clock update is a single atomic step — the paper's
+//! "all shared memory accesses are atomic and instantaneous" assumption,
+//! realized with a lock instead of a JVM bytecode rewrite.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use jmpax_core::{Event, Value, VarId, VectorClock};
+
+use crate::session::{SessionInner, ThreadCtx};
+
+pub(crate) struct VarState<T> {
+    value: T,
+    /// `V^a_x`.
+    access: VectorClock,
+    /// `V^w_x`.
+    write: VectorClock,
+}
+
+struct SharedInner<T> {
+    var: VarId,
+    state: Mutex<VarState<T>>,
+    session: Arc<SessionInner>,
+}
+
+/// An instrumented shared variable of type `T`.
+///
+/// Clone freely — clones alias the same variable (like copies of a Java
+/// field reference).
+pub struct Shared<T> {
+    inner: Arc<SharedInner<T>>,
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Copy + Into<Value> + Send> Shared<T> {
+    pub(crate) fn new(var: VarId, initial: T, session: Arc<SessionInner>) -> Self {
+        Self {
+            inner: Arc::new(SharedInner {
+                var,
+                state: Mutex::new(VarState {
+                    value: initial,
+                    access: VectorClock::new(),
+                    write: VectorClock::new(),
+                }),
+                session,
+            }),
+        }
+    }
+
+    /// The variable's id.
+    #[must_use]
+    pub fn var(&self) -> VarId {
+        self.inner.var
+    }
+
+    /// Reads the value, executing Algorithm A step 2:
+    /// `V_i ← max{V_i, V^w_x}; V^a_x ← max{V^a_x, V_i}`.
+    pub fn read(&self, ctx: &mut ThreadCtx) -> T {
+        let mut st = self.inner.state.lock();
+        let event = Event::read(ctx.id, self.inner.var);
+        let relevant = self.inner.session.relevance.is_relevant(&event);
+        if relevant {
+            ctx.clock.tick(ctx.id);
+        }
+        ctx.clock.join(&st.write);
+        st.access.join(&ctx.clock);
+        self.inner.session.record(ctx, event, relevant);
+        st.value
+    }
+
+    /// Writes the value, executing Algorithm A step 3:
+    /// `V^w_x ← V^a_x ← V_i ← max{V^a_x, V_i}`.
+    pub fn write(&self, ctx: &mut ThreadCtx, value: T) {
+        let mut st = self.inner.state.lock();
+        let event = Event::write(ctx.id, self.inner.var, value.into());
+        let relevant = self.inner.session.relevance.is_relevant(&event);
+        if relevant {
+            ctx.clock.tick(ctx.id);
+        }
+        ctx.clock.join(&st.access);
+        st.access = ctx.clock.clone();
+        st.write = ctx.clock.clone();
+        st.value = value;
+        self.inner.session.record(ctx, event, relevant);
+    }
+
+    /// Read-modify-write as a single atomic step (one read + one write
+    /// event back to back under the variable's lock). Returns the new
+    /// value. Useful for counters; note the paper's model treats the two
+    /// events individually, which this preserves.
+    pub fn update(&self, ctx: &mut ThreadCtx, f: impl FnOnce(T) -> T) -> T {
+        let mut st = self.inner.state.lock();
+        // Read half.
+        let read_event = Event::read(ctx.id, self.inner.var);
+        let read_rel = self.inner.session.relevance.is_relevant(&read_event);
+        if read_rel {
+            ctx.clock.tick(ctx.id);
+        }
+        ctx.clock.join(&st.write);
+        st.access.join(&ctx.clock);
+        self.inner.session.record(ctx, read_event, read_rel);
+        // Write half.
+        let new = f(st.value);
+        let write_event = Event::write(ctx.id, self.inner.var, new.into());
+        let write_rel = self.inner.session.relevance.is_relevant(&write_event);
+        if write_rel {
+            ctx.clock.tick(ctx.id);
+        }
+        ctx.clock.join(&st.access);
+        st.access = ctx.clock.clone();
+        st.write = ctx.clock.clone();
+        st.value = new;
+        self.inner.session.record(ctx, write_event, write_rel);
+        new
+    }
+
+    /// Peeks at the raw value without instrumentation. For assertions in
+    /// tests and harnesses only — real program code must use
+    /// [`Shared::read`].
+    #[must_use]
+    pub fn peek(&self) -> T {
+        self.inner.state.lock().value
+    }
+}
+
+impl<T> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("var", &self.inner.var)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use jmpax_core::{Relevance, ThreadId};
+
+    #[test]
+    fn read_write_basic() {
+        let s = Session::new(Relevance::AllWrites);
+        let x = s.shared("x", 10i64);
+        let mut ctx = s.register_thread();
+        assert_eq!(x.read(&mut ctx), 10);
+        x.write(&mut ctx, 20);
+        assert_eq!(x.read(&mut ctx), 20);
+        assert_eq!(x.peek(), 20);
+        let msgs = s.drain_messages();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].written_value(), Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn clocks_follow_algorithm_a() {
+        // Reproduce the core crate's write-read-write chain and compare
+        // against the sequential instrumentor.
+        let s = Session::new(Relevance::AllWrites);
+        let x = s.shared("x", 0i64);
+        let mut t1 = s.register_thread();
+        let mut t2 = s.register_thread();
+
+        x.write(&mut t1, 1); // m1
+        let _ = x.read(&mut t2);
+        x.write(&mut t2, 2); // m2
+
+        let msgs = s.drain_messages();
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[0].causally_precedes(&msgs[1]));
+        assert_eq!(msgs[0].clock.as_slice(), &[1]);
+        assert_eq!(msgs[1].clock.as_slice(), &[1, 1]);
+    }
+
+    #[test]
+    fn concurrent_writes_to_distinct_vars_stay_concurrent() {
+        let s = Session::new(Relevance::AllWrites);
+        let x = s.shared("x", 0i64);
+        let y = s.shared("y", 0i64);
+        let mut t1 = s.register_thread();
+        let mut t2 = s.register_thread();
+        x.write(&mut t1, 1);
+        y.write(&mut t2, 1);
+        let msgs = s.drain_messages();
+        assert!(msgs[0].concurrent_with(&msgs[1]));
+    }
+
+    #[test]
+    fn update_is_read_then_write() {
+        let s = Session::new_logged(Relevance::AllWrites);
+        let x = s.shared("x", 5i64);
+        let mut ctx = s.register_thread();
+        let new = x.update(&mut ctx, |v| v * 2);
+        assert_eq!(new, 10);
+        assert_eq!(x.peek(), 10);
+        let log = s.take_log();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].kind.is_read());
+        assert!(log[1].kind.is_write());
+    }
+
+    #[test]
+    fn bool_values_supported() {
+        let s = Session::new(Relevance::AllWrites);
+        let flag = s.shared("flag", false);
+        let mut ctx = s.register_thread();
+        flag.write(&mut ctx, true);
+        assert!(flag.read(&mut ctx));
+        let msgs = s.drain_messages();
+        assert_eq!(msgs[0].written_value(), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn real_threads_produce_causally_consistent_messages() {
+        let s = Session::new(Relevance::AllWrites);
+        let x = s.shared("x", 0i64);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let xs = x.clone();
+            handles.push(s.spawn(move |ctx| {
+                for _ in 0..50 {
+                    xs.update(ctx, |v| v + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(x.peek(), 200, "updates are atomic");
+        let msgs = s.drain_messages();
+        assert_eq!(msgs.len(), 200);
+        // All writes of one variable are totally ordered by causality.
+        for i in 0..msgs.len() {
+            for j in (i + 1)..msgs.len() {
+                assert!(
+                    msgs[i].causally_precedes(&msgs[j]) || msgs[j].causally_precedes(&msgs[i]),
+                    "writes of x must never be concurrent"
+                );
+            }
+        }
+        let _ = ThreadId(0);
+    }
+}

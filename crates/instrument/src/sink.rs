@@ -1,0 +1,157 @@
+//! Event sinks: where instrumented programs send their messages.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use jmpax_core::Message;
+
+/// Consumes the messages Algorithm A emits (step 4 of Fig. 2).
+pub trait EventSink: Send {
+    /// Delivers one message.
+    fn emit(&mut self, message: &Message);
+}
+
+/// Collects messages into a shared vector (the default sink).
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    messages: Arc<Mutex<Vec<Message>>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes every message collected so far.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Message> {
+        std::mem::take(&mut self.messages.lock())
+    }
+
+    /// Number of messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.messages.lock().len()
+    }
+
+    /// True when no messages are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.messages.lock().is_empty()
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&mut self, message: &Message) {
+        self.messages.lock().push(message.clone());
+    }
+}
+
+/// Forwards messages over a crossbeam channel — the shape of a live
+/// observer running in another thread (or process).
+#[derive(Clone, Debug)]
+pub struct ChannelSink {
+    sender: Sender<Message>,
+}
+
+impl ChannelSink {
+    /// Wraps a channel sender.
+    #[must_use]
+    pub fn new(sender: Sender<Message>) -> Self {
+        Self { sender }
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn emit(&mut self, message: &Message) {
+        // A disappeared observer must never take down the program under
+        // test; messages are dropped once the receiver is gone.
+        let _ = self.sender.send(message.clone());
+    }
+}
+
+/// Serializes messages into a shared byte buffer using the length-prefixed
+/// wire format of [`crate::codec`] — standing in for the TCP socket between
+/// the instrumented JVM and the JMPaX observer (Fig. 4).
+#[derive(Clone, Debug, Default)]
+pub struct FrameSink {
+    buffer: Arc<Mutex<bytes::BytesMut>>,
+}
+
+impl FrameSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the bytes accumulated so far.
+    #[must_use]
+    pub fn take_bytes(&self) -> bytes::Bytes {
+        std::mem::take(&mut *self.buffer.lock()).freeze()
+    }
+}
+
+impl EventSink for FrameSink {
+    fn emit(&mut self, message: &Message) {
+        crate::codec::encode_frame(message, &mut self.buffer.lock());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::{Event, ThreadId, VarId, VectorClock};
+
+    fn msg(seq: u32) -> Message {
+        Message {
+            event: Event::write(ThreadId(0), VarId(0), i64::from(seq)),
+            clock: VectorClock::from_components(vec![seq]),
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_and_drains() {
+        let sink = VecSink::new();
+        let mut writer = sink.clone();
+        writer.emit(&msg(1));
+        writer.emit(&msg(2));
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn channel_sink_forwards() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut sink = ChannelSink::new(tx);
+        sink.emit(&msg(1));
+        assert_eq!(rx.recv().unwrap(), msg(1));
+    }
+
+    #[test]
+    fn channel_sink_survives_dropped_receiver() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        drop(rx);
+        let mut sink = ChannelSink::new(tx);
+        sink.emit(&msg(1)); // must not panic
+    }
+
+    #[test]
+    fn frame_sink_round_trips() {
+        let sink = FrameSink::new();
+        let mut writer = sink.clone();
+        writer.emit(&msg(1));
+        writer.emit(&msg(2));
+        let bytes = sink.take_bytes();
+        let decoded = crate::codec::decode_frames(&bytes).unwrap();
+        assert_eq!(decoded, vec![msg(1), msg(2)]);
+        assert!(sink.take_bytes().is_empty());
+    }
+}

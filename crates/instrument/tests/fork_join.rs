@@ -1,0 +1,117 @@
+//! Property test for fork–join causality: in a random fork tree, a
+//! message's clock must causally follow everything its spawning chain did
+//! before the fork, and everything a joined child did must precede the
+//! joiner's subsequent messages — while unrelated branches stay concurrent.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use jmpax_core::{Message, Relevance};
+use jmpax_instrument::{Session, ThreadCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Recursively spawn children; each node writes a globally unique value
+/// (from the shared atomic counter) before spawning and after joining.
+/// Returns the node's post-write value.
+fn run_tree(
+    session: &Session,
+    ctx: &mut ThreadCtx,
+    depth: u32,
+    rng_seed: u64,
+    counter: &Arc<AtomicI64>,
+) -> i64 {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+
+    let pre = counter.fetch_add(1, Ordering::Relaxed) + 1;
+    let var = session.shared(&format!("n{pre}"), 0i64);
+    var.write(ctx, pre);
+
+    if depth > 0 {
+        let children: u64 = rng.gen_range(1..=2);
+        for c in 0..children {
+            let child_seed = rng_seed * 31 + c + 1;
+            let session2 = session.clone();
+            let counter2 = Arc::clone(counter);
+            let handle = session.spawn_child(ctx, move |child_ctx| {
+                run_tree(&session2, child_ctx, depth - 1, child_seed, &counter2);
+            });
+            handle.join(ctx).unwrap();
+        }
+    }
+
+    let post = counter.fetch_add(1, Ordering::Relaxed) + 1;
+    let var = session.shared(&format!("n{post}"), 0i64);
+    var.write(ctx, post);
+    post
+}
+
+fn by_value(msgs: &[Message], v: i64) -> Option<&Message> {
+    msgs.iter()
+        .find(|m| m.written_value().map(jmpax_core::Value::as_int) == Some(v))
+}
+
+#[test]
+fn fork_trees_respect_fork_and_join_edges() {
+    for seed in 0..6 {
+        let session = Session::new(Relevance::AllWrites);
+        let mut root = session.register_thread();
+        let counter = Arc::new(AtomicI64::new(0));
+        let root_post = run_tree(&session, &mut root, 2, seed, &counter);
+        let msgs = session.drain_messages();
+        assert!(msgs.len() >= 4, "seed {seed}: tree produced {}", msgs.len());
+
+        // The root's pre-write (value 1) precedes every other message; the
+        // root's post-write follows every message — every child is joined
+        // before the root writes post.
+        let root_pre = by_value(&msgs, 1).expect("root pre-write present");
+        let root_post = by_value(&msgs, root_post).expect("root post-write");
+        for m in &msgs {
+            if m != root_pre {
+                assert!(
+                    root_pre.causally_precedes(m),
+                    "seed {seed}: fork edge missing for {m}"
+                );
+            }
+            if m != root_post {
+                assert!(
+                    m.causally_precedes(root_post),
+                    "seed {seed}: join edge missing for {m}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unjoined_siblings_running_in_parallel_are_concurrent() {
+    // Spawn two children but join only after both have been spawned: their
+    // messages must be mutually concurrent even though both follow the
+    // parent's pre-write.
+    let session = Session::new(Relevance::AllWrites);
+    let mut parent = session.register_thread();
+    let pre = session.shared("pre", 0i64);
+    pre.write(&mut parent, 1);
+
+    let a = session.shared("a", 0i64);
+    let b = session.shared("b", 0i64);
+    let (ac, bc) = (a.clone(), b.clone());
+    let h1 = session.spawn_child(&mut parent, move |ctx| ac.write(ctx, 10));
+    let h2 = session.spawn_child(&mut parent, move |ctx| bc.write(ctx, 20));
+    h1.join(&mut parent).unwrap();
+    h2.join(&mut parent).unwrap();
+    let post = session.shared("post", 0i64);
+    post.write(&mut parent, 2);
+
+    let msgs = session.drain_messages();
+    let m_pre = by_value(&msgs, 1).unwrap();
+    let m_a = by_value(&msgs, 10).unwrap();
+    let m_b = by_value(&msgs, 20).unwrap();
+    let m_post = by_value(&msgs, 2).unwrap();
+
+    assert!(m_pre.causally_precedes(m_a));
+    assert!(m_pre.causally_precedes(m_b));
+    assert!(m_a.concurrent_with(m_b), "independent children");
+    assert!(m_a.causally_precedes(m_post));
+    assert!(m_b.causally_precedes(m_post));
+}

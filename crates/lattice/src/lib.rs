@@ -1,0 +1,42 @@
+//! # jmpax-lattice
+//!
+//! The *computation lattice* of Section 4 of the paper: given the relevant
+//! messages `⟨e, i, V⟩` emitted by Algorithm A, every permutation of the
+//! relevant events consistent with the causal order `⊴` is a *multithreaded
+//! run*, and the global states reached by all runs form a lattice. The
+//! observed execution is just one path; every other path is a *potential*
+//! run that can occur under a different thread scheduling — checking the
+//! property over all of them is what lets JMPaX **predict** violations from
+//! successful executions.
+//!
+//! This crate provides:
+//!
+//! * [`LatticeInput`] — validated per-thread message sequences plus the
+//!   initial global state.
+//! * [`Cut`] / [`Lattice`] — full materialization of the lattice: nodes are
+//!   consistent cuts, edges advance one thread by one relevant event; run
+//!   counting and (bounded) run enumeration.
+//! * [`analysis`] — property checking over **all** runs in parallel by
+//!   attaching sets of monitor states to lattice nodes, with exact
+//!   violating-run counts and counterexample path reconstruction.
+//! * [`StreamingAnalyzer`] — the online, level-by-level variant that stores
+//!   at most two consecutive levels (the paper: "at most two consecutive
+//!   levels in the computation lattice need to be stored at any moment"),
+//!   accepting messages in any delivery order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod cut;
+pub mod dot;
+pub mod explore;
+pub mod input;
+
+pub use analysis::{analyze, analyze_multi, Analysis, Counterexample, RunStep, Violation};
+pub use builder::StreamingAnalyzer;
+pub use cut::Cut;
+pub use dot::{to_dot, DotOptions};
+pub use explore::Lattice;
+pub use input::{InputError, LatticeInput};

@@ -1,0 +1,198 @@
+//! Exhaustive oracle for lattice construction: on small computations, the
+//! number of multithreaded runs equals the number of **linear extensions**
+//! of the relevant causality (counted by brute-force permutation
+//! enumeration), and the set of lattice states equals the set of prefixes
+//! of those linear extensions (as cuts).
+
+use jmpax_core::{Event, Message, MvcInstrumentor, Relevance, ThreadId, VarId};
+use jmpax_lattice::{Cut, Lattice, LatticeInput};
+use jmpax_spec::ProgramState;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Brute force: count permutations of `msgs` consistent with causality
+/// (same-thread order + Theorem 3 precedence), and collect every prefix's
+/// cut.
+fn linear_extensions(msgs: &[Message]) -> (u128, HashSet<Cut>) {
+    let n = msgs.len();
+    let threads = msgs
+        .iter()
+        .map(|m| m.thread().index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut cuts = HashSet::new();
+    cuts.insert(Cut::bottom(threads));
+    let mut used = vec![false; n];
+    let mut count = 0u128;
+    fn rec(
+        msgs: &[Message],
+        used: &mut [bool],
+        taken: usize,
+        cut: &Cut,
+        cuts: &mut HashSet<Cut>,
+        count: &mut u128,
+    ) {
+        if taken == msgs.len() {
+            *count += 1;
+            return;
+        }
+        for i in 0..msgs.len() {
+            if used[i] {
+                continue;
+            }
+            // All causal predecessors of msgs[i] must be used already.
+            let ok =
+                (0..msgs.len()).all(|j| j == i || used[j] || !msgs[j].causally_precedes(&msgs[i]));
+            if !ok {
+                continue;
+            }
+            used[i] = true;
+            let next = cut.advanced(msgs[i].thread());
+            cuts.insert(next.clone());
+            rec(msgs, used, taken + 1, &next, cuts, count);
+            used[i] = false;
+        }
+    }
+    rec(
+        msgs,
+        &mut used,
+        0,
+        &Cut::bottom(threads),
+        &mut cuts,
+        &mut count,
+    );
+    (count, cuts)
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    // Small: brute force is factorial. ≤ 7 relevant writes.
+    prop::collection::vec((0..3u32, 0..3u32, 0..4u8), 0..10).prop_map(|ops| {
+        ops.into_iter()
+            .enumerate()
+            .map(|(i, (t, v, kind))| {
+                let thread = ThreadId(t);
+                let var = VarId(v);
+                match kind {
+                    0 | 1 => Event::write(thread, var, i as i64),
+                    2 => Event::read(thread, var),
+                    _ => Event::internal(thread),
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lattice_counts_linear_extensions(events in arb_events()) {
+        let mut instr = MvcInstrumentor::with_relevance(Relevance::AllWrites);
+        let msgs: Vec<Message> =
+            events.iter().filter_map(|e| instr.process(e)).collect();
+        prop_assume!(msgs.len() <= 7);
+
+        let threads = msgs.iter().map(|m| m.thread().index() + 1).max().unwrap_or(0);
+        let (expected_runs, expected_cuts) = linear_extensions(&msgs);
+
+        let input = LatticeInput::from_messages(msgs, ProgramState::new()).unwrap();
+        let lattice = Lattice::build(input);
+
+        prop_assert_eq!(
+            lattice.count_runs(),
+            expected_runs,
+            "run count != linear extension count"
+        );
+        // Node set == prefix cut set (normalize: lattice cuts may have a
+        // different thread count when trailing threads emitted nothing).
+        let got: HashSet<Cut> = lattice
+            .nodes()
+            .iter()
+            .map(|n| pad(&n.cut, threads))
+            .collect();
+        let want: HashSet<Cut> = expected_cuts.iter().map(|c| pad(c, threads)).collect();
+        prop_assert_eq!(got, want, "cut sets differ");
+
+        // Enumerated runs agree with the count (when small enough).
+        if expected_runs <= 512 {
+            prop_assert_eq!(
+                lattice.enumerate_runs(1024).len() as u128,
+                expected_runs
+            );
+        }
+    }
+}
+
+fn pad(cut: &Cut, threads: usize) -> Cut {
+    let mut counts: Vec<u32> = cut.as_slice().to_vec();
+    counts.resize(threads.max(counts.len()), 0);
+    Cut::from_counts(counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The analysis' exact violating-run count equals brute force: enumerate
+    /// every run, monitor its state sequence, count the violating ones.
+    #[test]
+    fn violating_run_count_matches_enumeration(events in arb_events()) {
+        use jmpax_core::SymbolTable;
+        use jmpax_lattice::analyze;
+        use jmpax_spec::parse;
+
+        let mut instr = MvcInstrumentor::with_relevance(Relevance::AllWrites);
+        let msgs: Vec<Message> =
+            events.iter().filter_map(|e| instr.process(e)).collect();
+        prop_assume!(msgs.len() <= 7);
+
+        let mut syms = SymbolTable::new();
+        for name in ["v0", "v1", "v2"] {
+            syms.intern(name);
+        }
+        // A property that bites on some value patterns: v0 stays below the
+        // median write counter, or v1 was never above v2.
+        let formula = parse("v0 <= 4 \\/ [*] v1 <= v2", &mut syms).unwrap();
+        let monitor = formula.monitor().unwrap();
+
+        let input = LatticeInput::from_messages(msgs, ProgramState::new()).unwrap();
+        let lattice = Lattice::build(input.clone());
+        let total = lattice.count_runs();
+        prop_assume!(total <= 512);
+
+        // Brute force: monitor every enumerated run.
+        let mut violating = 0u128;
+        for run in lattice.enumerate_runs(1024) {
+            let states = lattice.states_along(&run);
+            if monitor.first_violation(&states).is_some() {
+                violating += 1;
+            }
+        }
+
+        let analysis = analyze(input, &monitor);
+        prop_assert_eq!(analysis.total_runs, total);
+        prop_assert_eq!(
+            analysis.violating_runs, violating,
+            "exact violating-run count diverged from enumeration"
+        );
+    }
+}
+
+/// Deterministic spot check: three concurrent writers of private variables
+/// have 3! = 6 linear extensions and 2³ = 8 cuts.
+#[test]
+fn three_concurrent_writers() {
+    let mut instr = MvcInstrumentor::with_relevance(Relevance::AllWrites);
+    let msgs: Vec<Message> = (0..3)
+        .map(|t| {
+            instr
+                .process(&Event::write(ThreadId(t), VarId(t), 1))
+                .unwrap()
+        })
+        .collect();
+    let (runs, cuts) = linear_extensions(&msgs);
+    assert_eq!(runs, 6);
+    assert_eq!(cuts.len(), 8);
+    let lattice = Lattice::build(LatticeInput::from_messages(msgs, ProgramState::new()).unwrap());
+    assert_eq!(lattice.count_runs(), 6);
+    assert_eq!(lattice.node_count(), 8);
+}

@@ -1,0 +1,349 @@
+//! Predictive deadlock detection via lock-order graphs.
+//!
+//! Deadlocks are the other bug class the paper's introduction targets
+//! ("a deadlock or a data-race"). Like races, they are almost never
+//! *observed* — the window where both threads hold one lock and want the
+//! other is tiny — but they are *predictable* from any execution that
+//! exercises the locking structure: if thread A ever acquires `l2` while
+//! holding `l1`, and thread B acquires `l1` while holding `l2`, some
+//! schedule deadlocks (the classic GoodLock analysis).
+//!
+//! The detector consumes the same event stream as everything else: lock
+//! acquires/releases are writes of the lock's pseudo shared variable with
+//! value 1/0 (Section 3.1 instrumentation, as produced by both
+//! `jmpax-sched` and `jmpax-instrument`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use jmpax_core::{Event, EventKind, Execution, ThreadId, VarId};
+
+/// One edge of the lock-order graph: some thread acquired `to` while
+/// holding `from`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct LockEdge {
+    /// The already-held lock.
+    pub from: VarId,
+    /// The lock acquired while holding `from`.
+    pub to: VarId,
+    /// The thread that created the edge.
+    pub thread: ThreadId,
+}
+
+/// A predicted deadlock: a cycle in the lock-order graph whose edges come
+/// from at least two distinct threads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeadlockCycle {
+    /// The locks on the cycle, in cycle order.
+    pub locks: Vec<VarId>,
+    /// The threads contributing edges to the cycle.
+    pub threads: BTreeSet<ThreadId>,
+}
+
+/// Online lock-order analysis.
+///
+/// ```
+/// use jmpax_core::{Event, ThreadId, Value, VarId};
+/// use jmpax_observer::deadlock::DeadlockDetector;
+///
+/// let (a, b) = (VarId(0), VarId(1));
+/// let acq = |t: u32, l| Event::write(ThreadId(t), l, Value::Int(1));
+/// let rel = |t: u32, l| Event::write(ThreadId(t), l, Value::Int(0));
+///
+/// let mut det = DeadlockDetector::new([a, b]);
+/// // T0 nests a → b, T1 nests b → a: the classic cycle.
+/// for e in [acq(0, a), acq(0, b), rel(0, b), rel(0, a),
+///           acq(1, b), acq(1, a), rel(1, a), rel(1, b)] {
+///     det.process(&e);
+/// }
+/// assert_eq!(det.cycles().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DeadlockDetector {
+    lock_vars: BTreeSet<VarId>,
+    /// Locks currently held, per thread, in acquisition order.
+    held: Vec<Vec<VarId>>,
+    /// The lock-order graph edges discovered so far.
+    edges: BTreeSet<LockEdge>,
+}
+
+impl DeadlockDetector {
+    /// Creates a detector for the given lock pseudo-variables.
+    #[must_use]
+    pub fn new(lock_vars: impl IntoIterator<Item = VarId>) -> Self {
+        Self {
+            lock_vars: lock_vars.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    fn held_mut(&mut self, t: ThreadId) -> &mut Vec<VarId> {
+        if self.held.len() <= t.index() {
+            self.held.resize_with(t.index() + 1, Vec::new);
+        }
+        &mut self.held[t.index()]
+    }
+
+    /// Feeds one event (only lock-variable writes matter).
+    pub fn process(&mut self, event: &Event) {
+        let EventKind::Write { var, value } = event.kind else {
+            return;
+        };
+        if !self.lock_vars.contains(&var) {
+            return;
+        }
+        let t = event.thread;
+        if value.as_bool() {
+            // Acquire: record edges from every held lock.
+            let held = self.held_mut(t).clone();
+            for from in held {
+                if from != var {
+                    self.edges.insert(LockEdge {
+                        from,
+                        to: var,
+                        thread: t,
+                    });
+                }
+            }
+            self.held_mut(t).push(var);
+        } else {
+            // Release: drop the most recent matching acquisition.
+            let held = self.held_mut(t);
+            if let Some(pos) = held.iter().rposition(|&l| l == var) {
+                held.remove(pos);
+            }
+        }
+    }
+
+    /// The discovered lock-order edges.
+    #[must_use]
+    pub fn edges(&self) -> &BTreeSet<LockEdge> {
+        &self.edges
+    }
+
+    /// Finds lock-order cycles whose edges involve ≥ 2 distinct threads
+    /// (single-thread cycles are re-entrant nesting, not deadlocks).
+    #[must_use]
+    pub fn cycles(&self) -> Vec<DeadlockCycle> {
+        // Adjacency with per-edge thread sets.
+        let mut adj: BTreeMap<VarId, BTreeMap<VarId, BTreeSet<ThreadId>>> = BTreeMap::new();
+        for e in &self.edges {
+            adj.entry(e.from)
+                .or_default()
+                .entry(e.to)
+                .or_default()
+                .insert(e.thread);
+        }
+        let nodes: Vec<VarId> = adj.keys().copied().collect();
+        let mut cycles: Vec<DeadlockCycle> = Vec::new();
+        // Bounded DFS per start node; cycles are normalized to start at
+        // their minimal lock so each is reported once.
+        for &start in &nodes {
+            let mut path = vec![start];
+            let mut threads = Vec::new();
+            Self::dfs(&adj, start, start, &mut path, &mut threads, &mut cycles);
+        }
+        cycles
+    }
+
+    fn dfs(
+        adj: &BTreeMap<VarId, BTreeMap<VarId, BTreeSet<ThreadId>>>,
+        start: VarId,
+        node: VarId,
+        path: &mut Vec<VarId>,
+        threads: &mut Vec<BTreeSet<ThreadId>>,
+        cycles: &mut Vec<DeadlockCycle>,
+    ) {
+        if path.len() > 8 {
+            return; // bound cycle length; real programs nest shallowly
+        }
+        let Some(succs) = adj.get(&node) else { return };
+        for (&next, edge_threads) in succs {
+            if next == start && path.len() >= 2 {
+                // Cycle closed. Normalize: minimal lock first.
+                if *path.iter().min().unwrap() == start {
+                    let mut all = BTreeSet::new();
+                    for ts in threads.iter() {
+                        all.extend(ts.iter().copied());
+                    }
+                    all.extend(edge_threads.iter().copied());
+                    // A true deadlock needs two threads and, moreover, no
+                    // single thread may own every edge.
+                    if all.len() >= 2 {
+                        let cycle = DeadlockCycle {
+                            locks: path.clone(),
+                            threads: all,
+                        };
+                        if !cycles.contains(&cycle) {
+                            cycles.push(cycle);
+                        }
+                    }
+                }
+                continue;
+            }
+            if path.contains(&next) || next < start {
+                continue;
+            }
+            path.push(next);
+            threads.push(edge_threads.clone());
+            Self::dfs(adj, start, next, path, threads, cycles);
+            path.pop();
+            threads.pop();
+        }
+    }
+}
+
+/// One-shot prediction over a recorded execution.
+#[must_use]
+pub fn predict_deadlocks(execution: &Execution, lock_vars: &BTreeSet<VarId>) -> Vec<DeadlockCycle> {
+    let mut det = DeadlockDetector::new(lock_vars.iter().copied());
+    for e in &execution.events {
+        det.process(e);
+    }
+    det.cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::{Event, Value};
+
+    const T1: ThreadId = ThreadId(0);
+    const T2: ThreadId = ThreadId(1);
+    const LA: VarId = VarId(10);
+    const LB: VarId = VarId(11);
+    const LC: VarId = VarId(12);
+
+    fn acq(t: ThreadId, l: VarId) -> Event {
+        Event::write(t, l, Value::Int(1))
+    }
+    fn rel(t: ThreadId, l: VarId) -> Event {
+        Event::write(t, l, Value::Int(0))
+    }
+
+    fn detect(events: &[Event], locks: &[VarId]) -> Vec<DeadlockCycle> {
+        let mut det = DeadlockDetector::new(locks.iter().copied());
+        for e in events {
+            det.process(e);
+        }
+        det.cycles()
+    }
+
+    #[test]
+    fn classic_ab_ba_cycle_predicted_from_serial_run() {
+        // The observed run is perfectly serial — no deadlock happened —
+        // yet the lock order a→b (T1) and b→a (T2) predicts one.
+        let events = [
+            acq(T1, LA),
+            acq(T1, LB),
+            rel(T1, LB),
+            rel(T1, LA),
+            acq(T2, LB),
+            acq(T2, LA),
+            rel(T2, LA),
+            rel(T2, LB),
+        ];
+        let cycles = detect(&events, &[LA, LB]);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].locks.len(), 2);
+        assert_eq!(cycles[0].threads.len(), 2);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let events = [
+            acq(T1, LA),
+            acq(T1, LB),
+            rel(T1, LB),
+            rel(T1, LA),
+            acq(T2, LA),
+            acq(T2, LB),
+            rel(T2, LB),
+            rel(T2, LA),
+        ];
+        assert!(detect(&events, &[LA, LB]).is_empty());
+    }
+
+    #[test]
+    fn single_thread_nesting_is_not_a_deadlock() {
+        // T1 alone acquires in both orders (sequentially) — silly but not
+        // a deadlock: one thread cannot block itself across sections.
+        let events = [
+            acq(T1, LA),
+            acq(T1, LB),
+            rel(T1, LB),
+            rel(T1, LA),
+            acq(T1, LB),
+            acq(T1, LA),
+            rel(T1, LA),
+            rel(T1, LB),
+        ];
+        assert!(detect(&events, &[LA, LB]).is_empty());
+    }
+
+    #[test]
+    fn three_lock_cycle() {
+        let t3 = ThreadId(2);
+        let events = [
+            acq(T1, LA),
+            acq(T1, LB),
+            rel(T1, LB),
+            rel(T1, LA),
+            acq(T2, LB),
+            acq(T2, LC),
+            rel(T2, LC),
+            rel(T2, LB),
+            acq(t3, LC),
+            acq(t3, LA),
+            rel(t3, LA),
+            rel(t3, LC),
+        ];
+        let cycles = detect(&events, &[LA, LB, LC]);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].locks.len(), 3);
+        assert_eq!(cycles[0].threads.len(), 3);
+    }
+
+    #[test]
+    fn non_lock_writes_ignored() {
+        let x = VarId(0);
+        let events = [
+            Event::write(T1, x, 1),
+            acq(T1, LA),
+            Event::read(T2, x),
+            rel(T1, LA),
+        ];
+        let mut det = DeadlockDetector::new([LA, LB]);
+        for e in &events {
+            det.process(e);
+        }
+        assert!(det.edges().is_empty());
+        assert!(det.cycles().is_empty());
+    }
+
+    #[test]
+    fn sched_deadlock_program_predicted_from_safe_schedule() {
+        use jmpax_sched::{run_fixed, LockId, Program, Stmt};
+        let a = LockId(0);
+        let b = LockId(1);
+        let p = Program::new()
+            .with_thread(vec![
+                Stmt::Lock(a),
+                Stmt::Lock(b),
+                Stmt::Unlock(b),
+                Stmt::Unlock(a),
+            ])
+            .with_thread(vec![
+                Stmt::Lock(b),
+                Stmt::Lock(a),
+                Stmt::Unlock(a),
+                Stmt::Unlock(b),
+            ])
+            .with_locks(2);
+        // A safe serial schedule: T1 entirely, then T2 — no deadlock occurs.
+        let out = run_fixed(&p, vec![ThreadId(0); 8], 100);
+        assert!(out.finished, "the serial schedule is safe");
+        let locks: BTreeSet<VarId> = [p.lock_var(a), p.lock_var(b)].into_iter().collect();
+        let cycles = predict_deadlocks(&out.execution, &locks);
+        assert_eq!(cycles.len(), 1, "deadlock predicted without observing it");
+    }
+}

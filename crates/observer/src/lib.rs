@@ -1,0 +1,44 @@
+//! # jmpax-observer
+//!
+//! The observer half of the JMPaX architecture (Fig. 4 of the paper): it
+//! receives messages `⟨e, i, V⟩` from the instrumented program — over a
+//! channel or as a byte stream, in any order — reconstructs the relevant
+//! causality via Theorem 3, builds the computation lattice and checks the
+//! user's safety property against **every** consistent run, predicting
+//! violations that the observed execution itself did not exhibit.
+//!
+//! * [`observer`] — the message-consuming front end and verdicts.
+//! * [`pipeline`] — one-call end-to-end analyses for recorded executions,
+//!   instrumented sessions and raw frame bytes.
+//! * [`jpax`] — the single-trace baseline (what JPaX / Java-MaC can see):
+//!   monitors only the observed run.
+//! * [`liveness`] — the Section 4 sketch: detect `u vω` lassos in the
+//!   lattice (a state repeats along a run) and check future-time LTL
+//!   properties on the induced infinite runs.
+//! * [`report`] — human-readable rendering of verdicts and counterexamples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadlock;
+pub mod jpax;
+pub mod live;
+pub mod liveness;
+pub mod observer;
+pub mod pipeline;
+pub mod races;
+pub mod report;
+
+pub use deadlock::{predict_deadlocks, DeadlockCycle, DeadlockDetector, LockEdge};
+pub use jpax::observed_violation;
+pub use live::LiveObserver;
+pub use liveness::{check_lasso, find_lassos, Lasso, Ltl};
+pub use observer::{Observer, Verdict};
+pub use pipeline::{
+    check_compact_frames, check_execution, check_frames, check_run_outcome, PipelineError,
+    PipelineReport,
+};
+pub use races::{detect_races, Race, RaceDetector};
+pub use report::{
+    render_analysis, render_counterexample, render_deadlocks, render_races, render_violation,
+};

@@ -1,0 +1,354 @@
+//! Liveness prediction on `u vω` lassos (Section 4, last paragraph).
+//!
+//! "The idea here is to search for paths of the form `uv` in the
+//! computation lattice with the property that the shared variable global
+//! state … reached by `u` is the same as the one reached by `uv`, and then
+//! to check whether `u vω` satisfies the liveness property" — the
+//! polynomial-time lasso model checking of Markey & Schnoebelen \[22\].
+//!
+//! [`find_lassos`] scans lattice runs for state repetitions; [`check_lasso`]
+//! evaluates a future-time LTL formula on the induced infinite run by
+//! fixpoint iteration around the loop.
+
+use jmpax_lattice::Lattice;
+use jmpax_spec::ast::Atom;
+use jmpax_spec::ProgramState;
+
+/// Future-time LTL over state predicates (for lasso checking only — safety
+/// monitoring uses the past-time logic of `jmpax-spec`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ltl {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// A state predicate.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// `X φ` — φ at the next state.
+    Next(Box<Ltl>),
+    /// `G φ` — φ at every future state.
+    Always(Box<Ltl>),
+    /// `F φ` — φ at some future state.
+    Eventually(Box<Ltl>),
+    /// `φ U ψ` — ψ eventually, with φ until then.
+    Until(Box<Ltl>, Box<Ltl>),
+}
+
+impl Ltl {
+    /// `G φ` builder.
+    #[must_use]
+    pub fn always(f: Ltl) -> Ltl {
+        Ltl::Always(Box::new(f))
+    }
+    /// `F φ` builder.
+    #[must_use]
+    pub fn eventually(f: Ltl) -> Ltl {
+        Ltl::Eventually(Box::new(f))
+    }
+    /// `G F φ` — infinitely often.
+    #[must_use]
+    pub fn infinitely_often(f: Ltl) -> Ltl {
+        Ltl::always(Ltl::eventually(f))
+    }
+}
+
+/// An infinite run `u vω` extracted from the lattice: after the `stem`, the
+/// `cycle` of states can repeat forever (its endpoints have equal shared
+/// state).
+#[derive(Clone, Debug)]
+pub struct Lasso {
+    /// States of `u` (may be empty).
+    pub stem: Vec<ProgramState>,
+    /// States of `v` (non-empty); the state *before* the cycle equals the
+    /// state after it.
+    pub cycle: Vec<ProgramState>,
+}
+
+impl Lasso {
+    fn positions(&self) -> usize {
+        self.stem.len() + self.cycle.len()
+    }
+
+    fn state(&self, pos: usize) -> &ProgramState {
+        if pos < self.stem.len() {
+            &self.stem[pos]
+        } else {
+            &self.cycle[pos - self.stem.len()]
+        }
+    }
+
+    fn succ(&self, pos: usize) -> usize {
+        if pos + 1 < self.positions() {
+            pos + 1
+        } else {
+            self.stem.len() // loop back to the cycle start
+        }
+    }
+}
+
+/// Evaluates `formula` on the infinite run `u vω` (at position 0).
+///
+/// Temporal operators over the loop are solved by fixpoint iteration:
+/// `Until`/`Eventually` as least fixpoints (seed `false`), `Always` as a
+/// greatest fixpoint (seed `true`); each converges within `|u| + 2|v|`
+/// sweeps because the transition structure is a single cycle.
+#[must_use]
+pub fn check_lasso(formula: &Ltl, lasso: &Lasso) -> bool {
+    assert!(!lasso.cycle.is_empty(), "lasso cycle must be non-empty");
+    eval(formula, lasso)[0]
+}
+
+/// Truth of `formula` at every position of the lasso.
+fn eval(formula: &Ltl, lasso: &Lasso) -> Vec<bool> {
+    let n = lasso.positions();
+    match formula {
+        Ltl::True => vec![true; n],
+        Ltl::False => vec![false; n],
+        Ltl::Atom(a) => (0..n).map(|p| lasso.state(p).eval_atom(a)).collect(),
+        Ltl::Not(f) => eval(f, lasso).into_iter().map(|b| !b).collect(),
+        Ltl::And(a, b) => zip(eval(a, lasso), eval(b, lasso), |x, y| x && y),
+        Ltl::Or(a, b) => zip(eval(a, lasso), eval(b, lasso), |x, y| x || y),
+        Ltl::Next(f) => {
+            let sub = eval(f, lasso);
+            (0..n).map(|p| sub[lasso.succ(p)]).collect()
+        }
+        Ltl::Always(f) => fixpoint(lasso, &eval(f, lasso), true, |fp, vp_next| fp && vp_next),
+        Ltl::Eventually(f) => fixpoint(lasso, &eval(f, lasso), false, |fp, vp_next| fp || vp_next),
+        Ltl::Until(f, g) => {
+            let fv = eval(f, lasso);
+            let gv = eval(g, lasso);
+            let n = lasso.positions();
+            let mut val = vec![false; n];
+            for _ in 0..(2 * n + 2) {
+                for p in (0..n).rev() {
+                    val[p] = gv[p] || (fv[p] && val[lasso.succ(p)]);
+                }
+            }
+            val
+        }
+    }
+}
+
+fn zip(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+/// Iterates `val[p] = combine(sub[p], val[succ(p)])` to a fixpoint.
+fn fixpoint(
+    lasso: &Lasso,
+    sub: &[bool],
+    seed: bool,
+    combine: impl Fn(bool, bool) -> bool,
+) -> Vec<bool> {
+    let n = lasso.positions();
+    let mut val = vec![seed; n];
+    for _ in 0..(2 * n + 2) {
+        for p in (0..n).rev() {
+            val[p] = combine(sub[p], val[lasso.succ(p)]);
+        }
+    }
+    val
+}
+
+/// Scans lattice runs (DFS, bounded by `max_lassos` results) for state
+/// repetitions; each repetition yields a lasso `u vω`.
+#[must_use]
+pub fn find_lassos(lattice: &Lattice, max_lassos: usize) -> Vec<Lasso> {
+    let mut out = Vec::new();
+    if max_lassos == 0 || lattice.node_count() == 0 {
+        return out;
+    }
+    let mut path: Vec<usize> = vec![lattice.bottom()];
+    dfs(lattice, &mut path, &mut out, max_lassos);
+    out
+}
+
+fn dfs(lattice: &Lattice, path: &mut Vec<usize>, out: &mut Vec<Lasso>, max: usize) {
+    if out.len() >= max {
+        return;
+    }
+    let node = *path.last().unwrap();
+    // A repeat of the last state earlier on the path closes a lasso.
+    let last_state = &lattice.nodes()[node].state;
+    if path.len() > 1 {
+        for (i, &p) in path.iter().enumerate().take(path.len() - 1) {
+            if &lattice.nodes()[p].state == last_state {
+                let stem = path[..=i]
+                    .iter()
+                    .map(|&n| lattice.nodes()[n].state.clone())
+                    .collect();
+                let cycle = path[i + 1..]
+                    .iter()
+                    .map(|&n| lattice.nodes()[n].state.clone())
+                    .collect();
+                out.push(Lasso { stem, cycle });
+                if out.len() >= max {
+                    return;
+                }
+                break;
+            }
+        }
+    }
+    for &(succ, _) in &lattice.nodes()[node].succs {
+        path.push(succ);
+        dfs(lattice, path, out, max);
+        path.pop();
+        if out.len() >= max {
+            return;
+        }
+    }
+}
+
+/// Lassos on which `formula` fails — predicted liveness violations.
+#[must_use]
+pub fn predict_liveness_violations(
+    lattice: &Lattice,
+    formula: &Ltl,
+    max_lassos: usize,
+) -> Vec<Lasso> {
+    find_lassos(lattice, max_lassos)
+        .into_iter()
+        .filter(|l| !check_lasso(formula, l))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::VarId;
+    use jmpax_spec::ast::{CmpOp, Expr};
+
+    const X: VarId = VarId(0);
+
+    fn st(x: i64) -> ProgramState {
+        let mut s = ProgramState::new();
+        s.set(X, x);
+        s
+    }
+
+    fn atom_eq(v: i64) -> Ltl {
+        Ltl::Atom(Atom::Cmp(Expr::Var(X), CmpOp::Eq, Expr::Const(v)))
+    }
+
+    fn lasso(stem: &[i64], cycle: &[i64]) -> Lasso {
+        Lasso {
+            stem: stem.iter().copied().map(st).collect(),
+            cycle: cycle.iter().copied().map(st).collect(),
+        }
+    }
+
+    #[test]
+    fn eventually_on_stem_and_cycle() {
+        // x: 0 then loop [1, 2].
+        let l = lasso(&[0], &[1, 2]);
+        assert!(check_lasso(&Ltl::eventually(atom_eq(2)), &l));
+        assert!(!check_lasso(&Ltl::eventually(atom_eq(9)), &l));
+    }
+
+    #[test]
+    fn always_requires_whole_cycle() {
+        let l = lasso(&[], &[1, 1]);
+        assert!(check_lasso(&Ltl::always(atom_eq(1)), &l));
+        let l = lasso(&[], &[1, 2]);
+        assert!(!check_lasso(&Ltl::always(atom_eq(1)), &l));
+        // A stem glitch breaks Always even when the cycle is clean.
+        let l = lasso(&[0], &[1, 1]);
+        assert!(!check_lasso(&Ltl::always(atom_eq(1)), &l));
+    }
+
+    #[test]
+    fn infinitely_often_ignores_stem() {
+        let l = lasso(&[9, 9], &[0, 1]);
+        assert!(check_lasso(&Ltl::infinitely_often(atom_eq(1)), &l));
+        let l = lasso(&[1], &[0, 0]);
+        assert!(
+            !check_lasso(&Ltl::infinitely_often(atom_eq(1)), &l),
+            "1 appears only in the stem, not infinitely often"
+        );
+    }
+
+    #[test]
+    fn next_steps_into_cycle_and_wraps() {
+        let l = lasso(&[0], &[1]);
+        assert!(check_lasso(&Ltl::Next(Box::new(atom_eq(1))), &l));
+        // From the single cycle state, Next wraps to itself.
+        let l = lasso(&[], &[4]);
+        assert!(check_lasso(&Ltl::Next(Box::new(atom_eq(4))), &l));
+    }
+
+    #[test]
+    fn until_semantics() {
+        // 0 0 then loop [1]: (x=0) U (x=1) holds.
+        let l = lasso(&[0, 0], &[1]);
+        let f = Ltl::Until(Box::new(atom_eq(0)), Box::new(atom_eq(1)));
+        assert!(check_lasso(&f, &l));
+        // 0 2 loop [1]: the 2 breaks the until.
+        let l = lasso(&[0, 2], &[1]);
+        let f = Ltl::Until(Box::new(atom_eq(0)), Box::new(atom_eq(1)));
+        assert!(!check_lasso(&f, &l));
+        // g never: until false.
+        let l = lasso(&[], &[0]);
+        let f = Ltl::Until(Box::new(atom_eq(0)), Box::new(atom_eq(1)));
+        assert!(!check_lasso(&f, &l));
+    }
+
+    #[test]
+    fn lassos_found_in_a_lattice_with_repeated_states() {
+        use jmpax_core::{Event, MvcInstrumentor, Relevance, ThreadId};
+        use jmpax_lattice::LatticeInput;
+
+        // T1 writes x=1 then x=0; T2 writes y=1 concurrently. Some run
+        // revisits the state (x=0,y=1)? Construct simpler: T1: x=1, x=0 —
+        // initial x=0, so state x=0 repeats (start and end).
+        let t1 = ThreadId(0);
+        let mut a = MvcInstrumentor::new(1, Relevance::AllWrites);
+        let msgs = vec![
+            a.process(&Event::write(t1, X, 1)).unwrap(),
+            a.process(&Event::write(t1, X, 0)).unwrap(),
+        ];
+        let input = LatticeInput::from_messages(msgs, st(0)).unwrap();
+        let lattice = Lattice::build(input);
+        let lassos = find_lassos(&lattice, 10);
+        assert_eq!(lassos.len(), 1);
+        assert_eq!(lassos[0].stem.len(), 1);
+        assert_eq!(lassos[0].cycle.len(), 2);
+        // The induced infinite run violates "eventually always x = 0".
+        let f = Ltl::eventually(Ltl::always(atom_eq(0)));
+        assert!(!check_lasso(&f, &lassos[0]));
+        // ... but satisfies "infinitely often x = 0".
+        assert!(check_lasso(&Ltl::infinitely_often(atom_eq(0)), &lassos[0]));
+        let violations = predict_liveness_violations(&lattice, &f, 10);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn no_lassos_without_state_repetition() {
+        use jmpax_core::{Event, MvcInstrumentor, Relevance, ThreadId};
+        use jmpax_lattice::LatticeInput;
+        let t1 = ThreadId(0);
+        let mut a = MvcInstrumentor::new(1, Relevance::AllWrites);
+        let msgs = vec![
+            a.process(&Event::write(t1, X, 1)).unwrap(),
+            a.process(&Event::write(t1, X, 2)).unwrap(),
+        ];
+        let input = LatticeInput::from_messages(msgs, st(0)).unwrap();
+        let lattice = Lattice::build(input);
+        assert!(find_lassos(&lattice, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_cycle_rejected() {
+        let l = Lasso {
+            stem: vec![st(0)],
+            cycle: vec![],
+        };
+        let _ = check_lasso(&Ltl::True, &l);
+    }
+}

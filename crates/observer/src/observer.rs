@@ -1,0 +1,262 @@
+//! The message-consuming observer front end.
+
+use jmpax_core::{CausalBuffer, Message};
+use jmpax_lattice::analysis::{analyze_lattice, Analysis, AnalysisOptions};
+use jmpax_lattice::{Lattice, LatticeInput, StreamingAnalyzer};
+use jmpax_spec::{Monitor, ProgramState};
+
+/// The observer's conclusion about one multithreaded computation.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Every consistent run satisfies the property.
+    Satisfied(Analysis),
+    /// Some runs violate the property. When `observed_ok` is true the
+    /// violation is a *prediction*: the observed run itself was successful
+    /// (this is the paper's headline capability).
+    Violated {
+        /// The full analysis (counts, violations, counterexamples).
+        analysis: Analysis,
+        /// Whether the observed run itself satisfied the property.
+        observed_ok: bool,
+    },
+}
+
+impl Verdict {
+    /// The underlying analysis.
+    #[must_use]
+    pub fn analysis(&self) -> &Analysis {
+        match self {
+            Verdict::Satisfied(a) | Verdict::Violated { analysis: a, .. } => a,
+        }
+    }
+
+    /// True when no run violates.
+    #[must_use]
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, Verdict::Satisfied(_))
+    }
+
+    /// True when the violation was predicted from a successful run.
+    #[must_use]
+    pub fn is_prediction(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Violated {
+                observed_ok: true,
+                ..
+            }
+        )
+    }
+}
+
+/// The observer: buffers out-of-order messages, tracks the observed
+/// delivery order, and produces a [`Verdict`] on demand.
+///
+/// For unbounded streams prefer [`StreamingAnalyzer`] (two-level storage);
+/// this observer materializes the full lattice to reconstruct complete
+/// counterexample runs.
+#[derive(Debug)]
+pub struct Observer {
+    monitor: Monitor,
+    initial: ProgramState,
+    buffer: CausalBuffer,
+    /// Messages in causal delivery order (a valid observed run order).
+    delivered: Vec<Message>,
+    options: AnalysisOptions,
+}
+
+impl Observer {
+    /// Creates an observer for `monitor` starting from `initial`.
+    #[must_use]
+    pub fn new(monitor: Monitor, initial: ProgramState) -> Self {
+        Self {
+            monitor,
+            initial,
+            buffer: CausalBuffer::new(),
+            delivered: Vec::new(),
+            options: AnalysisOptions::default(),
+        }
+    }
+
+    /// Limits counterexample reconstruction.
+    #[must_use]
+    pub fn with_max_counterexamples(mut self, n: usize) -> Self {
+        self.options.max_counterexamples = n;
+        self
+    }
+
+    /// Offers one message (any delivery order).
+    pub fn offer(&mut self, message: Message) {
+        self.delivered.extend(self.buffer.push(message));
+    }
+
+    /// Offers many messages.
+    pub fn offer_all(&mut self, messages: impl IntoIterator<Item = Message>) {
+        for m in messages {
+            self.offer(m);
+        }
+    }
+
+    /// Messages delivered (causally ordered) so far.
+    #[must_use]
+    pub fn delivered(&self) -> &[Message] {
+        &self.delivered
+    }
+
+    /// True when some received messages still wait for causal predecessors
+    /// (the computation is incomplete).
+    #[must_use]
+    pub fn has_gaps(&self) -> bool {
+        !self.buffer.is_drained()
+    }
+
+    /// Concludes the analysis over everything delivered so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`jmpax_lattice::InputError`] (impossible for messages
+    /// produced by Algorithm A with a writes-only relevance policy).
+    pub fn conclude(&self) -> Result<Verdict, jmpax_lattice::InputError> {
+        let input =
+            LatticeInput::from_messages(self.delivered.iter().cloned(), self.initial.clone())?;
+        let lattice = Lattice::build(input);
+        let analysis = analyze_lattice(&lattice, &self.monitor, self.options);
+
+        // The delivery order is one causally consistent run — check it the
+        // JPaX way to classify the verdict as observed vs predicted.
+        let observed_ok =
+            crate::jpax::observed_violation(&self.monitor, &self.initial, &self.delivered)
+                .is_none();
+
+        if analysis.satisfied() {
+            Ok(Verdict::Satisfied(analysis))
+        } else {
+            Ok(Verdict::Violated {
+                analysis,
+                observed_ok,
+            })
+        }
+    }
+
+    /// Converts this observer into a two-level streaming analyzer seeded
+    /// with the same monitor/initial state, for unbounded computations.
+    #[must_use]
+    pub fn into_streaming(self, threads: usize) -> StreamingAnalyzer {
+        let mut s = StreamingAnalyzer::new(self.monitor, &self.initial, threads);
+        s.push_all(self.delivered);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::{Event, MvcInstrumentor, Relevance, SymbolTable, ThreadId};
+    use jmpax_spec::parse;
+
+    const T1: ThreadId = ThreadId(0);
+    const T2: ThreadId = ThreadId(1);
+
+    fn fig6() -> (Vec<Message>, Monitor, ProgramState) {
+        let mut syms = SymbolTable::new();
+        let monitor = parse("(x > 0) -> [y = 0, y > z)", &mut syms)
+            .unwrap()
+            .monitor()
+            .unwrap();
+        let x = syms.lookup("x").unwrap();
+        let y = syms.lookup("y").unwrap();
+        let z = syms.lookup("z").unwrap();
+        let mut a = MvcInstrumentor::new(2, Relevance::writes_of([x, y, z]));
+        let mut msgs = Vec::new();
+        a.process(&Event::read(T1, x));
+        msgs.extend(a.process(&Event::write(T1, x, 0)));
+        a.process(&Event::read(T2, x));
+        msgs.extend(a.process(&Event::write(T2, z, 1)));
+        a.process(&Event::read(T1, x));
+        msgs.extend(a.process(&Event::write(T1, y, 1)));
+        a.process(&Event::read(T2, x));
+        msgs.extend(a.process(&Event::write(T2, x, 1)));
+        let mut init = ProgramState::new();
+        init.set(x, -1);
+        init.set(y, 0);
+        init.set(z, 0);
+        (msgs, monitor, init)
+    }
+
+    #[test]
+    fn predicts_from_successful_observed_run() {
+        let (msgs, monitor, init) = fig6();
+        let mut obs = Observer::new(monitor, init);
+        obs.offer_all(msgs);
+        assert!(!obs.has_gaps());
+        let verdict = obs.conclude().unwrap();
+        assert!(!verdict.is_satisfied());
+        assert!(verdict.is_prediction(), "observed run was successful");
+        assert_eq!(verdict.analysis().violating_runs, 1);
+        assert_eq!(verdict.analysis().total_runs, 3);
+    }
+
+    #[test]
+    fn out_of_order_delivery_same_verdict() {
+        let (mut msgs, monitor, init) = fig6();
+        msgs.reverse();
+        let mut obs = Observer::new(monitor, init);
+        for m in msgs {
+            obs.offer(m);
+        }
+        let verdict = obs.conclude().unwrap();
+        assert_eq!(verdict.analysis().violating_runs, 1);
+    }
+
+    #[test]
+    fn gaps_are_visible() {
+        let (msgs, monitor, init) = fig6();
+        let mut obs = Observer::new(monitor, init);
+        // Deliver only the causally-last message.
+        obs.offer(msgs[3].clone());
+        assert!(obs.has_gaps());
+        assert!(obs.delivered().is_empty());
+        // Concluding now analyzes the empty computation: one trivial run.
+        let verdict = obs.conclude().unwrap();
+        assert!(verdict.is_satisfied());
+    }
+
+    #[test]
+    fn satisfied_verdict() {
+        let mut syms = SymbolTable::new();
+        let monitor = parse("x >= 0", &mut syms).unwrap().monitor().unwrap();
+        let x = syms.lookup("x").unwrap();
+        let mut a = MvcInstrumentor::new(1, Relevance::writes_of([x]));
+        let m = a.process(&Event::write(T1, x, 5)).unwrap();
+        let mut obs = Observer::new(monitor, ProgramState::new());
+        obs.offer(m);
+        let verdict = obs.conclude().unwrap();
+        assert!(verdict.is_satisfied());
+        assert!(!verdict.is_prediction());
+    }
+
+    #[test]
+    fn observed_violation_is_not_a_prediction() {
+        // Property x = 0 violated by the observed write itself.
+        let mut syms = SymbolTable::new();
+        let monitor = parse("x = 0", &mut syms).unwrap().monitor().unwrap();
+        let x = syms.lookup("x").unwrap();
+        let mut a = MvcInstrumentor::new(1, Relevance::writes_of([x]));
+        let m = a.process(&Event::write(T1, x, 5)).unwrap();
+        let mut obs = Observer::new(monitor, ProgramState::new());
+        obs.offer(m);
+        let verdict = obs.conclude().unwrap();
+        assert!(!verdict.is_satisfied());
+        assert!(!verdict.is_prediction());
+    }
+
+    #[test]
+    fn into_streaming_continues_the_analysis() {
+        let (msgs, monitor, init) = fig6();
+        let mut obs = Observer::new(monitor, init);
+        obs.offer_all(msgs);
+        let streaming = obs.into_streaming(2);
+        let report = streaming.finish();
+        assert_eq!(report.violations.len(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Human-readable rendering of verdicts, violations and counterexamples.
+//!
+//! JMPaX's pitch is that "the user will be given enough information (the
+//! entire counterexample execution) to understand the error and to correct
+//! it" — this module turns analyses into that information, using the
+//! session's [`SymbolTable`] for variable names.
+
+use std::fmt::Write as _;
+
+use jmpax_core::SymbolTable;
+use jmpax_lattice::{Analysis, Counterexample, Violation};
+use jmpax_spec::ProgramState;
+
+fn render_state(state: &ProgramState, symbols: &SymbolTable) -> String {
+    let mut out = String::from("<");
+    for (i, (var, value)) in state.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}={}", symbols.name_or_default(var), value);
+    }
+    out.push('>');
+    out
+}
+
+/// Renders one counterexample run, one step per line.
+#[must_use]
+pub fn render_counterexample(ce: &Counterexample, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    for (i, step) in ce.steps.iter().enumerate() {
+        match (&step.thread, &step.message) {
+            (Some(t), Some(m)) => {
+                let var = m
+                    .var()
+                    .map_or_else(|| "?".to_owned(), |v| symbols.name_or_default(v));
+                let val = m
+                    .written_value()
+                    .map_or_else(|| "?".to_owned(), |v| v.to_string());
+                let _ = writeln!(
+                    out,
+                    "  {i:>3}. {t} writes {var} = {val:<6} -> {}",
+                    render_state(&step.state, symbols)
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "  {i:>3}. (initial)              -> {}",
+                    render_state(&step.state, symbols)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders one violation (cut, state, optional counterexample).
+#[must_use]
+pub fn render_violation(v: &Violation, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "violation at cut {} in state {}",
+        v.cut,
+        render_state(&v.state, symbols)
+    );
+    if let Some(ce) = &v.counterexample {
+        let _ = writeln!(out, "counterexample run ({} events):", ce.event_count());
+        out.push_str(&render_counterexample(ce, symbols));
+    }
+    out
+}
+
+/// Renders a whole analysis summary in the shape the paper reports its
+/// examples ("6 states to analyze and three corresponding runs").
+#[must_use]
+pub fn render_analysis(a: &Analysis, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "lattice: {} states, {} levels (peak width {})",
+        a.states, a.levels, a.max_level_width
+    );
+    let _ = writeln!(
+        out,
+        "runs: {} total, {} violating",
+        a.total_runs, a.violating_runs
+    );
+    if a.violations.is_empty() {
+        let _ = writeln!(out, "property satisfied on every run");
+    } else {
+        for v in &a.violations {
+            out.push_str(&render_violation(v, symbols));
+        }
+    }
+    out
+}
+
+/// Renders a race report, one line per race, using trace-style 0-based
+/// thread names.
+#[must_use]
+pub fn render_races(races: &[crate::races::Race], symbols: &SymbolTable) -> String {
+    if races.is_empty() {
+        return "no data races predicted\n".to_owned();
+    }
+    let mut out = String::new();
+    for r in races {
+        let kind = |w: bool| if w { "write" } else { "read" };
+        let _ = writeln!(
+            out,
+            "race on {}: T{} {} (event #{}) vs T{} {} (event #{})",
+            symbols.name_or_default(r.var),
+            r.first.thread.0,
+            kind(r.first.is_write),
+            r.first.index,
+            r.second.thread.0,
+            kind(r.second.is_write),
+            r.second.index,
+        );
+    }
+    out
+}
+
+/// Renders predicted deadlock cycles.
+#[must_use]
+pub fn render_deadlocks(
+    cycles: &[crate::deadlock::DeadlockCycle],
+    symbols: &SymbolTable,
+) -> String {
+    if cycles.is_empty() {
+        return "no deadlock cycles predicted\n".to_owned();
+    }
+    let mut out = String::new();
+    for c in cycles {
+        let locks: Vec<String> = c
+            .locks
+            .iter()
+            .map(|&l| symbols.name_or_default(l))
+            .collect();
+        let threads: Vec<String> = c.threads.iter().map(|t| format!("T{}", t.0)).collect();
+        let _ = writeln!(
+            out,
+            "potential deadlock: {} -> (back to {}) held across threads {}",
+            locks.join(" -> "),
+            locks[0],
+            threads.join(", "),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::{Execution, ThreadId};
+
+    #[test]
+    fn renders_example2_analysis_with_names() {
+        let mut syms = SymbolTable::new();
+        let x = syms.intern("x");
+        let y = syms.intern("y");
+        let z = syms.intern("z");
+        let mut ex = Execution::new()
+            .with_initial(x, -1)
+            .with_initial(y, 0)
+            .with_initial(z, 0);
+        let t1 = ThreadId(0);
+        let t2 = ThreadId(1);
+        ex.read(t1, x);
+        ex.write(t1, x, 0);
+        ex.read(t2, x);
+        ex.write(t2, z, 1);
+        ex.read(t1, x);
+        ex.write(t1, y, 1);
+        ex.read(t2, x);
+        ex.write(t2, x, 1);
+
+        let report =
+            crate::pipeline::check_execution(&ex, "(x > 0) -> [y = 0, y > z)", &mut syms).unwrap();
+        let text = render_analysis(report.verdict.analysis(), &syms);
+        assert!(text.contains("7 states"), "{text}");
+        assert!(text.contains("3 total, 1 violating"), "{text}");
+        assert!(text.contains("violation at cut S2,2"), "{text}");
+        assert!(text.contains("x=1"), "{text}");
+        assert!(text.contains("T1 writes"), "{text}");
+    }
+
+    #[test]
+    fn renders_races_and_deadlocks() {
+        use jmpax_core::{Event, Value, VarId};
+
+        let mut syms = SymbolTable::new();
+        let x = syms.intern("balance");
+        let mut det = crate::races::RaceDetector::new([]);
+        det.process(&Event::write(ThreadId(0), x, 1));
+        det.process(&Event::write(ThreadId(1), x, 2));
+        let races = det.races_deduped();
+        let text = render_races(&races, &syms);
+        assert!(text.contains("race on balance: T0 write"), "{text}");
+        assert!(text.contains("T1 write"), "{text}");
+        assert_eq!(render_races(&[], &syms), "no data races predicted\n");
+
+        let a = syms.intern("fork0");
+        let b = syms.intern("fork1");
+        let mut det = crate::deadlock::DeadlockDetector::new([a, b]);
+        let acq = |t: u32, l| Event::write(ThreadId(t), l, Value::Int(1));
+        let rel = |t: u32, l| Event::write(ThreadId(t), l, Value::Int(0));
+        for e in [
+            acq(0, a),
+            acq(0, b),
+            rel(0, b),
+            rel(0, a),
+            acq(1, b),
+            acq(1, a),
+            rel(1, a),
+            rel(1, b),
+        ] {
+            det.process(&e);
+        }
+        let cycles = det.cycles();
+        let text = render_deadlocks(&cycles, &syms);
+        assert!(text.contains("fork0 -> fork1"), "{text}");
+        assert!(text.contains("T0, T1"), "{text}");
+        assert_eq!(
+            render_deadlocks(&[], &syms),
+            "no deadlock cycles predicted\n"
+        );
+        let _ = VarId(0);
+    }
+
+    #[test]
+    fn satisfied_analysis_renders_cleanly() {
+        let mut syms = SymbolTable::new();
+        let x = syms.intern("x");
+        let mut ex = Execution::new().with_initial(x, 0);
+        ex.write(ThreadId(0), x, 1);
+        let report = crate::pipeline::check_execution(&ex, "x >= 0", &mut syms).unwrap();
+        let text = render_analysis(report.verdict.analysis(), &syms);
+        assert!(text.contains("satisfied on every run"), "{text}");
+    }
+}

@@ -1,0 +1,353 @@
+//! Lowering from the structured IR to a flat micro-op CFG.
+//!
+//! Visible ops (one schedulable step each): shared reads, shared writes,
+//! lock acquire/release, and `Nop` (internal events). Invisible ops
+//! (branches, jumps) execute for free before the next visible op of the
+//! same thread — they touch no shared state, so their placement cannot be
+//! observed by other threads.
+
+use jmpax_core::VarId;
+
+use crate::program::{BinOp, Expr, LockId, Program, Stmt, ThreadProgram};
+
+/// An expression whose shared reads have been hoisted into temporaries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TExpr {
+    /// Literal.
+    Const(i64),
+    /// A temporary holding an earlier shared read.
+    Temp(u16),
+    /// Arithmetic negation.
+    Neg(Box<TExpr>),
+    /// Logical negation.
+    Not(Box<TExpr>),
+    /// Binary operation.
+    Bin(BinOp, Box<TExpr>, Box<TExpr>),
+}
+
+impl TExpr {
+    /// Evaluates over the thread's temporaries. Division/modulo by zero
+    /// yield 0 and arithmetic wraps (monitor-grade totality).
+    #[must_use]
+    pub fn eval(&self, temps: &[i64]) -> i64 {
+        match self {
+            TExpr::Const(c) => *c,
+            TExpr::Temp(t) => temps[*t as usize],
+            TExpr::Neg(e) => e.eval(temps).wrapping_neg(),
+            TExpr::Not(e) => i64::from(e.eval(temps) == 0),
+            TExpr::Bin(op, a, b) => {
+                let a = a.eval(temps);
+                let b = b.eval(temps);
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Mod => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    BinOp::Eq => i64::from(a == b),
+                    BinOp::Ne => i64::from(a != b),
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Le => i64::from(a <= b),
+                    BinOp::Gt => i64::from(a > b),
+                    BinOp::Ge => i64::from(a >= b),
+                    BinOp::And => i64::from(a != 0 && b != 0),
+                    BinOp::Or => i64::from(a != 0 || b != 0),
+                }
+            }
+        }
+    }
+}
+
+/// A micro-op.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Visible: read shared `var` into temporary `temp`.
+    Read {
+        /// Variable read.
+        var: VarId,
+        /// Destination temporary.
+        temp: u16,
+    },
+    /// Visible: write `value` (over temps) to shared `var`.
+    Write {
+        /// Variable written.
+        var: VarId,
+        /// Value expression over temporaries.
+        value: TExpr,
+    },
+    /// Visible: acquire a mutex (blocks while held elsewhere).
+    Acquire(LockId),
+    /// Visible: release a mutex.
+    Release(LockId),
+    /// Visible: an internal event.
+    Nop,
+    /// Invisible: jump to `target` when `cond` evaluates to zero.
+    BranchIfZero {
+        /// Condition over temporaries.
+        cond: TExpr,
+        /// Jump target (op index).
+        target: usize,
+    },
+    /// Invisible: unconditional jump.
+    Jump(usize),
+}
+
+impl Op {
+    /// Visible ops consume one scheduler step and may emit an event.
+    #[must_use]
+    pub fn is_visible(&self) -> bool {
+        !matches!(self, Op::BranchIfZero { .. } | Op::Jump(_))
+    }
+}
+
+/// One compiled thread.
+#[derive(Clone, Debug)]
+pub struct CompiledThread {
+    /// The op sequence; falling off the end terminates the thread.
+    pub ops: Vec<Op>,
+    /// Number of temporaries the thread needs.
+    pub temp_count: u16,
+}
+
+/// A compiled program.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// One compiled body per thread.
+    pub threads: Vec<CompiledThread>,
+    /// The source program (initial state, lock count, lock-var mapping).
+    pub source: Program,
+}
+
+impl CompiledProgram {
+    /// Compiles a program.
+    #[must_use]
+    pub fn compile(source: Program) -> Self {
+        let threads = source.threads.iter().map(compile_thread).collect();
+        Self { threads, source }
+    }
+}
+
+fn compile_thread(thread: &ThreadProgram) -> CompiledThread {
+    let mut ctx = Ctx {
+        ops: Vec::new(),
+        max_temp: 0,
+    };
+    for stmt in &thread.stmts {
+        ctx.stmt(stmt);
+    }
+    CompiledThread {
+        ops: ctx.ops,
+        temp_count: ctx.max_temp,
+    }
+}
+
+struct Ctx {
+    ops: Vec<Op>,
+    max_temp: u16,
+}
+
+impl Ctx {
+    /// Emits reads for every shared variable in `expr` (fresh temps from 0
+    /// per evaluation — temporaries never live across a visible op of the
+    /// *same* evaluation, so reuse is safe) and returns the temp expression.
+    fn expr(&mut self, expr: &Expr, next_temp: &mut u16) -> TExpr {
+        match expr {
+            Expr::Const(c) => TExpr::Const(*c),
+            Expr::Var(v) => {
+                let t = *next_temp;
+                *next_temp += 1;
+                self.max_temp = self.max_temp.max(*next_temp);
+                self.ops.push(Op::Read { var: *v, temp: t });
+                TExpr::Temp(t)
+            }
+            Expr::Neg(e) => TExpr::Neg(Box::new(self.expr(e, next_temp))),
+            Expr::Not(e) => TExpr::Not(Box::new(self.expr(e, next_temp))),
+            Expr::Bin(op, a, b) => {
+                let a = self.expr(a, next_temp);
+                let b = self.expr(b, next_temp);
+                TExpr::Bin(*op, Box::new(a), Box::new(b))
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign(var, expr) => {
+                let mut t = 0;
+                let value = self.expr(expr, &mut t);
+                self.ops.push(Op::Write { var: *var, value });
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let mut t = 0;
+                let cond = self.expr(cond, &mut t);
+                let branch_at = self.ops.len();
+                self.ops.push(Op::Jump(usize::MAX)); // placeholder
+                for s in then_b {
+                    self.stmt(s);
+                }
+                if else_b.is_empty() {
+                    let end = self.ops.len();
+                    self.ops[branch_at] = Op::BranchIfZero { cond, target: end };
+                } else {
+                    let jump_at = self.ops.len();
+                    self.ops.push(Op::Jump(usize::MAX)); // placeholder
+                    let else_start = self.ops.len();
+                    self.ops[branch_at] = Op::BranchIfZero {
+                        cond,
+                        target: else_start,
+                    };
+                    for s in else_b {
+                        self.stmt(s);
+                    }
+                    let end = self.ops.len();
+                    self.ops[jump_at] = Op::Jump(end);
+                }
+            }
+            Stmt::While(cond, body) => {
+                let head = self.ops.len();
+                let mut t = 0;
+                let cond = self.expr(cond, &mut t);
+                let branch_at = self.ops.len();
+                self.ops.push(Op::Jump(usize::MAX)); // placeholder
+                for s in body {
+                    self.stmt(s);
+                }
+                self.ops.push(Op::Jump(head));
+                let end = self.ops.len();
+                self.ops[branch_at] = Op::BranchIfZero { cond, target: end };
+            }
+            Stmt::Lock(l) => self.ops.push(Op::Acquire(*l)),
+            Stmt::Unlock(l) => self.ops.push(Op::Release(*l)),
+            Stmt::Skip => self.ops.push(Op::Nop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Stmt;
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    fn compile_one(stmts: Vec<Stmt>) -> CompiledThread {
+        let p = Program::new().with_thread(stmts);
+        CompiledProgram::compile(p).threads.remove(0)
+    }
+
+    #[test]
+    fn assign_compiles_reads_then_write() {
+        // y = x + 1
+        let t = compile_one(vec![Stmt::assign(Y, Expr::var(X).add(Expr::val(1)))]);
+        assert_eq!(t.ops.len(), 2);
+        assert_eq!(t.ops[0], Op::Read { var: X, temp: 0 });
+        assert!(matches!(&t.ops[1], Op::Write { var, .. } if *var == Y));
+        assert_eq!(t.temp_count, 1);
+    }
+
+    #[test]
+    fn if_else_branches_wired_correctly() {
+        // if (x == 0) { y = 0 } else { y = 1 }
+        let t = compile_one(vec![Stmt::If(
+            Expr::var(X).eq(Expr::val(0)),
+            vec![Stmt::assign(Y, Expr::val(0))],
+            vec![Stmt::assign(Y, Expr::val(1))],
+        )]);
+        // read x, branch, write y(then), jump end, write y(else)
+        assert_eq!(t.ops.len(), 5);
+        let Op::BranchIfZero { target, .. } = &t.ops[1] else {
+            panic!("expected branch, got {:?}", t.ops[1])
+        };
+        assert_eq!(*target, 4); // else starts at the second write
+        assert_eq!(t.ops[3], Op::Jump(5));
+    }
+
+    #[test]
+    fn while_loops_back_to_condition_reads() {
+        // while (x) { skip }
+        let t = compile_one(vec![Stmt::While(Expr::var(X), vec![Stmt::Skip])]);
+        // read x, branch(→4), nop, jump(→0)
+        assert_eq!(t.ops.len(), 4);
+        assert_eq!(t.ops[0], Op::Read { var: X, temp: 0 });
+        let Op::BranchIfZero { target, .. } = &t.ops[1] else {
+            panic!()
+        };
+        assert_eq!(*target, 4);
+        assert_eq!(t.ops[3], Op::Jump(0));
+    }
+
+    #[test]
+    fn visible_invisible_classification() {
+        assert!(Op::Read { var: X, temp: 0 }.is_visible());
+        assert!(Op::Nop.is_visible());
+        assert!(Op::Acquire(LockId(0)).is_visible());
+        assert!(!Op::Jump(0).is_visible());
+        assert!(!Op::BranchIfZero {
+            cond: TExpr::Const(0),
+            target: 0
+        }
+        .is_visible());
+    }
+
+    #[test]
+    fn texpr_eval_semantics() {
+        let temps = [7, -2];
+        let e = TExpr::Bin(
+            BinOp::Add,
+            Box::new(TExpr::Temp(0)),
+            Box::new(TExpr::Temp(1)),
+        );
+        assert_eq!(e.eval(&temps), 5);
+        let e = TExpr::Bin(
+            BinOp::Div,
+            Box::new(TExpr::Const(1)),
+            Box::new(TExpr::Const(0)),
+        );
+        assert_eq!(e.eval(&temps), 0, "division by zero is total");
+        let e = TExpr::Not(Box::new(TExpr::Const(0)));
+        assert_eq!(e.eval(&temps), 1);
+        let e = TExpr::Bin(
+            BinOp::And,
+            Box::new(TExpr::Const(2)),
+            Box::new(TExpr::Const(3)),
+        );
+        assert_eq!(e.eval(&temps), 1, "logical ops normalize to 0/1");
+    }
+
+    #[test]
+    fn temps_reset_per_statement() {
+        let t = compile_one(vec![
+            Stmt::assign(Y, Expr::var(X).add(Expr::var(X))),
+            Stmt::assign(Y, Expr::var(X)),
+        ]);
+        // First statement uses temps 0 and 1; second reuses temp 0.
+        assert_eq!(t.temp_count, 2);
+        assert_eq!(t.ops[3], Op::Read { var: X, temp: 0 });
+    }
+
+    #[test]
+    fn lock_unlock_skip() {
+        let t = compile_one(vec![
+            Stmt::Lock(LockId(1)),
+            Stmt::Skip,
+            Stmt::Unlock(LockId(1)),
+        ]);
+        assert_eq!(
+            t.ops,
+            vec![Op::Acquire(LockId(1)), Op::Nop, Op::Release(LockId(1))]
+        );
+    }
+}

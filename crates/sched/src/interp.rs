@@ -1,0 +1,565 @@
+//! The step interpreter.
+//!
+//! A [`Machine`] holds the shared store, per-thread program counters and
+//! temporaries, and lock ownership. [`Machine::step`] advances one thread by
+//! exactly one *visible* op (running any pending invisible ops first) and
+//! records the emitted [`Event`]s, producing exactly the multithreaded
+//! executions of Section 2.1 under the sequential-consistency assumption.
+
+use jmpax_core::{Event, Execution, ThreadId, Value, VarId};
+use jmpax_spec::ProgramState;
+
+use crate::compile::{CompiledProgram, Op};
+use crate::program::{LockId, Program};
+
+/// Cap on invisible ops executed per visible step — a guard against
+/// invisible infinite loops such as `while(1) {}` with an empty body.
+const INVISIBLE_FUEL: usize = 100_000;
+
+/// Result of stepping one thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepResult {
+    /// The thread executed one visible op.
+    Progressed,
+    /// The thread is blocked on a lock held by another thread.
+    Blocked(LockId),
+    /// The thread had already terminated (or terminated after draining
+    /// invisible ops without reaching a visible one).
+    Finished,
+    /// The invisible-op fuel ran out (invisible infinite loop).
+    Diverged,
+    /// The thread released a lock it does not hold — a program bug.
+    LockError(LockId),
+}
+
+/// Outcome of running a machine to completion under some scheduler.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The recorded execution (events in the order they happened).
+    pub execution: Execution,
+    /// The schedule actually taken (one entry per visible step).
+    pub schedule: Vec<ThreadId>,
+    /// The final shared store.
+    pub final_state: ProgramState,
+    /// True when every thread ran to completion.
+    pub finished: bool,
+    /// True when the run ended with runnable = ∅ but unfinished threads
+    /// (a deadlock).
+    pub deadlocked: bool,
+}
+
+impl RunOutcome {
+    /// The global-state sequence seen by a single-trace observer.
+    #[must_use]
+    pub fn observed_states(&self) -> Vec<ProgramState> {
+        self.execution
+            .observed_state_sequence()
+            .into_iter()
+            .map(ProgramState::from_map)
+            .collect()
+    }
+}
+
+/// An executing multithreaded program.
+///
+/// ```
+/// use jmpax_core::{ThreadId, Value, VarId};
+/// use jmpax_sched::{Expr, Machine, Program, Stmt, StepResult};
+///
+/// // T0: x = 1    T1: y = x
+/// let program = Program::new()
+///     .with_thread(vec![Stmt::assign(VarId(0), Expr::val(1))])
+///     .with_thread(vec![Stmt::assign(VarId(1), Expr::var(VarId(0)))]);
+///
+/// // Drive T1 first: it reads x before T0 writes it.
+/// let mut m = Machine::new(&program);
+/// assert_eq!(m.step(ThreadId(1)), StepResult::Progressed); // read x (0)
+/// assert_eq!(m.step(ThreadId(1)), StepResult::Progressed); // write y = 0
+/// assert_eq!(m.step(ThreadId(0)), StepResult::Progressed); // write x = 1
+/// assert_eq!(m.store().get(VarId(1)), Value::Int(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine {
+    program: CompiledProgram,
+    store: ProgramState,
+    pc: Vec<usize>,
+    temps: Vec<Vec<i64>>,
+    /// Lock → owner.
+    locks: Vec<Option<ThreadId>>,
+    trace: Execution,
+    schedule: Vec<ThreadId>,
+}
+
+impl Machine {
+    /// Boots a machine from a source program.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        Self::from_compiled(CompiledProgram::compile(program.clone()))
+    }
+
+    /// Boots a machine from an already compiled program.
+    #[must_use]
+    pub fn from_compiled(program: CompiledProgram) -> Self {
+        let n = program.threads.len();
+        let mut store = ProgramState::new();
+        for (&var, &value) in &program.source.initial {
+            store.set(var, value);
+        }
+        let temps = program
+            .threads
+            .iter()
+            .map(|t| vec![0i64; t.temp_count as usize])
+            .collect();
+        let trace = Execution {
+            events: Vec::new(),
+            initial: program.source.initial.clone(),
+        };
+        Self {
+            locks: vec![None; program.source.locks as usize],
+            pc: vec![0; n],
+            temps,
+            store,
+            program,
+            trace,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.program.threads.len()
+    }
+
+    /// True when thread `t` has no further visible op to execute: either
+    /// its program counter is past the end, or only invisible ops (jumps,
+    /// branches) separate it from the end.
+    #[must_use]
+    pub fn finished(&self, t: ThreadId) -> bool {
+        let ops = &self.program.threads[t.index()].ops;
+        let temps = &self.temps[t.index()];
+        let mut pc = self.pc[t.index()];
+        let mut fuel = INVISIBLE_FUEL;
+        loop {
+            match ops.get(pc) {
+                None => return true,
+                Some(Op::Jump(target)) => pc = *target,
+                Some(Op::BranchIfZero { cond, target }) => {
+                    pc = if cond.eval(temps) == 0 {
+                        *target
+                    } else {
+                        pc + 1
+                    };
+                }
+                Some(_) => return false,
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                return false; // invisible infinite loop: diverged, not done
+            }
+        }
+    }
+
+    /// True when every thread is finished.
+    #[must_use]
+    pub fn all_finished(&self) -> bool {
+        (0..self.thread_count()).all(|t| self.finished(ThreadId(t as u32)))
+    }
+
+    /// Threads that can take a visible step right now (not finished, not
+    /// blocked on a lock someone else holds).
+    #[must_use]
+    pub fn runnable(&self) -> Vec<ThreadId> {
+        (0..self.thread_count())
+            .map(|t| ThreadId(t as u32))
+            .filter(|&t| self.peek_runnable(t))
+            .collect()
+    }
+
+    /// Would `step(t)` make progress?
+    #[must_use]
+    pub fn peek_runnable(&self, t: ThreadId) -> bool {
+        let ops = &self.program.threads[t.index()].ops;
+        let mut pc = self.pc[t.index()];
+        let temps = &self.temps[t.index()];
+        let mut fuel = INVISIBLE_FUEL;
+        loop {
+            let Some(op) = ops.get(pc) else {
+                return false; // finished
+            };
+            match op {
+                Op::Jump(target) => pc = *target,
+                Op::BranchIfZero { cond, target } => {
+                    pc = if cond.eval(temps) == 0 {
+                        *target
+                    } else {
+                        pc + 1
+                    };
+                }
+                Op::Acquire(l) => {
+                    return match self.locks.get(l.0 as usize) {
+                        Some(Some(owner)) => *owner == t, // re-entrant self-acquire allowed
+                        Some(None) => true,
+                        None => true, // surfaced as lock error on step
+                    };
+                }
+                _ => return true,
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                return true; // step() will report Diverged
+            }
+        }
+    }
+
+    /// The shared store.
+    #[must_use]
+    pub fn store(&self) -> &ProgramState {
+        &self.store
+    }
+
+    /// The next *visible* op thread `t` would execute (simulating pending
+    /// invisible jumps/branches), or `None` when the thread is finished or
+    /// stuck in an invisible loop.
+    #[must_use]
+    pub fn peek_visible_op(&self, t: ThreadId) -> Option<Op> {
+        let ops = &self.program.threads[t.index()].ops;
+        let temps = &self.temps[t.index()];
+        let mut pc = self.pc[t.index()];
+        let mut fuel = INVISIBLE_FUEL;
+        loop {
+            match ops.get(pc)? {
+                Op::Jump(target) => pc = *target,
+                Op::BranchIfZero { cond, target } => {
+                    pc = if cond.eval(temps) == 0 {
+                        *target
+                    } else {
+                        pc + 1
+                    };
+                }
+                op => return Some(op.clone()),
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                return None;
+            }
+        }
+    }
+
+    /// A canonical key of the machine state *excluding history* (program
+    /// counters, temporaries, store, lock owners) — two machines with equal
+    /// keys have identical futures, which justifies dedup during
+    /// exploration.
+    #[must_use]
+    pub fn state_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::new();
+        let _ = write!(key, "pc{:?};", self.pc);
+        let _ = write!(key, "tm{:?};", self.temps);
+        let _ = write!(key, "lk{:?};", self.locks);
+        let _ = write!(key, "st{}", self.store);
+        key
+    }
+
+    /// The recorded execution so far.
+    #[must_use]
+    pub fn trace(&self) -> &Execution {
+        &self.trace
+    }
+
+    /// The schedule (visible steps) so far.
+    #[must_use]
+    pub fn schedule(&self) -> &[ThreadId] {
+        &self.schedule
+    }
+
+    /// Relevant-write count so far for `var` — handy for replay pruning.
+    pub fn write_events(&self) -> impl Iterator<Item = (ThreadId, VarId, Value)> + '_ {
+        self.trace.events.iter().filter_map(|e| match e.kind {
+            jmpax_core::EventKind::Write { var, value } => Some((e.thread, var, value)),
+            _ => None,
+        })
+    }
+
+    /// Advances thread `t` by one visible op.
+    pub fn step(&mut self, t: ThreadId) -> StepResult {
+        let ti = t.index();
+        let mut fuel = INVISIBLE_FUEL;
+        loop {
+            let Some(op) = self.program.threads[ti].ops.get(self.pc[ti]).cloned() else {
+                return StepResult::Finished;
+            };
+            match op {
+                Op::Jump(target) => {
+                    self.pc[ti] = target;
+                }
+                Op::BranchIfZero { cond, target } => {
+                    let v = cond.eval(&self.temps[ti]);
+                    self.pc[ti] = if v == 0 { target } else { self.pc[ti] + 1 };
+                }
+                Op::Read { var, temp } => {
+                    let value = self.store.get(var).as_int();
+                    self.temps[ti][temp as usize] = value;
+                    self.trace.push(Event::read(t, var));
+                    self.pc[ti] += 1;
+                    self.schedule.push(t);
+                    return StepResult::Progressed;
+                }
+                Op::Write { var, value } => {
+                    let v = value.eval(&self.temps[ti]);
+                    self.store.set(var, Value::Int(v));
+                    self.trace.push(Event::write(t, var, v));
+                    self.pc[ti] += 1;
+                    self.schedule.push(t);
+                    return StepResult::Progressed;
+                }
+                Op::Acquire(l) => {
+                    let Some(slot) = self.locks.get_mut(l.0 as usize) else {
+                        return StepResult::LockError(l);
+                    };
+                    match slot {
+                        Some(owner) if *owner != t => return StepResult::Blocked(l),
+                        _ => {
+                            *slot = Some(t);
+                            // Section 3.1: a write event on the lock's
+                            // pseudo-variable creates the happens-before
+                            // edge between critical sections. The value
+                            // distinguishes acquire (1) from release (0)
+                            // for lock-set analyses downstream.
+                            let lv = self.program.source.lock_var(l);
+                            self.trace.push(Event::write(t, lv, Value::Int(1)));
+                            self.pc[ti] += 1;
+                            self.schedule.push(t);
+                            return StepResult::Progressed;
+                        }
+                    }
+                }
+                Op::Release(l) => {
+                    let Some(slot) = self.locks.get_mut(l.0 as usize) else {
+                        return StepResult::LockError(l);
+                    };
+                    if *slot != Some(t) {
+                        return StepResult::LockError(l);
+                    }
+                    *slot = None;
+                    let lv = self.program.source.lock_var(l);
+                    self.trace.push(Event::write(t, lv, Value::Int(0)));
+                    self.pc[ti] += 1;
+                    self.schedule.push(t);
+                    return StepResult::Progressed;
+                }
+                Op::Nop => {
+                    self.trace.push(Event::internal(t));
+                    self.pc[ti] += 1;
+                    self.schedule.push(t);
+                    return StepResult::Progressed;
+                }
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                return StepResult::Diverged;
+            }
+        }
+    }
+
+    /// Finalizes the machine into a [`RunOutcome`].
+    #[must_use]
+    pub fn into_outcome(self) -> RunOutcome {
+        let finished = self.all_finished();
+        let deadlocked = !finished && self.runnable().is_empty();
+        RunOutcome {
+            execution: self.trace,
+            schedule: self.schedule,
+            final_state: self.store,
+            finished,
+            deadlocked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Expr, Stmt};
+
+    const T1: ThreadId = ThreadId(0);
+    const T2: ThreadId = ThreadId(1);
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    #[test]
+    fn sequential_thread_runs_to_completion() {
+        // x = 1; y = x + 1
+        let p = Program::new().with_thread(vec![
+            Stmt::assign(X, Expr::val(1)),
+            Stmt::assign(Y, Expr::var(X).add(Expr::val(1))),
+        ]);
+        let mut m = Machine::new(&p);
+        assert_eq!(m.step(T1), StepResult::Progressed); // write x
+        assert_eq!(m.step(T1), StepResult::Progressed); // read x
+        assert_eq!(m.step(T1), StepResult::Progressed); // write y
+        assert_eq!(m.step(T1), StepResult::Finished);
+        assert!(m.all_finished());
+        assert_eq!(m.store().get(X), Value::Int(1));
+        assert_eq!(m.store().get(Y), Value::Int(2));
+        assert_eq!(m.trace().events.len(), 3);
+    }
+
+    #[test]
+    fn interleaving_changes_results() {
+        // T1: x = 1     T2: y = x
+        let p = Program::new()
+            .with_thread(vec![Stmt::assign(X, Expr::val(1))])
+            .with_thread(vec![Stmt::assign(Y, Expr::var(X))]);
+        // T1 first: y = 1.
+        let mut m = Machine::new(&p);
+        m.step(T1);
+        m.step(T2);
+        m.step(T2);
+        assert_eq!(m.store().get(Y), Value::Int(1));
+        // T2 first: y = 0.
+        let mut m = Machine::new(&p);
+        m.step(T2);
+        m.step(T2);
+        m.step(T1);
+        assert_eq!(m.store().get(Y), Value::Int(0));
+    }
+
+    #[test]
+    fn branches_taken_on_read_values() {
+        // if (x == 0) { y = 10 } else { y = 20 }
+        let body = vec![Stmt::If(
+            Expr::var(X).eq(Expr::val(0)),
+            vec![Stmt::assign(Y, Expr::val(10))],
+            vec![Stmt::assign(Y, Expr::val(20))],
+        )];
+        let p = Program::new().with_thread(body.clone()).with_initial(X, 0);
+        let mut m = Machine::new(&p);
+        while m.step(T1) == StepResult::Progressed {}
+        assert_eq!(m.store().get(Y), Value::Int(10));
+
+        let p = Program::new().with_thread(body).with_initial(X, 5);
+        let mut m = Machine::new(&p);
+        while m.step(T1) == StepResult::Progressed {}
+        assert_eq!(m.store().get(Y), Value::Int(20));
+    }
+
+    #[test]
+    fn while_loop_counts_down() {
+        // while (x > 0) { x = x - 1 }
+        let p = Program::new()
+            .with_thread(vec![Stmt::While(
+                Expr::var(X).gt(Expr::val(0)),
+                vec![Stmt::assign(X, Expr::var(X).sub(Expr::val(1)))],
+            )])
+            .with_initial(X, 3);
+        let mut m = Machine::new(&p);
+        let mut steps = 0;
+        while m.step(T1) == StepResult::Progressed {
+            steps += 1;
+            assert!(steps < 100);
+        }
+        assert_eq!(m.store().get(X), Value::Int(0));
+    }
+
+    #[test]
+    fn locks_block_and_release() {
+        let l = LockId(0);
+        let p = Program::new()
+            .with_thread(vec![
+                Stmt::Lock(l),
+                Stmt::assign(X, Expr::val(1)),
+                Stmt::Unlock(l),
+            ])
+            .with_thread(vec![
+                Stmt::Lock(l),
+                Stmt::assign(X, Expr::val(2)),
+                Stmt::Unlock(l),
+            ])
+            .with_locks(1);
+        let mut m = Machine::new(&p);
+        assert_eq!(m.step(T1), StepResult::Progressed); // T1 acquires
+        assert_eq!(m.step(T2), StepResult::Blocked(l));
+        assert!(!m.runnable().contains(&T2));
+        m.step(T1); // write
+        assert_eq!(m.step(T1), StepResult::Progressed); // release
+        assert!(m.runnable().contains(&T2));
+        assert_eq!(m.step(T2), StepResult::Progressed); // T2 acquires
+                                                        // Lock events appear as writes of the pseudo-variable.
+        let lock_var = p.lock_var(l);
+        let lock_writes = m
+            .trace()
+            .events
+            .iter()
+            .filter(|e| e.var() == Some(lock_var))
+            .count();
+        assert_eq!(lock_writes, 3); // acquire, release, acquire
+    }
+
+    #[test]
+    fn deadlock_detected_in_outcome() {
+        let a = LockId(0);
+        let b = LockId(1);
+        let p = Program::new()
+            .with_thread(vec![Stmt::Lock(a), Stmt::Skip, Stmt::Lock(b)])
+            .with_thread(vec![Stmt::Lock(b), Stmt::Skip, Stmt::Lock(a)])
+            .with_locks(2);
+        let mut m = Machine::new(&p);
+        // T1: acquire a; T2: acquire b; T1: skip, block on b; T2: skip, block on a.
+        m.step(T1);
+        m.step(T2);
+        m.step(T1);
+        m.step(T2);
+        assert_eq!(m.step(T1), StepResult::Blocked(b));
+        assert_eq!(m.step(T2), StepResult::Blocked(a));
+        assert!(m.runnable().is_empty());
+        let outcome = m.into_outcome();
+        assert!(outcome.deadlocked);
+        assert!(!outcome.finished);
+    }
+
+    #[test]
+    fn unlock_without_lock_is_an_error() {
+        let p = Program::new()
+            .with_thread(vec![Stmt::Unlock(LockId(0))])
+            .with_locks(1);
+        let mut m = Machine::new(&p);
+        assert_eq!(m.step(T1), StepResult::LockError(LockId(0)));
+    }
+
+    #[test]
+    fn reentrant_acquire_is_allowed() {
+        let l = LockId(0);
+        let p = Program::new()
+            .with_thread(vec![Stmt::Lock(l), Stmt::Lock(l)])
+            .with_locks(1);
+        let mut m = Machine::new(&p);
+        assert_eq!(m.step(T1), StepResult::Progressed);
+        assert_eq!(m.step(T1), StepResult::Progressed);
+    }
+
+    #[test]
+    fn invisible_infinite_loop_diverges() {
+        // while (1) {} — no visible op inside.
+        let p = Program::new().with_thread(vec![Stmt::While(Expr::val(1), vec![])]);
+        let mut m = Machine::new(&p);
+        assert_eq!(m.step(T1), StepResult::Diverged);
+    }
+
+    #[test]
+    fn outcome_captures_schedule_and_states() {
+        let p = Program::new()
+            .with_thread(vec![Stmt::assign(X, Expr::val(1))])
+            .with_thread(vec![Stmt::assign(Y, Expr::val(2))]);
+        let mut m = Machine::new(&p);
+        m.step(T2);
+        m.step(T1);
+        let out = m.into_outcome();
+        assert!(out.finished);
+        assert!(!out.deadlocked);
+        assert_eq!(out.schedule, vec![T2, T1]);
+        let states = out.observed_states();
+        assert_eq!(states.len(), 3); // initial + 2 writes
+        assert_eq!(states[2].get(X), Value::Int(1));
+    }
+}

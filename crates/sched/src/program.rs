@@ -1,0 +1,348 @@
+//! The structured program IR.
+//!
+//! Programs are lists of statements over shared integer variables. Every
+//! read of a shared variable inside an expression and every assignment is a
+//! separate observable step once compiled, so the scheduler can interleave
+//! threads at exactly the granularity the paper's model assumes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use jmpax_core::{Value, VarId};
+
+/// Identifier of a mutex in a [`Program`]. Lock operations compile to
+/// writes of a *pseudo shared variable* (Section 3.1 of the paper: "locks
+/// are considered as shared variables and a write event is generated
+/// whenever a lock is acquired or released").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LockId(pub u32);
+
+/// Binary operators; comparisons and logical operators yield 0/1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Expressions over shared variables. Each `Var` occurrence compiles to one
+/// observable read event.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Shared variable read.
+    Var(VarId),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Logical negation (`!0 = 1`, `!nonzero = 0`).
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder names mirror the paper's operator syntax
+impl Expr {
+    /// A literal.
+    #[must_use]
+    pub fn val(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// A shared-variable read.
+    #[must_use]
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self + rhs`
+    #[must_use]
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+    /// `self - rhs`
+    #[must_use]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+    /// `self * rhs`
+    #[must_use]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+    /// `self == rhs` (0/1)
+    #[must_use]
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+    /// `self != rhs` (0/1)
+    #[must_use]
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+    /// `self < rhs` (0/1)
+    #[must_use]
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+    /// `self <= rhs` (0/1)
+    #[must_use]
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+    /// `self > rhs` (0/1)
+    #[must_use]
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+    /// `self >= rhs` (0/1)
+    #[must_use]
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+    /// Logical and (0/1).
+    #[must_use]
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+    /// Logical or (0/1).
+    #[must_use]
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+    /// Logical not (0/1).
+    #[must_use]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Shared variables read by this expression, in evaluation order
+    /// (duplicates preserved — each occurrence is a separate read event).
+    #[must_use]
+    pub fn reads(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => out.push(*v),
+            Expr::Neg(e) | Expr::Not(e) => e.collect_reads(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `var = expr` — reads of `expr`'s variables, then one write event.
+    Assign(VarId, Expr),
+    /// `if (cond != 0) { then } else { else }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond != 0) { body }`.
+    While(Expr, Vec<Stmt>),
+    /// Acquire a mutex (blocks while held by another thread).
+    Lock(LockId),
+    /// Release a mutex. Releasing a lock not held by the current thread is
+    /// a runtime error surfaced by the interpreter.
+    Unlock(LockId),
+    /// An internal event (no shared access) — models "irrelevant code".
+    Skip,
+}
+
+impl Stmt {
+    /// `var = expr` builder.
+    #[must_use]
+    pub fn assign(var: VarId, expr: Expr) -> Stmt {
+        Stmt::Assign(var, expr)
+    }
+
+    /// `if (cond) { then }` with empty else.
+    #[must_use]
+    pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+        Stmt::If(cond, then, Vec::new())
+    }
+}
+
+/// The code of one thread.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ThreadProgram {
+    /// The thread body.
+    pub stmts: Vec<Stmt>,
+}
+
+impl ThreadProgram {
+    /// Wraps a statement list.
+    #[must_use]
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Self { stmts }
+    }
+}
+
+/// A complete multithreaded program.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// One body per thread; thread `i` is `ThreadId(i)`.
+    pub threads: Vec<ThreadProgram>,
+    /// Initial shared-variable values (unset variables read as 0).
+    pub initial: BTreeMap<VarId, Value>,
+    /// Number of mutexes used.
+    pub locks: u32,
+}
+
+impl Program {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a thread, returning `self` for chaining.
+    #[must_use]
+    pub fn with_thread(mut self, stmts: Vec<Stmt>) -> Self {
+        self.threads.push(ThreadProgram::new(stmts));
+        self
+    }
+
+    /// Sets an initial value, returning `self` for chaining.
+    #[must_use]
+    pub fn with_initial(mut self, var: VarId, value: impl Into<Value>) -> Self {
+        self.initial.insert(var, value.into());
+        self
+    }
+
+    /// Declares `n` mutexes, returning `self` for chaining.
+    #[must_use]
+    pub fn with_locks(mut self, n: u32) -> Self {
+        self.locks = n;
+        self
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The largest variable id mentioned anywhere (program text or initial
+    /// state), used to place lock pseudo-variables after real variables.
+    #[must_use]
+    pub fn max_var_id(&self) -> Option<VarId> {
+        fn stmt_max(s: &Stmt, max: &mut Option<u32>) {
+            let mut upd = |v: VarId| {
+                *max = Some(max.map_or(v.0, |m: u32| m.max(v.0)));
+            };
+            match s {
+                Stmt::Assign(v, e) => {
+                    upd(*v);
+                    for r in e.reads() {
+                        upd(r);
+                    }
+                }
+                Stmt::If(c, a, b) => {
+                    for r in c.reads() {
+                        upd(r);
+                    }
+                    a.iter().for_each(|s| stmt_max(s, max));
+                    b.iter().for_each(|s| stmt_max(s, max));
+                }
+                Stmt::While(c, body) => {
+                    for r in c.reads() {
+                        upd(r);
+                    }
+                    body.iter().for_each(|s| stmt_max(s, max));
+                }
+                Stmt::Lock(_) | Stmt::Unlock(_) | Stmt::Skip => {}
+            }
+        }
+        let mut max: Option<u32> = self.initial.keys().map(|v| v.0).max();
+        for t in &self.threads {
+            for s in &t.stmts {
+                stmt_max(s, &mut max);
+            }
+        }
+        max.map(VarId)
+    }
+
+    /// The pseudo shared variable standing for `lock` (Section 3.1).
+    #[must_use]
+    pub fn lock_var(&self, lock: LockId) -> VarId {
+        let base = self.max_var_id().map_or(0, |v| v.0 + 1);
+        VarId(base + lock.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    #[test]
+    fn expr_builders_and_reads() {
+        let e = Expr::var(X).add(Expr::val(1)).mul(Expr::var(Y));
+        assert_eq!(e.reads(), vec![X, Y]);
+        let e = Expr::var(X).add(Expr::var(X));
+        assert_eq!(e.reads(), vec![X, X], "each occurrence is one read");
+        assert_eq!(Expr::val(3).reads(), Vec::<VarId>::new());
+        let e = Expr::var(X).eq(Expr::val(0)).not();
+        assert_eq!(e.reads(), vec![X]);
+    }
+
+    #[test]
+    fn program_builder() {
+        let p = Program::new()
+            .with_thread(vec![Stmt::assign(X, Expr::val(1))])
+            .with_thread(vec![Stmt::assign(Y, Expr::var(X))])
+            .with_initial(X, 0)
+            .with_locks(2);
+        assert_eq!(p.thread_count(), 2);
+        assert_eq!(p.locks, 2);
+        assert_eq!(p.max_var_id(), Some(Y));
+        assert_eq!(p.lock_var(LockId(0)), VarId(2));
+        assert_eq!(p.lock_var(LockId(1)), VarId(3));
+    }
+
+    #[test]
+    fn max_var_id_covers_nested_statements() {
+        let z = VarId(9);
+        let p = Program::new().with_thread(vec![Stmt::While(
+            Expr::var(X),
+            vec![Stmt::If(
+                Expr::var(Y),
+                vec![Stmt::assign(z, Expr::val(1))],
+                vec![],
+            )],
+        )]);
+        assert_eq!(p.max_var_id(), Some(z));
+    }
+
+    #[test]
+    fn empty_program_has_no_vars() {
+        assert_eq!(Program::new().max_var_id(), None);
+        assert_eq!(Program::new().lock_var(LockId(0)), VarId(0));
+    }
+}

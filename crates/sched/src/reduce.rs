@@ -1,0 +1,272 @@
+//! Reduced schedule exploration: persistent-set-style partial-order
+//! reduction plus state deduplication.
+//!
+//! [`crate::explore_all`] enumerates *every* interleaving — factorial in
+//! the worst case. For reachability questions (which final states exist?
+//! can the program deadlock?) most interleavings are redundant:
+//!
+//! * **owner moves** — a step touching only variables that no other thread
+//!   ever accesses (or an internal `Nop`) commutes with every other
+//!   thread's steps, so exploring it *first and alone* is sound;
+//! * **state dedup** — two schedules reaching the same machine state have
+//!   identical futures, so the second can be pruned.
+//!
+//! The result explores the same reachable final states and deadlocks as
+//! full enumeration (property-tested in `tests/reduce_oracle.rs`) at a
+//! fraction of the cost.
+
+use std::collections::{BTreeMap, HashSet};
+
+use jmpax_core::{ThreadId, Value, VarId};
+use jmpax_spec::ProgramState;
+
+use crate::compile::{CompiledProgram, Op};
+use crate::interp::{Machine, StepResult};
+use crate::program::Program;
+use crate::schedule::ExploreLimits;
+
+/// Result of a reduced exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ReducedExploration {
+    /// Distinct final stores of completed runs.
+    pub final_states: HashSet<BTreeMap<VarId, Value>>,
+    /// True when some schedule deadlocks.
+    pub any_deadlock: bool,
+    /// Machine states expanded (the cost measure; compare with the run
+    /// count of full exploration).
+    pub states_expanded: usize,
+    /// True when limits truncated the search (results then under-approximate).
+    pub truncated: bool,
+}
+
+/// Explores reachable final states / deadlocks with reduction.
+#[must_use]
+pub fn explore_reduced(program: &Program, limits: ExploreLimits) -> ReducedExploration {
+    let compiled = CompiledProgram::compile(program.clone());
+    // Which variables are touched by more than one thread? Owner moves are
+    // steps on single-thread variables.
+    let shared_vars = shared_vars(&compiled);
+
+    let mut out = ReducedExploration::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut stack = vec![Machine::from_compiled(compiled.clone())];
+
+    while let Some(machine) = stack.pop() {
+        if out.states_expanded >= limits.max_runs {
+            out.truncated = true;
+            break;
+        }
+        let key = state_key(&machine);
+        if !seen.insert(key) {
+            continue;
+        }
+        out.states_expanded += 1;
+
+        let runnable = machine.runnable();
+        if runnable.is_empty() {
+            if machine.all_finished() {
+                out.final_states.insert(store_of(machine.store(), program));
+            } else {
+                out.any_deadlock = true;
+            }
+            continue;
+        }
+        if machine.schedule().len() >= limits.max_steps {
+            out.truncated = true;
+            continue;
+        }
+
+        // Persistent-set reduction: if some runnable thread's next visible
+        // op is an owner move, expanding only that thread is sound.
+        let expand: Vec<ThreadId> = match runnable
+            .iter()
+            .find(|&&t| is_owner_move(&machine, t, &shared_vars))
+        {
+            Some(&t) => vec![t],
+            None => runnable,
+        };
+        for t in expand {
+            let mut branch = machine.clone();
+            if branch.step(t) == StepResult::Progressed {
+                stack.push(branch);
+            } else {
+                // Diverged / lock error: terminal.
+                out.truncated = true;
+            }
+        }
+    }
+    out
+}
+
+/// Variables accessed by more than one thread (including lock vars, which
+/// are shared by construction when used by several threads).
+fn shared_vars(compiled: &CompiledProgram) -> HashSet<VarId> {
+    let mut owner: BTreeMap<VarId, usize> = BTreeMap::new();
+    let mut shared = HashSet::new();
+    for (tid, thread) in compiled.threads.iter().enumerate() {
+        for op in &thread.ops {
+            let vars: Vec<VarId> = match op {
+                Op::Read { var, .. } | Op::Write { var, .. } => vec![*var],
+                Op::Acquire(l) | Op::Release(l) => vec![compiled.source.lock_var(*l)],
+                _ => vec![],
+            };
+            for v in vars {
+                match owner.get(&v) {
+                    None => {
+                        owner.insert(v, tid);
+                    }
+                    Some(&o) if o != tid => {
+                        shared.insert(v);
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    shared
+}
+
+/// Is thread `t`'s next visible op local to `t` (commutes with everything)?
+fn is_owner_move(machine: &Machine, t: ThreadId, shared: &HashSet<VarId>) -> bool {
+    match machine.peek_visible_op(t) {
+        Some(Op::Nop) => true,
+        Some(Op::Read { var, .. }) | Some(Op::Write { var, .. }) => !shared.contains(&var),
+        // Lock ops synchronize; blocked threads are not runnable anyway.
+        Some(Op::Acquire(_)) | Some(Op::Release(_)) => false,
+        _ => false,
+    }
+}
+
+fn store_of(state: &ProgramState, program: &Program) -> BTreeMap<VarId, Value> {
+    // Normalize: only variables the program mentions (dense ids 0..=max).
+    let max = program.max_var_id().map_or(0, |v| v.0);
+    (0..=max).map(VarId).map(|v| (v, state.get(v))).collect()
+}
+
+/// A canonical textual key of the full machine state (program counters,
+/// temps, store, lock owners).
+fn state_key(machine: &Machine) -> String {
+    machine.state_key()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Expr, LockId, Stmt};
+    use crate::schedule::explore_all;
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    fn final_states_full(p: &Program, limits: ExploreLimits) -> HashSet<BTreeMap<VarId, Value>> {
+        explore_all(p, limits)
+            .into_iter()
+            .filter(|o| o.finished)
+            .map(|o| store_of(&o.final_state, p))
+            .collect()
+    }
+
+    #[test]
+    fn lost_update_final_states_match_full_exploration() {
+        let inc = vec![Stmt::assign(X, Expr::var(X).add(Expr::val(1)))];
+        let p = Program::new()
+            .with_thread(inc.clone())
+            .with_thread(inc)
+            .with_initial(X, 0);
+        let limits = ExploreLimits::default();
+        let full = final_states_full(&p, limits);
+        let reduced = explore_reduced(&p, limits);
+        assert_eq!(reduced.final_states, full);
+        assert!(!reduced.any_deadlock);
+        assert!(!reduced.truncated);
+    }
+
+    #[test]
+    fn owner_moves_cut_the_search_dramatically() {
+        // Two threads doing mostly private work with one shared write.
+        let body = |private: VarId| {
+            let mut stmts: Vec<Stmt> = (0..3)
+                .map(|_| Stmt::assign(private, Expr::var(private).add(Expr::val(1))))
+                .collect();
+            stmts.push(Stmt::assign(X, Expr::var(private)));
+            stmts
+        };
+        let p = Program::new()
+            .with_thread(body(Y))
+            .with_thread(body(VarId(2)))
+            .with_initial(X, 0)
+            .with_initial(Y, 0)
+            .with_initial(VarId(2), 0);
+        let limits = ExploreLimits {
+            max_steps: 128,
+            max_runs: 100_000,
+        };
+        let full_runs = explore_all(&p, limits).len();
+        let reduced = explore_reduced(&p, limits);
+        let full = final_states_full(&p, limits);
+        assert_eq!(reduced.final_states, full);
+        assert!(
+            reduced.states_expanded < full_runs,
+            "reduction must beat full enumeration: {} !< {}",
+            reduced.states_expanded,
+            full_runs
+        );
+    }
+
+    #[test]
+    fn deadlock_reachability_preserved() {
+        let a = LockId(0);
+        let b = LockId(1);
+        let p = Program::new()
+            .with_thread(vec![
+                Stmt::Lock(a),
+                Stmt::Lock(b),
+                Stmt::Unlock(b),
+                Stmt::Unlock(a),
+            ])
+            .with_thread(vec![
+                Stmt::Lock(b),
+                Stmt::Lock(a),
+                Stmt::Unlock(a),
+                Stmt::Unlock(b),
+            ])
+            .with_locks(2);
+        let reduced = explore_reduced(&p, ExploreLimits::default());
+        assert!(reduced.any_deadlock);
+
+        // And the ordered version is clean.
+        let p = Program::new()
+            .with_thread(vec![
+                Stmt::Lock(a),
+                Stmt::Lock(b),
+                Stmt::Unlock(b),
+                Stmt::Unlock(a),
+            ])
+            .with_thread(vec![
+                Stmt::Lock(a),
+                Stmt::Lock(b),
+                Stmt::Unlock(b),
+                Stmt::Unlock(a),
+            ])
+            .with_locks(2);
+        let reduced = explore_reduced(&p, ExploreLimits::default());
+        assert!(!reduced.any_deadlock);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let inc = vec![Stmt::assign(X, Expr::var(X).add(Expr::val(1))); 6];
+        let p = Program::new()
+            .with_thread(inc.clone())
+            .with_thread(inc)
+            .with_initial(X, 0);
+        let reduced = explore_reduced(
+            &p,
+            ExploreLimits {
+                max_steps: 64,
+                max_runs: 3,
+            },
+        );
+        assert!(reduced.truncated);
+    }
+}

@@ -1,0 +1,236 @@
+//! Counterexample replay: find a real schedule realizing a predicted run.
+//!
+//! The lattice analysis predicts violating runs as sequences of relevant
+//! *writes* (thread, variable, value). Prediction is sound with respect to
+//! the **causal structure** of the observed execution but value-blind: a
+//! permuted run might take different branches when actually executed (the
+//! paper's flight-controller counterexamples are of exactly this kind —
+//! "this error is an artifact of a bad programming style"). This module
+//! searches the program's real schedule space for an execution whose
+//! relevant-write projection matches the prediction, thereby separating
+//! *reproducible* counterexamples from *causality-only* ones.
+
+use jmpax_core::{ThreadId, Value, VarId};
+
+use crate::interp::{Machine, RunOutcome, StepResult};
+use crate::program::Program;
+
+/// One expected relevant write of the predicted run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TargetWrite {
+    /// The thread that must perform the write.
+    pub thread: ThreadId,
+    /// The variable written.
+    pub var: VarId,
+    /// The value written.
+    pub value: Value,
+}
+
+/// Searches (DFS over schedules, pruned by the write-projection prefix) for
+/// an execution whose writes of the *watched* variables match `targets`
+/// exactly, in order. Returns the witnessing outcome, or `None` when no
+/// schedule within `max_steps` realizes the prediction.
+///
+/// `watched` determines which writes count toward the projection — pass the
+/// relevant variables of the property.
+#[must_use]
+pub fn find_schedule_for_writes(
+    program: &Program,
+    targets: &[TargetWrite],
+    watched: &[VarId],
+    max_steps: usize,
+) -> Option<RunOutcome> {
+    let machine = Machine::new(program);
+    dfs(machine, targets, watched, 0, max_steps)
+}
+
+fn projection_len(machine: &Machine, watched: &[VarId]) -> usize {
+    machine
+        .write_events()
+        .filter(|(_, var, _)| watched.contains(var))
+        .count()
+}
+
+fn prefix_matches(machine: &Machine, targets: &[TargetWrite], watched: &[VarId]) -> bool {
+    let mut idx = 0;
+    for (thread, var, value) in machine.write_events() {
+        if !watched.contains(&var) {
+            continue;
+        }
+        let Some(t) = targets.get(idx) else {
+            return false; // more watched writes than predicted
+        };
+        if t.thread != thread || t.var != var || t.value != value {
+            return false;
+        }
+        idx += 1;
+    }
+    true
+}
+
+fn dfs(
+    machine: Machine,
+    targets: &[TargetWrite],
+    watched: &[VarId],
+    depth: usize,
+    max_steps: usize,
+) -> Option<RunOutcome> {
+    if !prefix_matches(&machine, targets, watched) {
+        return None;
+    }
+    let done = projection_len(&machine, watched) == targets.len();
+    let runnable = machine.runnable();
+    if done && (runnable.is_empty() || machine.all_finished()) {
+        return Some(machine.into_outcome());
+    }
+    if runnable.is_empty() || depth >= max_steps {
+        // A complete projection with threads still runnable also counts —
+        // the remaining steps write nothing watched (checked by recursing),
+        // so accept when the projection is full and no extension breaks it.
+        if done {
+            return Some(machine.into_outcome());
+        }
+        return None;
+    }
+    // Prefer the thread that owes the next predicted write — a strong
+    // heuristic that usually walks straight to the witness.
+    let next_target = targets
+        .get(projection_len(&machine, watched))
+        .map(|t| t.thread);
+    let mut order: Vec<ThreadId> = runnable.clone();
+    if let Some(preferred) = next_target {
+        order.sort_by_key(|t| if *t == preferred { 0 } else { 1 });
+    }
+    for t in order {
+        let mut branch = machine.clone();
+        if branch.step(t) != StepResult::Progressed {
+            continue;
+        }
+        if let Some(found) = dfs(branch, targets, watched, depth + 1, max_steps) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Expr, Stmt};
+
+    const T1: ThreadId = ThreadId(0);
+    const T2: ThreadId = ThreadId(1);
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+    const Z: VarId = VarId(2);
+
+    /// Example 2 of the paper: T1: x++; y = x + 1. T2: z = x + 1; x++.
+    fn example2() -> Program {
+        Program::new()
+            .with_thread(vec![
+                Stmt::assign(X, Expr::var(X).add(Expr::val(1))),
+                Stmt::assign(Y, Expr::var(X).add(Expr::val(1))),
+            ])
+            .with_thread(vec![
+                Stmt::assign(Z, Expr::var(X).add(Expr::val(1))),
+                Stmt::assign(X, Expr::var(X).add(Expr::val(1))),
+            ])
+            .with_initial(X, -1)
+            .with_initial(Y, 0)
+            .with_initial(Z, 0)
+    }
+
+    #[test]
+    fn replays_the_predicted_violating_run_of_example2() {
+        // The violating run of Fig. 6: e1 (x=0, T1), e3 (y=1, T1),
+        // e2 (z=1, T2), e4 (x=1, T2).
+        let targets = [
+            TargetWrite {
+                thread: T1,
+                var: X,
+                value: Value::Int(0),
+            },
+            TargetWrite {
+                thread: T1,
+                var: Y,
+                value: Value::Int(1),
+            },
+            TargetWrite {
+                thread: T2,
+                var: Z,
+                value: Value::Int(1),
+            },
+            TargetWrite {
+                thread: T2,
+                var: X,
+                value: Value::Int(1),
+            },
+        ];
+        let out = find_schedule_for_writes(&example2(), &targets, &[X, Y, Z], 64)
+            .expect("the Fig. 6 prediction must be realizable");
+        assert!(out.finished);
+        // The realized execution's watched writes match the prediction.
+        let writes: Vec<_> = out
+            .execution
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                jmpax_core::EventKind::Write { var, value } => Some((e.thread, var, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes.len(), 4);
+        assert_eq!(writes[0], (T1, X, Value::Int(0)));
+        assert_eq!(writes[1], (T1, Y, Value::Int(1)));
+    }
+
+    #[test]
+    fn infeasible_prediction_returns_none() {
+        // z cannot be written before x: z = x + 1 with x still -1 gives 0,
+        // never 99.
+        let targets = [TargetWrite {
+            thread: T2,
+            var: Z,
+            value: Value::Int(99),
+        }];
+        assert!(find_schedule_for_writes(&example2(), &targets, &[X, Y, Z], 64).is_none());
+    }
+
+    #[test]
+    fn wrong_order_prediction_returns_none() {
+        // y = 1 requires x == 0 first; demanding y's write before x's write
+        // of 0 is value-infeasible (y would be 0).
+        let targets = [
+            TargetWrite {
+                thread: T1,
+                var: Y,
+                value: Value::Int(1),
+            },
+            TargetWrite {
+                thread: T1,
+                var: X,
+                value: Value::Int(0),
+            },
+        ];
+        assert!(find_schedule_for_writes(&example2(), &targets, &[X, Y, Z], 64).is_none());
+    }
+
+    #[test]
+    fn unwatched_writes_do_not_pollute_projection() {
+        // Watch only y: any schedule reaching y=1 works, regardless of x/z.
+        let targets = [TargetWrite {
+            thread: T1,
+            var: Y,
+            value: Value::Int(1),
+        }];
+        let out = find_schedule_for_writes(&example2(), &targets, &[Y], 64).unwrap();
+        assert!(out.execution.events.iter().any(|e| e.var() == Some(Y)));
+    }
+
+    #[test]
+    fn empty_target_accepts_any_complete_run_without_watched_writes() {
+        let p = Program::new().with_thread(vec![Stmt::Skip]);
+        let out = find_schedule_for_writes(&p, &[], &[X], 16).unwrap();
+        assert!(out.finished);
+    }
+}

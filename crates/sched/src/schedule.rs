@@ -1,0 +1,312 @@
+//! Schedulers: fixed, round-robin, seeded-random, and exhaustive
+//! enumeration of interleavings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use jmpax_core::ThreadId;
+
+use crate::interp::{Machine, RunOutcome, StepResult};
+use crate::program::Program;
+
+/// Chooses the next thread to step among the runnable ones.
+pub trait Scheduler {
+    /// Picks one of `runnable` (guaranteed non-empty).
+    fn choose(&mut self, runnable: &[ThreadId], machine: &Machine) -> ThreadId;
+}
+
+/// Round-robin over thread ids.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    last: Option<ThreadId>,
+}
+
+impl Scheduler for RoundRobin {
+    fn choose(&mut self, runnable: &[ThreadId], _machine: &Machine) -> ThreadId {
+        let next = match self.last {
+            None => runnable[0],
+            Some(last) => *runnable
+                .iter()
+                .find(|t| t.0 > last.0)
+                .unwrap_or(&runnable[0]),
+        };
+        self.last = Some(next);
+        next
+    }
+}
+
+/// Uniform random choice with a fixed seed (deterministic sweeps).
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// A scheduler seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn choose(&mut self, runnable: &[ThreadId], _machine: &Machine) -> ThreadId {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Replays a recorded schedule; falls back to the first runnable thread
+/// when the scripted thread cannot run (or the script is exhausted).
+#[derive(Debug)]
+pub struct FixedSchedule {
+    script: Vec<ThreadId>,
+    pos: usize,
+}
+
+impl FixedSchedule {
+    /// Wraps a schedule.
+    #[must_use]
+    pub fn new(script: Vec<ThreadId>) -> Self {
+        Self { script, pos: 0 }
+    }
+}
+
+impl Scheduler for FixedSchedule {
+    fn choose(&mut self, runnable: &[ThreadId], _machine: &Machine) -> ThreadId {
+        let scripted = self.script.get(self.pos).copied();
+        self.pos += 1;
+        match scripted {
+            Some(t) if runnable.contains(&t) => t,
+            _ => runnable[0],
+        }
+    }
+}
+
+/// Runs `program` under `scheduler` for at most `max_steps` visible steps.
+#[must_use]
+pub fn run<S: Scheduler>(program: &Program, scheduler: &mut S, max_steps: usize) -> RunOutcome {
+    let mut m = Machine::new(program);
+    for _ in 0..max_steps {
+        let runnable = m.runnable();
+        if runnable.is_empty() {
+            break;
+        }
+        let t = scheduler.choose(&runnable, &m);
+        match m.step(t) {
+            StepResult::Progressed => {}
+            // Blocked/Finished should not happen for runnable threads, but
+            // any scheduler bug degrades gracefully to "try the next step".
+            StepResult::Blocked(_) | StepResult::Finished => {}
+            StepResult::Diverged | StepResult::LockError(_) => break,
+        }
+    }
+    m.into_outcome()
+}
+
+/// Runs under a seeded random scheduler.
+#[must_use]
+pub fn run_random(program: &Program, seed: u64, max_steps: usize) -> RunOutcome {
+    run(program, &mut RandomScheduler::new(seed), max_steps)
+}
+
+/// Runs under round-robin.
+#[must_use]
+pub fn run_round_robin(program: &Program, max_steps: usize) -> RunOutcome {
+    run(program, &mut RoundRobin::default(), max_steps)
+}
+
+/// Runs under a fixed schedule.
+#[must_use]
+pub fn run_fixed(program: &Program, schedule: Vec<ThreadId>, max_steps: usize) -> RunOutcome {
+    run(program, &mut FixedSchedule::new(schedule), max_steps)
+}
+
+/// Bounds for exhaustive exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreLimits {
+    /// Maximum visible steps per run.
+    pub max_steps: usize,
+    /// Stop after this many complete runs.
+    pub max_runs: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        Self {
+            max_steps: 256,
+            max_runs: 10_000,
+        }
+    }
+}
+
+/// Depth-first enumeration of every interleaving (up to the limits),
+/// returning the outcome of each maximal run. Runs that exceed `max_steps`
+/// are truncated (reported with `finished == false`).
+#[must_use]
+pub fn explore_all(program: &Program, limits: ExploreLimits) -> Vec<RunOutcome> {
+    let mut out = Vec::new();
+    let machine = Machine::new(program);
+    dfs(machine, 0, &limits, &mut out);
+    out
+}
+
+fn dfs(machine: Machine, depth: usize, limits: &ExploreLimits, out: &mut Vec<RunOutcome>) {
+    if out.len() >= limits.max_runs {
+        return;
+    }
+    let runnable = machine.runnable();
+    if runnable.is_empty() || depth >= limits.max_steps {
+        out.push(machine.into_outcome());
+        return;
+    }
+    for &t in &runnable {
+        let mut branch = machine.clone();
+        match branch.step(t) {
+            StepResult::Progressed => dfs(branch, depth + 1, limits, out),
+            _ => out.push(branch.into_outcome()),
+        }
+        if out.len() >= limits.max_runs {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Expr, Stmt};
+    use jmpax_core::{Value, VarId};
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    fn two_writers() -> Program {
+        Program::new()
+            .with_thread(vec![Stmt::assign(X, Expr::val(1))])
+            .with_thread(vec![Stmt::assign(Y, Expr::val(2))])
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let out = run_round_robin(&two_writers(), 100);
+        assert!(out.finished);
+        assert_eq!(out.schedule.len(), 2);
+        assert_ne!(out.schedule[0], out.schedule[1]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let p = Program::new()
+            .with_thread(vec![
+                Stmt::assign(X, Expr::val(1)),
+                Stmt::assign(X, Expr::val(2)),
+            ])
+            .with_thread(vec![
+                Stmt::assign(Y, Expr::val(1)),
+                Stmt::assign(Y, Expr::val(2)),
+            ]);
+        let a = run_random(&p, 42, 100);
+        let b = run_random(&p, 42, 100);
+        assert_eq!(a.schedule, b.schedule);
+        let c = run_random(&p, 43, 100);
+        // With 4!/(2!2!) = 6 interleavings, seeds 42/43 almost surely differ;
+        // if not, the test would still pass on the schedule comparison below
+        // being equal — so only assert both finished.
+        assert!(a.finished && c.finished);
+    }
+
+    #[test]
+    fn fixed_schedule_is_replayed() {
+        let p = two_writers();
+        let t1 = jmpax_core::ThreadId(0);
+        let t2 = jmpax_core::ThreadId(1);
+        let out = run_fixed(&p, vec![t2, t1], 100);
+        assert_eq!(out.schedule, vec![t2, t1]);
+    }
+
+    #[test]
+    fn fixed_schedule_falls_back_when_blocked() {
+        let p = two_writers();
+        let t2 = jmpax_core::ThreadId(1);
+        // Script only t2; after it finishes, fall back to t1.
+        let out = run_fixed(&p, vec![t2, t2, t2], 100);
+        assert!(out.finished);
+    }
+
+    #[test]
+    fn explore_all_enumerates_interleavings() {
+        // Two single-step threads: exactly 2 interleavings.
+        let outs = explore_all(&two_writers(), ExploreLimits::default());
+        assert_eq!(outs.len(), 2);
+        assert!(outs.iter().all(|o| o.finished));
+        let schedules: std::collections::HashSet<_> =
+            outs.iter().map(|o| o.schedule.clone()).collect();
+        assert_eq!(schedules.len(), 2);
+    }
+
+    #[test]
+    fn explore_finds_all_final_states_of_a_race() {
+        // T1: x = x + 1   T2: x = x + 1  (classic lost update)
+        let inc = vec![Stmt::assign(X, Expr::var(X).add(Expr::val(1)))];
+        let p = Program::new()
+            .with_thread(inc.clone())
+            .with_thread(inc)
+            .with_initial(X, 0);
+        let outs = explore_all(&p, ExploreLimits::default());
+        let finals: std::collections::HashSet<i64> =
+            outs.iter().map(|o| o.final_state.get(X).as_int()).collect();
+        // Both the correct (2) and the lost-update (1) results exist.
+        assert_eq!(finals, [1i64, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn explore_respects_max_runs() {
+        let p = Program::new()
+            .with_thread(vec![Stmt::assign(X, Expr::val(1)); 4])
+            .with_thread(vec![Stmt::assign(Y, Expr::val(1)); 4]);
+        let outs = explore_all(
+            &p,
+            ExploreLimits {
+                max_steps: 64,
+                max_runs: 5,
+            },
+        );
+        assert_eq!(outs.len(), 5);
+    }
+
+    #[test]
+    fn explore_reports_deadlocks() {
+        use crate::program::LockId;
+        let a = LockId(0);
+        let b = LockId(1);
+        let p = Program::new()
+            .with_thread(vec![
+                Stmt::Lock(a),
+                Stmt::Lock(b),
+                Stmt::Unlock(b),
+                Stmt::Unlock(a),
+            ])
+            .with_thread(vec![
+                Stmt::Lock(b),
+                Stmt::Lock(a),
+                Stmt::Unlock(a),
+                Stmt::Unlock(b),
+            ])
+            .with_locks(2);
+        let outs = explore_all(&p, ExploreLimits::default());
+        assert!(
+            outs.iter().any(|o| o.deadlocked),
+            "deadlock schedule exists"
+        );
+        assert!(outs.iter().any(|o| o.finished), "safe schedule exists");
+    }
+
+    #[test]
+    fn final_states_value_check() {
+        let out = run_round_robin(&two_writers(), 100);
+        assert_eq!(out.final_state.get(X), Value::Int(1));
+        assert_eq!(out.final_state.get(Y), Value::Int(2));
+    }
+}

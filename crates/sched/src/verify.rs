@@ -1,0 +1,124 @@
+//! Exhaustive ground truth: enumerate **every real schedule** of a program
+//! and monitor each observed trace.
+//!
+//! This is what the predictive analysis approximates from a single run —
+//! the comparison (experiment Q8 in DESIGN.md) shows how close one-run
+//! prediction gets to full enumeration, and in which direction it errs
+//! (prediction is value-blind, enumeration is exact but exponential).
+
+use jmpax_spec::Monitor;
+
+use crate::interp::RunOutcome;
+use crate::program::Program;
+use crate::schedule::{explore_all, ExploreLimits};
+
+/// Result of exhaustive schedule enumeration under a monitor.
+#[derive(Clone, Debug, Default)]
+pub struct ExhaustiveReport {
+    /// Maximal runs enumerated (complete or truncated).
+    pub total: usize,
+    /// Runs that completed.
+    pub finished: usize,
+    /// Runs whose observed trace violated the property.
+    pub violating: usize,
+    /// Runs that deadlocked.
+    pub deadlocked: usize,
+    /// One violating outcome, if any (the shortest found).
+    pub witness: Option<RunOutcome>,
+}
+
+impl ExhaustiveReport {
+    /// True when some real schedule violates the property.
+    #[must_use]
+    pub fn any_violation(&self) -> bool {
+        self.violating > 0
+    }
+}
+
+/// Enumerates every interleaving (bounded by `limits`) and monitors each.
+#[must_use]
+pub fn verify_exhaustive(
+    program: &Program,
+    monitor: &Monitor,
+    limits: ExploreLimits,
+) -> ExhaustiveReport {
+    let mut report = ExhaustiveReport::default();
+    for outcome in explore_all(program, limits) {
+        report.total += 1;
+        report.finished += usize::from(outcome.finished);
+        report.deadlocked += usize::from(outcome.deadlocked);
+        let states = outcome.observed_states();
+        if monitor.first_violation(&states).is_some() {
+            report.violating += 1;
+            let better = match &report.witness {
+                None => true,
+                Some(w) => outcome.schedule.len() < w.schedule.len(),
+            };
+            if better {
+                report.witness = Some(outcome);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Expr, Stmt};
+    use jmpax_core::{SymbolTable, VarId};
+    use jmpax_spec::parse;
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    fn monitor(src: &str) -> Monitor {
+        let mut syms = SymbolTable::new();
+        syms.intern("x");
+        syms.intern("y");
+        parse(src, &mut syms).unwrap().monitor().unwrap()
+    }
+
+    #[test]
+    fn publication_race_found_exhaustively() {
+        // T1: x = 150. T2: y = 1. Property: start(y=1) -> x >= 150.
+        let p = Program::new()
+            .with_thread(vec![Stmt::assign(X, Expr::val(150))])
+            .with_thread(vec![Stmt::assign(Y, Expr::val(1))]);
+        let m = monitor("start(y = 1) -> x >= 150");
+        let report = verify_exhaustive(&p, &m, ExploreLimits::default());
+        assert_eq!(report.total, 2);
+        assert_eq!(report.finished, 2);
+        assert_eq!(report.violating, 1, "exactly the receipt-first order");
+        assert!(report.any_violation());
+        let witness = report.witness.unwrap();
+        assert_eq!(witness.schedule[0], jmpax_core::ThreadId(1));
+    }
+
+    #[test]
+    fn safe_program_has_no_violations() {
+        let p = Program::new()
+            .with_thread(vec![Stmt::assign(X, Expr::val(1))])
+            .with_thread(vec![Stmt::assign(Y, Expr::val(1))]);
+        let m = monitor("x >= 0 /\\ y >= 0");
+        let report = verify_exhaustive(&p, &m, ExploreLimits::default());
+        assert_eq!(report.violating, 0);
+        assert!(report.witness.is_none());
+        assert!(!report.any_violation());
+    }
+
+    #[test]
+    fn deadlocks_counted() {
+        use crate::program::LockId;
+        let a = LockId(0);
+        let b = LockId(1);
+        let p = Program::new()
+            .with_thread(vec![Stmt::Lock(a), Stmt::Lock(b)])
+            .with_thread(vec![Stmt::Lock(b), Stmt::Lock(a)])
+            .with_locks(2);
+        let m = monitor("true");
+        let report = verify_exhaustive(&p, &m, ExploreLimits::default());
+        assert!(report.deadlocked > 0);
+        assert_eq!(report.violating, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Oracle for the reduced exploration: on random small programs,
+//! `explore_reduced` finds exactly the final states and deadlock verdicts
+//! of full enumeration.
+
+use std::collections::{BTreeMap, HashSet};
+
+use jmpax_core::{Value, VarId};
+use jmpax_sched::{explore_all, explore_reduced, ExploreLimits, Expr, LockId, Program, Stmt};
+use proptest::prelude::*;
+
+const LIMITS: ExploreLimits = ExploreLimits {
+    max_steps: 32,
+    max_runs: 8_000,
+};
+
+fn final_states_full(p: &Program) -> (HashSet<BTreeMap<VarId, Value>>, bool) {
+    let outs = explore_all(p, LIMITS);
+    let max = p.max_var_id().map_or(0, |v| v.0);
+    let states = outs
+        .iter()
+        .filter(|o| o.finished)
+        .map(|o| {
+            (0..=max)
+                .map(VarId)
+                .map(|v| (v, o.final_state.get(v)))
+                .collect()
+        })
+        .collect();
+    let deadlock = outs.iter().any(|o| o.deadlocked);
+    (states, deadlock)
+}
+
+/// Random straight-line statement: `dst = src + c`, optionally locked.
+fn arb_stmt() -> impl Strategy<Value = Vec<Stmt>> {
+    (0..3u32, 0..3u32, 0..2i64, prop::option::of(0..2u32)).prop_map(|(dst, src, c, lock)| {
+        let assign = Stmt::assign(VarId(dst), Expr::var(VarId(src)).add(Expr::val(c)));
+        match lock {
+            Some(l) => vec![Stmt::Lock(LockId(l)), assign, Stmt::Unlock(LockId(l))],
+            None => vec![assign],
+        }
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    // Keep programs tiny: full enumeration is factorial and runs once per
+    // proptest case.
+    prop::collection::vec(
+        prop::collection::vec(arb_stmt(), 1..3)
+            .prop_map(|blocks| blocks.into_iter().flatten().collect::<Vec<Stmt>>()),
+        2..3,
+    )
+    .prop_map(|threads| {
+        let mut p = Program::new().with_locks(2);
+        for stmts in threads {
+            p = p.with_thread(stmts);
+        }
+        for v in 0..3 {
+            p = p.with_initial(VarId(v), 0);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reduced_matches_full(p in arb_program()) {
+        // Skip pathologically large cases: full enumeration is the oracle
+        // and must itself stay cheap.
+        let full = explore_all(&p, LIMITS);
+        prop_assume!(full.len() < 8_000);
+        let (full_states, full_deadlock) = final_states_full(&p);
+        let reduced = explore_reduced(&p, LIMITS);
+        prop_assume!(!reduced.truncated);
+        prop_assert_eq!(&reduced.final_states, &full_states);
+        prop_assert_eq!(reduced.any_deadlock, full_deadlock);
+    }
+}

@@ -1,0 +1,249 @@
+//! Pretty-printing of formulas back to concrete syntax.
+//!
+//! [`Formula::to_source`] renders a formula with minimal parentheses such
+//! that re-parsing yields the identical AST (round-trip property-tested in
+//! `tests/roundtrip.rs`). Useful for reports, spec normalization, and for
+//! tooling that manipulates formulas programmatically.
+
+use std::fmt::Write as _;
+
+use jmpax_core::SymbolTable;
+
+use crate::ast::{Atom, BinOp, CmpOp, Expr, Formula};
+
+// Formula precedence levels (higher binds tighter).
+const P_IMPLIES: u8 = 1;
+const P_SINCE: u8 = 2;
+const P_OR: u8 = 3;
+const P_AND: u8 = 4;
+const P_UNARY: u8 = 5;
+const P_ATOM: u8 = 6;
+
+// Expression precedence levels.
+const E_ADD: u8 = 1;
+const E_MUL: u8 = 2;
+const E_FACTOR: u8 = 3;
+
+impl Formula {
+    /// Renders the formula in the concrete syntax accepted by
+    /// [`crate::parse`], using `symbols` for variable names (unknown ids
+    /// fall back to `v<N>`, which also re-parses consistently).
+    #[must_use]
+    pub fn to_source(&self, symbols: &SymbolTable) -> String {
+        let mut out = String::new();
+        fmt_formula(self, symbols, 0, &mut out);
+        out
+    }
+}
+
+fn prec(f: &Formula) -> u8 {
+    match f {
+        Formula::Implies(_, _) => P_IMPLIES,
+        Formula::Since(_, _) | Formula::SinceWeak(_, _) => P_SINCE,
+        Formula::Or(_, _) => P_OR,
+        Formula::And(_, _) => P_AND,
+        Formula::Not(_)
+        | Formula::Prev(_)
+        | Formula::AlwaysPast(_)
+        | Formula::EventuallyPast(_) => P_UNARY,
+        Formula::True
+        | Formula::False
+        | Formula::Atom(_)
+        | Formula::Start(_)
+        | Formula::End(_)
+        | Formula::Interval(_, _) => P_ATOM,
+    }
+}
+
+fn fmt_formula(f: &Formula, syms: &SymbolTable, ctx: u8, out: &mut String) {
+    let me = prec(f);
+    let needs_parens = me < ctx;
+    if needs_parens {
+        out.push('(');
+    }
+    match f {
+        Formula::True => out.push_str("true"),
+        Formula::False => out.push_str("false"),
+        Formula::Atom(a) => fmt_atom(a, syms, out),
+        Formula::Not(x) => {
+            out.push('!');
+            fmt_formula(x, syms, P_UNARY, out);
+        }
+        Formula::And(a, b) => {
+            fmt_formula(a, syms, P_AND, out);
+            out.push_str(" /\\ ");
+            // Left-assoc: the right child needs one level tighter.
+            fmt_formula(b, syms, P_AND + 1, out);
+        }
+        Formula::Or(a, b) => {
+            fmt_formula(a, syms, P_OR, out);
+            out.push_str(" \\/ ");
+            fmt_formula(b, syms, P_OR + 1, out);
+        }
+        Formula::Implies(a, b) => {
+            // Right-assoc: the LEFT child needs one level tighter.
+            fmt_formula(a, syms, P_IMPLIES + 1, out);
+            out.push_str(" -> ");
+            fmt_formula(b, syms, P_IMPLIES, out);
+        }
+        Formula::Since(a, b) => {
+            fmt_formula(a, syms, P_SINCE, out);
+            out.push_str(" S ");
+            fmt_formula(b, syms, P_SINCE + 1, out);
+        }
+        Formula::SinceWeak(a, b) => {
+            fmt_formula(a, syms, P_SINCE, out);
+            out.push_str(" Sw ");
+            fmt_formula(b, syms, P_SINCE + 1, out);
+        }
+        Formula::Prev(x) => {
+            out.push_str("@ ");
+            fmt_formula(x, syms, P_UNARY, out);
+        }
+        Formula::AlwaysPast(x) => {
+            out.push_str("[*] ");
+            fmt_formula(x, syms, P_UNARY, out);
+        }
+        Formula::EventuallyPast(x) => {
+            out.push_str("<*> ");
+            fmt_formula(x, syms, P_UNARY, out);
+        }
+        Formula::Start(x) => {
+            out.push_str("start(");
+            fmt_formula(x, syms, 0, out);
+            out.push(')');
+        }
+        Formula::End(x) => {
+            out.push_str("end(");
+            fmt_formula(x, syms, 0, out);
+            out.push(')');
+        }
+        Formula::Interval(p, q) => {
+            out.push('[');
+            fmt_formula(p, syms, 0, out);
+            out.push_str(", ");
+            fmt_formula(q, syms, 0, out);
+            out.push(')');
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+fn fmt_atom(a: &Atom, syms: &SymbolTable, out: &mut String) {
+    match a {
+        Atom::BoolVar(v) => out.push_str(&syms.name_or_default(*v)),
+        Atom::Cmp(lhs, op, rhs) => {
+            fmt_expr(lhs, syms, 0, out);
+            let op = match op {
+                CmpOp::Eq => " = ",
+                CmpOp::Ne => " != ",
+                CmpOp::Lt => " < ",
+                CmpOp::Le => " <= ",
+                CmpOp::Gt => " > ",
+                CmpOp::Ge => " >= ",
+            };
+            out.push_str(op);
+            fmt_expr(rhs, syms, 0, out);
+        }
+    }
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Bin(BinOp::Add | BinOp::Sub, _, _) => E_ADD,
+        Expr::Bin(BinOp::Mul | BinOp::Div | BinOp::Mod, _, _) => E_MUL,
+        Expr::Const(c) if *c < 0 => E_FACTOR, // prints as unary minus
+        Expr::Neg(_) => E_FACTOR,
+        Expr::Const(_) | Expr::Var(_) => E_FACTOR + 1,
+    }
+}
+
+fn fmt_expr(e: &Expr, syms: &SymbolTable, ctx: u8, out: &mut String) {
+    let me = expr_prec(e);
+    let needs_parens = me < ctx;
+    if needs_parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Const(c) => {
+            let _ = write!(out, "{c}");
+        }
+        Expr::Var(v) => out.push_str(&syms.name_or_default(*v)),
+        Expr::Neg(x) => {
+            out.push('-');
+            fmt_expr(x, syms, E_FACTOR, out);
+        }
+        Expr::Bin(op, a, b) => {
+            let (sym, p) = match op {
+                BinOp::Add => (" + ", E_ADD),
+                BinOp::Sub => (" - ", E_ADD),
+                BinOp::Mul => (" * ", E_MUL),
+                BinOp::Div => (" / ", E_MUL),
+                BinOp::Mod => (" % ", E_MUL),
+            };
+            fmt_expr(a, syms, p, out);
+            out.push_str(sym);
+            fmt_expr(b, syms, p + 1, out);
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) -> String {
+        let mut syms = SymbolTable::new();
+        let f = parse(src, &mut syms).unwrap();
+        let printed = f.to_source(&syms);
+        let mut syms2 = syms.clone();
+        let f2 = parse(&printed, &mut syms2).unwrap();
+        assert_eq!(f, f2, "round trip diverged: {src} -> {printed}");
+        printed
+    }
+
+    #[test]
+    fn paper_formulas_round_trip() {
+        assert_eq!(
+            roundtrip("(x > 0) -> [y = 0, y > z)"),
+            "x > 0 -> [y = 0, y > z)"
+        );
+        assert_eq!(
+            roundtrip("start(landing = 1) -> [approved = 1, radio = 0)"),
+            "start(landing = 1) -> [approved = 1, radio = 0)"
+        );
+    }
+
+    #[test]
+    fn precedence_minimal_parens() {
+        assert_eq!(roundtrip("a /\\ b \\/ c"), "a /\\ b \\/ c");
+        assert_eq!(roundtrip("a /\\ (b \\/ c)"), "a /\\ (b \\/ c)");
+        assert_eq!(roundtrip("(a -> b) -> c"), "(a -> b) -> c");
+        assert_eq!(roundtrip("a -> b -> c"), "a -> b -> c");
+        assert_eq!(roundtrip("a S b S c"), "a S b S c");
+        assert_eq!(roundtrip("a S (b S c)"), "a S (b S c)");
+        assert_eq!(roundtrip("!(a /\\ b)"), "!(a /\\ b)");
+        assert_eq!(roundtrip("[*] (a \\/ b)"), "[*] (a \\/ b)");
+    }
+
+    #[test]
+    fn arithmetic_minimal_parens() {
+        assert_eq!(roundtrip("x + 2 * y = 7"), "x + 2 * y = 7");
+        assert_eq!(roundtrip("(x + 2) * y = 7"), "(x + 2) * y = 7");
+        assert_eq!(roundtrip("x - (y - 1) = 0"), "x - (y - 1) = 0");
+        assert_eq!(roundtrip("x = -1"), "x = -1");
+        assert_eq!(roundtrip("-x + 1 > 0"), "-x + 1 > 0");
+    }
+
+    #[test]
+    fn unknown_var_falls_back_to_debug_name() {
+        let f = Formula::Atom(Atom::BoolVar(jmpax_core::VarId(42)));
+        assert_eq!(f.to_source(&SymbolTable::new()), "v42");
+    }
+}

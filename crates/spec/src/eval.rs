@@ -1,0 +1,180 @@
+//! Reference (non-incremental) semantics of the specification logic.
+//!
+//! [`eval_at`] evaluates a formula at position `n` of a finite state
+//! sequence directly from the declarative semantics, in `O(|φ|·n)` per call.
+//! It exists to cross-check the `O(|φ|)`-per-step synthesized monitors in
+//! [`crate::monitor`]; production code should always use the monitors.
+
+use crate::ast::Formula;
+use crate::state::ProgramState;
+
+/// Evaluates `formula` at position `n` (0-based) of `states`.
+///
+/// # Panics
+///
+/// Panics when `n >= states.len()`.
+#[must_use]
+pub fn eval_at(formula: &Formula, states: &[ProgramState], n: usize) -> bool {
+    assert!(n < states.len(), "position {n} out of bounds");
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(a) => states[n].eval_atom(a),
+        Formula::Not(f) => !eval_at(f, states, n),
+        Formula::And(a, b) => eval_at(a, states, n) && eval_at(b, states, n),
+        Formula::Or(a, b) => eval_at(a, states, n) || eval_at(b, states, n),
+        Formula::Implies(a, b) => !eval_at(a, states, n) || eval_at(b, states, n),
+        // @F: F at the previous state; at n = 0 the convention is ⟦F⟧₀.
+        Formula::Prev(f) => eval_at(f, states, n.saturating_sub(1)),
+        // [*]F: F at every k ≤ n.
+        Formula::AlwaysPast(f) => (0..=n).all(|k| eval_at(f, states, k)),
+        // <*>F: F at some k ≤ n.
+        Formula::EventuallyPast(f) => (0..=n).any(|k| eval_at(f, states, k)),
+        // F S G: ∃k ≤ n. G@k ∧ ∀l ∈ (k, n]. F@l.
+        Formula::Since(f, g) => {
+            (0..=n).any(|k| eval_at(g, states, k) && ((k + 1)..=n).all(|l| eval_at(f, states, l)))
+        }
+        // F Sw G: F S G ∨ [*]F.
+        Formula::SinceWeak(f, g) => {
+            (0..=n).any(|k| eval_at(g, states, k) && ((k + 1)..=n).all(|l| eval_at(f, states, l)))
+                || (0..=n).all(|k| eval_at(f, states, k))
+        }
+        // [P, Q): ∃k ≤ n. P@k ∧ ∀l ∈ [k, n]. ¬Q@l.
+        Formula::Interval(p, q) => {
+            (0..=n).any(|k| eval_at(p, states, k) && (k..=n).all(|l| !eval_at(q, states, l)))
+        }
+        // start(F): F@n ∧ ¬F@(n−1); false at n = 0.
+        Formula::Start(f) => n > 0 && eval_at(f, states, n) && !eval_at(f, states, n - 1),
+        // end(F): ¬F@n ∧ F@(n−1); false at n = 0.
+        Formula::End(f) => n > 0 && !eval_at(f, states, n) && eval_at(f, states, n - 1),
+    }
+}
+
+/// Evaluates `formula` at every position, returning the truth sequence.
+#[must_use]
+pub fn eval_all(formula: &Formula, states: &[ProgramState]) -> Vec<bool> {
+    (0..states.len())
+        .map(|n| eval_at(formula, states, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::SymbolTable;
+
+    fn check(src: &str, rows: &[&[(&str, i64)]], expected: &[bool]) {
+        let mut syms = SymbolTable::new();
+        let f = crate::parser::parse(src, &mut syms).unwrap();
+        let states: Vec<ProgramState> = rows
+            .iter()
+            .map(|row| {
+                let mut s = ProgramState::new();
+                for (name, v) in *row {
+                    s.set(syms.lookup(name).unwrap_or_else(|| syms.intern(name)), *v);
+                }
+                s
+            })
+            .collect();
+        assert_eq!(eval_all(&f, &states), expected, "formula: {src}");
+    }
+
+    #[test]
+    fn atoms_and_boolean_connectives() {
+        check(
+            "p = 1 /\\ q = 0",
+            &[&[("p", 1), ("q", 0)], &[("p", 1), ("q", 1)]],
+            &[true, false],
+        );
+        check("p = 1 \\/ q = 1", &[&[("p", 0), ("q", 1)]], &[true]);
+        check("p = 1 -> q = 1", &[&[("p", 0), ("q", 0)]], &[true]);
+        check("!(p = 1)", &[&[("p", 0)]], &[true]);
+    }
+
+    #[test]
+    fn prev_semantics() {
+        check(
+            "@ p = 1",
+            &[&[("p", 1)], &[("p", 0)], &[("p", 1)]],
+            &[true, true, false],
+        );
+    }
+
+    #[test]
+    fn always_and_eventually_past() {
+        check(
+            "[*] p = 1",
+            &[&[("p", 1)], &[("p", 0)], &[("p", 1)]],
+            &[true, false, false],
+        );
+        check(
+            "<*> p = 1",
+            &[&[("p", 0)], &[("p", 1)], &[("p", 0)]],
+            &[false, true, true],
+        );
+    }
+
+    #[test]
+    fn since_semantics() {
+        // p S q: q at 0, p at 1-2 => true throughout; p broken at 3.
+        check(
+            "p = 1 S q = 1",
+            &[
+                &[("p", 0), ("q", 1)],
+                &[("p", 1), ("q", 0)],
+                &[("p", 1), ("q", 0)],
+                &[("p", 0), ("q", 0)],
+            ],
+            &[true, true, true, false],
+        );
+    }
+
+    #[test]
+    fn weak_since_without_q() {
+        check(
+            "p = 1 Sw q = 1",
+            &[&[("p", 1), ("q", 0)], &[("p", 1), ("q", 0)]],
+            &[true, true],
+        );
+    }
+
+    #[test]
+    fn interval_semantics() {
+        // [p, q): opens at p, closes at q.
+        check(
+            "[p = 1, q = 1)",
+            &[
+                &[("p", 0), ("q", 0)], // not yet open
+                &[("p", 1), ("q", 0)], // opens
+                &[("p", 0), ("q", 0)], // stays open
+                &[("p", 0), ("q", 1)], // closes
+                &[("p", 0), ("q", 0)], // stays closed
+                &[("p", 1), ("q", 0)], // re-opens
+            ],
+            &[false, true, true, false, false, true],
+        );
+    }
+
+    #[test]
+    fn start_end_semantics() {
+        check(
+            "start(p = 1)",
+            &[&[("p", 0)], &[("p", 1)], &[("p", 1)], &[("p", 0)]],
+            &[false, true, false, false],
+        );
+        check(
+            "end(p = 1)",
+            &[&[("p", 1)], &[("p", 0)], &[("p", 0)]],
+            &[false, true, false],
+        );
+        // start at index 0 is false even when p holds.
+        check("start(p = 1)", &[&[("p", 1)]], &[false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let f = Formula::True;
+        let _ = eval_at(&f, &[], 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Tokenizer for the specification concrete syntax.
+//!
+//! ```text
+//! (x > 0) -> [y = 0, y > z)
+//! start(landing = 1) -> [approved = 1, radio = 0)
+//! ```
+
+use std::fmt;
+
+/// A lexical token with its byte offset in the source (for error messages).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the source text.
+    pub offset: usize,
+}
+
+/// Token kinds of the specification language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// An identifier (variable name or word operator: `and`, `or`, `not`,
+    /// `start`, `end`, `S`, `Sw`, `true`, `false`, …).
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[` — opens the interval operator `[p, q)`.
+    LBracket,
+    /// `,`
+    Comma,
+    /// `[*]` — always in the past.
+    AlwaysPast,
+    /// `<*>` — eventually in the past.
+    EventuallyPast,
+    /// `@` — previously.
+    Prev,
+    /// `!`
+    Bang,
+    /// `/\` or `&&`
+    And,
+    /// `\/` or `||`
+    Or,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=` or `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::AlwaysPast => write!(f, "[*]"),
+            TokenKind::EventuallyPast => write!(f, "<*>"),
+            TokenKind::Prev => write!(f, "@"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::And => write!(f, "/\\"),
+            TokenKind::Or => write!(f, "\\/"),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A lexical error: an unexpected character at a byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// Its byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected character {:?} at offset {}",
+            self.ch, self.offset
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a specification source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+
+    macro_rules! push {
+        ($kind:expr, $at:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                offset: $at,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                push!(TokenKind::LParen, start);
+                i += 1;
+            }
+            ')' => {
+                push!(TokenKind::RParen, start);
+                i += 1;
+            }
+            ',' => {
+                push!(TokenKind::Comma, start);
+                i += 1;
+            }
+            '+' => {
+                push!(TokenKind::Plus, start);
+                i += 1;
+            }
+            '*' => {
+                push!(TokenKind::Star, start);
+                i += 1;
+            }
+            '%' => {
+                push!(TokenKind::Percent, start);
+                i += 1;
+            }
+            '@' => {
+                push!(TokenKind::Prev, start);
+                i += 1;
+            }
+            '[' => {
+                if bytes.get(i + 1) == Some(&b'*') && bytes.get(i + 2) == Some(&b']') {
+                    push!(TokenKind::AlwaysPast, start);
+                    i += 3;
+                } else {
+                    push!(TokenKind::LBracket, start);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'*') && bytes.get(i + 2) == Some(&b'>') {
+                    push!(TokenKind::EventuallyPast, start);
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::Le, start);
+                    i += 2;
+                } else {
+                    push!(TokenKind::Lt, start);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::Ge, start);
+                    i += 2;
+                } else {
+                    push!(TokenKind::Gt, start);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::Eq, start);
+                    i += 2;
+                } else {
+                    push!(TokenKind::Eq, start);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::Ne, start);
+                    i += 2;
+                } else {
+                    push!(TokenKind::Bang, start);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(TokenKind::Arrow, start);
+                    i += 2;
+                } else {
+                    push!(TokenKind::Minus, start);
+                    i += 1;
+                }
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    push!(TokenKind::And, start);
+                    i += 2;
+                } else {
+                    push!(TokenKind::Slash, start);
+                    i += 1;
+                }
+            }
+            '\\' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    push!(TokenKind::Or, start);
+                    i += 2;
+                } else {
+                    return Err(LexError { ch: c, offset: i });
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push!(TokenKind::And, start);
+                    i += 2;
+                } else {
+                    return Err(LexError { ch: c, offset: i });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push!(TokenKind::Or, start);
+                    i += 2;
+                } else {
+                    return Err(LexError { ch: c, offset: i });
+                }
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let value: i64 = src[i..j]
+                    .parse()
+                    .map_err(|_| LexError { ch: c, offset: i })?;
+                push!(TokenKind::Int(value), start);
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                push!(TokenKind::Ident(src[i..j].to_owned()), start);
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    ch: other,
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn paper_formula_lexes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("(x > 0) -> [y = 0, y > z)"),
+            vec![
+                LParen,
+                Ident("x".into()),
+                Gt,
+                Int(0),
+                RParen,
+                Arrow,
+                LBracket,
+                Ident("y".into()),
+                Eq,
+                Int(0),
+                Comma,
+                Ident("y".into()),
+                Gt,
+                Ident("z".into()),
+                RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn temporal_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("[*] p /\\ <*> q \\/ @ r"),
+            vec![
+                AlwaysPast,
+                Ident("p".into()),
+                And,
+                EventuallyPast,
+                Ident("q".into()),
+                Or,
+                Prev,
+                Ident("r".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ascii_alternatives() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a && b || !c"),
+            vec![
+                Ident("a".into()),
+                And,
+                Ident("b".into()),
+                Or,
+                Bang,
+                Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("< <= > >= = == !="), vec![Lt, Le, Gt, Ge, Eq, Eq, Ne]);
+    }
+
+    #[test]
+    fn bracket_vs_always_past() {
+        use TokenKind::*;
+        assert_eq!(kinds("[*]"), vec![AlwaysPast]);
+        assert_eq!(kinds("[ x"), vec![LBracket, Ident("x".into())]);
+        // `]` is not a token at all: the interval operator closes with `)`.
+        assert!(lex("[ *]").is_err());
+    }
+
+    #[test]
+    fn close_bracket_is_an_error() {
+        assert!(lex("]").is_err());
+        let err = lex("p ] q").unwrap_err();
+        assert_eq!(err.offset, 2);
+        assert_eq!(err.ch, ']');
+    }
+
+    #[test]
+    fn numbers_and_underscore_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("foo_1 + 42"),
+            vec![Ident("foo_1".into()), Plus, Int(42)]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+        assert_eq!(toks[2].offset, 5);
+    }
+
+    #[test]
+    fn stray_backslash_is_error() {
+        assert!(lex("\\ x").is_err());
+        assert!(lex("&x").is_err());
+        assert!(lex("|x").is_err());
+        assert!(lex("#").is_err());
+    }
+}

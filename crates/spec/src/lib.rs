@@ -1,0 +1,65 @@
+//! # jmpax-spec
+//!
+//! The specification side of JMPaX (Sections 1 and 4 of the paper):
+//! safety properties over global program states, written in past-time
+//! linear temporal logic extended with the *interval* operator of
+//! Havelund & Roşu — the paper's running example is
+//!
+//! ```text
+//! (x > 0) -> [y = 0, y > z)
+//! ```
+//!
+//! read "if `x > 0` then `y = 0` has been true in the past, and since then
+//! `y > z` was always false".
+//!
+//! The crate provides:
+//!
+//! * [`ast`] — formulas over integer/boolean state predicates with the
+//!   operators `!`, `/\`, `\/`, `->`, `@` (previously), `[*]` (always in the
+//!   past), `<*>` (eventually in the past), `S` (since), `Sw` (weak since),
+//!   `start(…)`, `end(…)` and the interval `[p, q)`.
+//! * [`parser`] — a recursive-descent parser from the concrete syntax.
+//! * [`monitor`] — **synthesized online monitors**: each temporal subformula
+//!   compiles to one bit of monitor memory; stepping a monitor is `O(|φ|)`
+//!   and its state is a single machine word, which is what makes it feasible
+//!   to attach *sets of monitor states* to computation-lattice nodes and
+//!   check all interleavings in parallel (Section 4: "store the state of the
+//!   FSM … together with each global state in the computation lattice").
+//! * [`eval`] — a quadratic reference evaluator used to verify the monitors.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use jmpax_core::SymbolTable;
+//! use jmpax_spec::{parse, ProgramState};
+//!
+//! let mut syms = SymbolTable::new();
+//! let spec = parse("(x > 0) -> [y = 0, y > z)", &mut syms).unwrap();
+//! let monitor = spec.monitor().unwrap();
+//!
+//! let x = syms.lookup("x").unwrap();
+//! let mut state = ProgramState::new();
+//! state.set(x, 0);
+//!
+//! let (mstate, ok) = monitor.initial(&state);
+//! assert!(ok); // x <= 0, implication holds
+//! let _ = mstate; // thread through subsequent `monitor.step` calls
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod eval;
+pub mod lexer;
+pub mod monitor;
+pub mod parser;
+pub mod simplify;
+pub mod state;
+
+pub use ast::{Atom, BinOp, CmpOp, Expr, Formula};
+pub use eval::eval_at;
+pub use monitor::{Monitor, MonitorState};
+pub use parser::{parse, ParseError};
+pub use state::ProgramState;

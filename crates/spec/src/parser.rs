@@ -1,0 +1,557 @@
+//! Recursive-descent parser for the specification language.
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! formula  := since ('->' formula)?                  (right-assoc)
+//! since    := or (('S' | 'Sw') or)*                  (left-assoc)
+//! or       := and (('\/' | '||' | 'or') and)*
+//! and      := unary (('/\' | '&&' | 'and') unary)*
+//! unary    := ('!' | 'not' | '@' | 'prev' | '[*]' | 'alwP' | '<*>' | 'evP') unary
+//!           | 'start' '(' formula ')' | 'end' '(' formula ')'
+//!           | '[' formula ',' formula ')'            (interval [p, q))
+//!           | primary
+//! primary  := 'true' | 'false' | atom | '(' formula ')'
+//! atom     := arith cmp arith | ident                (bare ident = boolean var)
+//! arith    := term (('+' | '-') term)*
+//! term     := factor (('*' | '/' | '%') factor)*
+//! factor   := int | ident | '-' factor | '(' arith ')'
+//! cmp      := '=' | '==' | '!=' | '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! The one ambiguity — `(` opening either a parenthesized formula or a
+//! parenthesized arithmetic expression — is resolved by backtracking:
+//! `primary` first attempts an arithmetic comparison and falls back to a
+//! formula. Variable names are interned into a shared
+//! [`SymbolTable`] so that the instrumentor, the
+//! interpreter and the monitor agree on variable identities.
+//!
+//! [`SymbolTable`]: jmpax_core::SymbolTable
+
+use std::fmt;
+
+use jmpax_core::SymbolTable;
+
+use crate::ast::{Atom, BinOp, CmpOp, Expr, Formula};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// A parse error with offset information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// The tokenizer rejected the input.
+    Lex(LexError),
+    /// A token was unexpected; carries the offset and a description.
+    Unexpected {
+        /// Byte offset of the offending token (source length if EOF).
+        offset: usize,
+        /// Human-readable description of what was found/expected.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { offset, message } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+fn error_offset(e: &ParseError) -> usize {
+    match e {
+        ParseError::Lex(l) => l.offset,
+        ParseError::Unexpected { offset, .. } => *offset,
+    }
+}
+
+/// Parses a specification, interning variable names into `symbols`.
+pub fn parse(src: &str, symbols: &mut SymbolTable) -> Result<Formula, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        eof_offset: src.len(),
+        symbols,
+    };
+    let formula = p.formula()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.unexpected("trailing input after formula"));
+    }
+    Ok(formula)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    eof_offset: usize,
+    symbols: &'a mut SymbolTable,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.peek_ident() == Some(word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.eof_offset, |t| t.offset)
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        let found = self
+            .peek()
+            .map_or_else(|| "end of input".to_owned(), ToString::to_string);
+        ParseError::Unexpected {
+            offset: self.offset(),
+            message: format!("expected {what}, found `{found}`"),
+        }
+    }
+
+    // formula := since ('->' formula)?
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.since()?;
+        if self.eat(&TokenKind::Arrow) {
+            let rhs = self.formula()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    // since := or (('S'|'Sw') or)*
+    fn since(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.or()?;
+        loop {
+            if self.eat_word("S") {
+                let rhs = self.or()?;
+                lhs = Formula::Since(Box::new(lhs), Box::new(rhs));
+            } else if self.eat_word("Sw") {
+                let rhs = self.or()?;
+                lhs = Formula::SinceWeak(Box::new(lhs), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.and()?;
+        while self.eat(&TokenKind::Or) || self.eat_word("or") {
+            let rhs = self.and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.eat(&TokenKind::And) || self.eat_word("and") {
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat(&TokenKind::Bang) || self.eat_word("not") {
+            return Ok(self.unary()?.not());
+        }
+        if self.eat(&TokenKind::Prev) || self.eat_word("prev") {
+            return Ok(Formula::Prev(Box::new(self.unary()?)));
+        }
+        if self.eat(&TokenKind::AlwaysPast) || self.eat_word("alwP") {
+            return Ok(Formula::AlwaysPast(Box::new(self.unary()?)));
+        }
+        if self.eat(&TokenKind::EventuallyPast) || self.eat_word("evP") {
+            return Ok(Formula::EventuallyPast(Box::new(self.unary()?)));
+        }
+        // start(F) / end(F): only treat the ident as an operator when it is
+        // directly followed by `(` — otherwise `start` is a variable name.
+        if self.peek_ident() == Some("start")
+            && self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
+        {
+            self.pos += 2;
+            let f = self.formula()?;
+            self.expect(&TokenKind::RParen, "`)` closing start(...)")?;
+            return Ok(Formula::Start(Box::new(f)));
+        }
+        if self.peek_ident() == Some("end")
+            && self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
+        {
+            self.pos += 2;
+            let f = self.formula()?;
+            self.expect(&TokenKind::RParen, "`)` closing end(...)")?;
+            return Ok(Formula::End(Box::new(f)));
+        }
+        if self.eat(&TokenKind::LBracket) {
+            let p = self.formula()?;
+            self.expect(&TokenKind::Comma, "`,` inside interval [p, q)")?;
+            let q = self.formula()?;
+            self.expect(&TokenKind::RParen, "`)` closing interval [p, q)")?;
+            return Ok(Formula::Interval(Box::new(p), Box::new(q)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat_word("true") {
+            return Ok(Formula::True);
+        }
+        if self.eat_word("false") {
+            return Ok(Formula::False);
+        }
+        // Attempt an arithmetic comparison (backtracking on failure).
+        let save = self.pos;
+        let cmp_err = match self.try_comparison() {
+            Ok(atom) => return Ok(Formula::Atom(atom)),
+            Err(e) => e,
+        };
+        self.pos = save;
+        // Parenthesized formula.
+        if self.eat(&TokenKind::LParen) {
+            let f = self.formula()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(f);
+        }
+        // Both interpretations failed: report whichever got furthest.
+        let fallback = self.unexpected("a predicate, `true`, `false`, or `(`");
+        Err(if error_offset(&cmp_err) >= error_offset(&fallback) {
+            cmp_err
+        } else {
+            fallback
+        })
+    }
+
+    /// Parses `arith cmp arith`, or a bare identifier as a boolean atom.
+    fn try_comparison(&mut self) -> Result<Atom, ParseError> {
+        let lhs = self.arith()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => CmpOp::Eq,
+            Some(TokenKind::Ne) => CmpOp::Ne,
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            _ => {
+                // No comparator: accept a bare variable as a boolean atom.
+                if let Expr::Var(v) = lhs {
+                    return Ok(Atom::BoolVar(v));
+                }
+                return Err(self.unexpected("a comparison operator"));
+            }
+        };
+        self.pos += 1;
+        let rhs = self.arith()?;
+        Ok(Atom::Cmp(lhs, op, rhs))
+    }
+
+    fn arith(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(self.term()?));
+            } else if self.eat(&TokenKind::Minus) {
+                lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(self.term()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.eat(&TokenKind::Star) {
+                lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(self.factor()?));
+            } else if self.eat(&TokenKind::Slash) {
+                lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(self.factor()?));
+            } else if self.eat(&TokenKind::Percent) {
+                lhs = Expr::Bin(BinOp::Mod, Box::new(lhs), Box::new(self.factor()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Const(i))
+            }
+            Some(TokenKind::Minus) => {
+                self.pos += 1;
+                // Fold literal negation so `-1` is the constant −1 (and
+                // `Neg(Const(c))` never arises from parsing).
+                Ok(match self.factor()? {
+                    Expr::Const(c) => Expr::Const(c.wrapping_neg()),
+                    e => Expr::Neg(Box::new(e)),
+                })
+            }
+            Some(TokenKind::Ident(name)) => {
+                // Reserved words never name variables.
+                if matches!(
+                    name.as_str(),
+                    "true" | "false" | "and" | "or" | "not" | "S" | "Sw" | "prev" | "alwP" | "evP"
+                ) {
+                    return Err(self.unexpected("an arithmetic operand"));
+                }
+                self.pos += 1;
+                Ok(Expr::Var(self.symbols.intern(&name)))
+            }
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let e = self.arith()?;
+                self.expect(&TokenKind::RParen, "`)` closing arithmetic group")?;
+                Ok(e)
+            }
+            _ => {
+                let _ = self.bump();
+                Err(self.unexpected("an arithmetic operand"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::VarId;
+
+    fn p(src: &str) -> Formula {
+        parse(src, &mut SymbolTable::new()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_2_formula() {
+        let mut syms = SymbolTable::new();
+        let f = parse("(x > 0) -> [y = 0, y > z)", &mut syms).unwrap();
+        match f {
+            Formula::Implies(lhs, rhs) => {
+                assert!(matches!(*lhs, Formula::Atom(Atom::Cmp(_, CmpOp::Gt, _))));
+                assert!(matches!(*rhs, Formula::Interval(_, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+        assert_eq!(syms.len(), 3);
+        assert_eq!(syms.lookup("x"), Some(VarId(0)));
+    }
+
+    #[test]
+    fn landing_controller_formula() {
+        let mut syms = SymbolTable::new();
+        let f = parse("start(landing = 1) -> [approved = 1, radio = 0)", &mut syms).unwrap();
+        assert!(matches!(f, Formula::Implies(_, _)));
+        let vars = f.variables();
+        assert_eq!(vars.len(), 3);
+    }
+
+    #[test]
+    fn precedence_implies_is_weakest_and_right_assoc() {
+        // a -> b -> c parses as a -> (b -> c)
+        let f = p("a -> b -> c");
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(_, _))),
+            other => panic!("{other:?}"),
+        }
+        // a \/ b -> c parses as (a \/ b) -> c
+        let f = p("a \\/ b -> c");
+        match f {
+            Formula::Implies(lhs, _) => assert!(matches!(*lhs, Formula::Or(_, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let f = p("a \\/ b /\\ c");
+        match f {
+            Formula::Or(_, rhs) => assert!(matches!(*rhs, Formula::And(_, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn since_operators() {
+        let f = p("a S b");
+        assert!(matches!(f, Formula::Since(_, _)));
+        let f = p("a Sw b");
+        assert!(matches!(f, Formula::SinceWeak(_, _)));
+        // Left associative: a S b S c = (a S b) S c
+        let f = p("a S b S c");
+        match f {
+            Formula::Since(lhs, _) => assert!(matches!(*lhs, Formula::Since(_, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_temporal_operators() {
+        assert!(matches!(p("[*] a"), Formula::AlwaysPast(_)));
+        assert!(matches!(p("<*> a"), Formula::EventuallyPast(_)));
+        assert!(matches!(p("@ a"), Formula::Prev(_)));
+        assert!(matches!(p("alwP a"), Formula::AlwaysPast(_)));
+        assert!(matches!(p("evP a"), Formula::EventuallyPast(_)));
+        assert!(matches!(p("prev a"), Formula::Prev(_)));
+        assert!(matches!(p("start(a)"), Formula::Start(_)));
+        assert!(matches!(p("end(a)"), Formula::End(_)));
+        assert!(matches!(p("! a"), Formula::Not(_)));
+        assert!(matches!(p("not a"), Formula::Not(_)));
+    }
+
+    #[test]
+    fn start_as_variable_name_without_paren() {
+        // `start` not followed by `(` is a plain variable.
+        let mut syms = SymbolTable::new();
+        let f = parse("start > 0", &mut syms).unwrap();
+        assert!(matches!(f, Formula::Atom(Atom::Cmp(_, CmpOp::Gt, _))));
+        assert!(syms.lookup("start").is_some());
+    }
+
+    #[test]
+    fn parenthesized_arithmetic_vs_formula() {
+        // `(x + 1) > 2` — paren opens arithmetic.
+        let f = p("(x + 1) > 2");
+        assert!(matches!(f, Formula::Atom(Atom::Cmp(_, CmpOp::Gt, _))));
+        // `(x > 1) /\ y = 0` — paren opens a formula.
+        let f = p("(x > 1) /\\ y = 0");
+        assert!(matches!(f, Formula::And(_, _)));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let mut syms = SymbolTable::new();
+        let f = parse("x + 2 * y = 7", &mut syms).unwrap();
+        let Formula::Atom(Atom::Cmp(lhs, CmpOp::Eq, _)) = f else {
+            panic!()
+        };
+        // x + (2 * y)
+        let Expr::Bin(BinOp::Add, _, rhs) = lhs else {
+            panic!()
+        };
+        assert!(matches!(*rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn unary_minus_folds_literals() {
+        let f = p("x = -1");
+        let Formula::Atom(Atom::Cmp(_, _, rhs)) = f else {
+            panic!()
+        };
+        assert_eq!(rhs, Expr::Const(-1));
+        // Negation of a non-literal stays symbolic.
+        let f = p("0 = -x");
+        let Formula::Atom(Atom::Cmp(_, _, rhs)) = f else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn bare_bool_var() {
+        let f = p("running /\\ !stopped");
+        assert!(matches!(f, Formula::And(_, _)));
+    }
+
+    #[test]
+    fn true_false_literals() {
+        assert_eq!(p("true"), Formula::True);
+        assert_eq!(p("false"), Formula::False);
+    }
+
+    #[test]
+    fn interval_nested_in_temporal() {
+        let f = p("[*] [p, q)");
+        let Formula::AlwaysPast(inner) = f else {
+            panic!()
+        };
+        assert!(matches!(*inner, Formula::Interval(_, _)));
+    }
+
+    #[test]
+    fn errors_report_offsets() {
+        let err = parse("x >", &mut SymbolTable::new()).unwrap_err();
+        match err {
+            ParseError::Unexpected { offset, .. } => assert_eq!(offset, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("", &mut SymbolTable::new()).is_err());
+        assert!(parse("x > 0 extra ~", &mut SymbolTable::new()).is_err());
+        assert!(parse("(x > 0", &mut SymbolTable::new()).is_err());
+        assert!(parse("[p, q]", &mut SymbolTable::new()).is_err());
+        assert!(parse("x > 0 y", &mut SymbolTable::new()).is_err());
+    }
+
+    #[test]
+    fn reserved_words_cannot_be_operands() {
+        assert!(parse("true + 1 > 0", &mut SymbolTable::new()).is_err());
+        assert!(parse("S > 0", &mut SymbolTable::new()).is_err());
+    }
+
+    #[test]
+    fn same_name_same_id_across_formulas() {
+        let mut syms = SymbolTable::new();
+        let f1 = parse("x > 0", &mut syms).unwrap();
+        let f2 = parse("x < 10", &mut syms).unwrap();
+        assert_eq!(f1.variables(), f2.variables());
+    }
+
+    #[test]
+    fn double_eq_accepted() {
+        assert_eq!(p("x == 1"), p("x = 1"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property test: the synthesized `O(|φ|)`-per-step monitor computes exactly
+//! the declarative semantics, for random formulas over random state
+//! sequences.
+
+use jmpax_core::VarId;
+use jmpax_spec::ast::{Atom, CmpOp, Expr, Formula};
+use jmpax_spec::{eval_at, ProgramState};
+use proptest::prelude::*;
+
+const VARS: u32 = 3;
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    (0..VARS, 0..3i64, 0..6u8).prop_map(|(v, c, op)| {
+        let op = match op {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            _ => CmpOp::Ge,
+        };
+        Formula::Atom(Atom::Cmp(Expr::Var(VarId(v)), op, Expr::Const(c)))
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![Just(Formula::True), Just(Formula::False), arb_atom(),];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| Formula::Prev(Box::new(f))),
+            inner.clone().prop_map(|f| Formula::AlwaysPast(Box::new(f))),
+            inner
+                .clone()
+                .prop_map(|f| Formula::EventuallyPast(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Since(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::SinceWeak(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Interval(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| Formula::Start(Box::new(f))),
+            inner.clone().prop_map(|f| Formula::End(Box::new(f))),
+        ]
+    })
+}
+
+fn arb_states() -> impl Strategy<Value = Vec<ProgramState>> {
+    prop::collection::vec(prop::collection::vec(0..3i64, VARS as usize), 1..12).prop_map(|rows| {
+        rows.into_iter()
+            .map(|row| {
+                let mut s = ProgramState::new();
+                for (i, v) in row.into_iter().enumerate() {
+                    s.set(VarId(i as u32), v);
+                }
+                s
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn monitor_agrees_with_reference(f in arb_formula(), states in arb_states()) {
+        let monitor = f.monitor().unwrap();
+        let mut mem = None;
+        for (n, state) in states.iter().enumerate() {
+            let (next, got) = match mem {
+                None => monitor.initial(state),
+                Some(m) => monitor.step(m, state),
+            };
+            let want = eval_at(&f, &states, n);
+            prop_assert_eq!(
+                got, want,
+                "formula {:?} diverged at position {} of {:?}", f, n, states
+            );
+            mem = Some(next);
+        }
+    }
+
+    /// Memory-state semantics: restarting the monitor from a saved state
+    /// gives the same verdicts as running straight through (this is the
+    /// merge property the lattice analysis relies on).
+    #[test]
+    fn monitor_memory_is_sufficient_statistic(f in arb_formula(), states in arb_states()) {
+        let monitor = f.monitor().unwrap();
+        // Run straight through, recording memories.
+        let mut mems = Vec::new();
+        let mut mem = None;
+        for state in &states {
+            let (next, _) = match mem {
+                None => monitor.initial(state),
+                Some(m) => monitor.step(m, state),
+            };
+            mems.push(next);
+            mem = Some(next);
+        }
+        // Resume from each recorded memory and check one step matches.
+        for n in 0..states.len().saturating_sub(1) {
+            let (_, ok_resumed) = monitor.step(mems[n], &states[n + 1]);
+            let want = eval_at(&f, &states, n + 1);
+            prop_assert_eq!(ok_resumed, want);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Round-trip property: for every formula `f`,
+//! `parse(f.to_source(syms)) == f`.
+
+use jmpax_core::{SymbolTable, VarId};
+use jmpax_spec::ast::{Atom, BinOp, CmpOp, Expr, Formula};
+use jmpax_spec::parse;
+use proptest::prelude::*;
+
+const VARS: u32 = 4;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::Const),
+        (0..VARS).prop_map(|v| Expr::Var(VarId(v))),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            // Mirror the parser's literal-negation folding: `Neg(Const(c))`
+            // never arises from parsing, so don't generate it either.
+            inner.clone().prop_map(|e| match e {
+                Expr::Const(c) => Expr::Const(c.wrapping_neg()),
+                e => Expr::Neg(Box::new(e)),
+            }),
+            (inner.clone(), inner.clone(), 0..5u8).prop_map(|(a, b, op)| {
+                let op = match op {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Div,
+                    _ => BinOp::Mod,
+                };
+                Expr::Bin(op, Box::new(a), Box::new(b))
+            }),
+        ]
+    })
+}
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        (0..VARS).prop_map(|v| Formula::Atom(Atom::BoolVar(VarId(v)))),
+        (arb_expr(), 0..6u8, arb_expr()).prop_map(|(a, op, b)| {
+            let op = match op {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            Formula::Atom(Atom::Cmp(a, op, b))
+        }),
+    ]
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![Just(Formula::True), Just(Formula::False), arb_atom()];
+    leaf.prop_recursive(5, 40, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Since(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::SinceWeak(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Interval(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| Formula::Prev(Box::new(f))),
+            inner.clone().prop_map(|f| Formula::AlwaysPast(Box::new(f))),
+            inner
+                .clone()
+                .prop_map(|f| Formula::EventuallyPast(Box::new(f))),
+            inner.clone().prop_map(|f| Formula::Start(Box::new(f))),
+            inner.clone().prop_map(|f| Formula::End(Box::new(f))),
+        ]
+    })
+}
+
+fn symbols() -> SymbolTable {
+    let mut syms = SymbolTable::new();
+    for i in 0..VARS {
+        syms.intern(&format!("v{i}"));
+    }
+    syms
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    #[test]
+    fn print_parse_is_identity(f in arb_formula()) {
+        let syms = symbols();
+        let printed = f.to_source(&syms);
+        let mut syms2 = syms.clone();
+        let reparsed = parse(&printed, &mut syms2)
+            .unwrap_or_else(|e| panic!("printed form failed to parse: `{printed}`: {e}"));
+        prop_assert_eq!(&f, &reparsed, "diverged through `{}`", printed);
+    }
+
+    /// Printing is stable: printing the reparsed formula gives the same text.
+    #[test]
+    fn printing_is_idempotent(f in arb_formula()) {
+        let syms = symbols();
+        let once = f.to_source(&syms);
+        let mut syms2 = syms.clone();
+        let reparsed = parse(&once, &mut syms2).unwrap();
+        let twice = reparsed.to_source(&syms);
+        prop_assert_eq!(once, twice);
+    }
+}

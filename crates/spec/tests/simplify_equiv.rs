@@ -1,0 +1,99 @@
+//! Property: simplification preserves semantics — `f` and `f.simplified()`
+//! agree at every position of every state sequence, and the simplified
+//! monitor gives the same verdicts.
+
+use jmpax_core::VarId;
+use jmpax_spec::ast::{Atom, CmpOp, Expr, Formula};
+use jmpax_spec::{eval_at, ProgramState};
+use proptest::prelude::*;
+
+const VARS: u32 = 3;
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0..VARS, 0..3i64, 0..6u8).prop_map(|(v, c, op)| {
+            let op = match op {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            Formula::Atom(Atom::Cmp(Expr::Var(VarId(v)), op, Expr::Const(c)))
+        }),
+        // Constant comparisons exercise the folding paths.
+        (0..4i64, 0..4i64).prop_map(|(a, b)| {
+            Formula::Atom(Atom::Cmp(Expr::Const(a), CmpOp::Lt, Expr::Const(b)))
+        }),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Since(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::SinceWeak(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Interval(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| Formula::Prev(Box::new(f))),
+            inner.clone().prop_map(|f| Formula::AlwaysPast(Box::new(f))),
+            inner
+                .clone()
+                .prop_map(|f| Formula::EventuallyPast(Box::new(f))),
+            inner.clone().prop_map(|f| Formula::Start(Box::new(f))),
+            inner.clone().prop_map(|f| Formula::End(Box::new(f))),
+        ]
+    })
+}
+
+fn arb_states() -> impl Strategy<Value = Vec<ProgramState>> {
+    prop::collection::vec(prop::collection::vec(0..3i64, VARS as usize), 1..10).prop_map(|rows| {
+        rows.into_iter()
+            .map(|row| {
+                let mut s = ProgramState::new();
+                for (i, v) in row.into_iter().enumerate() {
+                    s.set(VarId(i as u32), v);
+                }
+                s
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    #[test]
+    fn simplification_preserves_semantics(f in arb_formula(), states in arb_states()) {
+        let simplified = f.simplified();
+        for n in 0..states.len() {
+            prop_assert_eq!(
+                eval_at(&f, &states, n),
+                eval_at(&simplified, &states, n),
+                "position {}: {:?} vs {:?}", n, f, simplified
+            );
+        }
+    }
+
+    #[test]
+    fn simplification_is_idempotent(f in arb_formula()) {
+        let once = f.simplified();
+        let twice = once.simplified();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn simplified_monitor_never_grows(f in arb_formula()) {
+        let before = f.monitor().unwrap().bit_count();
+        let after = f.simplified().monitor().unwrap().bit_count();
+        prop_assert!(after <= before);
+    }
+}

@@ -1,0 +1,135 @@
+//! An unsynchronized-publication bug: a bank posts a deposit and a
+//! notifier announces it, with no synchronization between the two threads.
+//!
+//! * thread 1 (bank): `balance = 150` (the deposit lands);
+//! * thread 2 (notifier): `notified = 1` (the receipt goes out).
+//!
+//! Property: a receipt implies the money is there —
+//!
+//! ```text
+//! start(notified = 1) -> balance >= 150
+//! ```
+//!
+//! In the buggy version the two writes are causally unrelated, so even when
+//! the observed execution posts the deposit first, the lattice contains the
+//! run where the receipt precedes the deposit — a predicted violation.
+//! In the fixed version both threads take the same lock; the lock
+//! pseudo-variable's write events (Section 3.1) order the critical sections
+//! and prune the bad run (ablation D5).
+
+use jmpax_core::SymbolTable;
+use jmpax_sched::{Expr, LockId, Program, Stmt};
+
+use crate::Workload;
+
+/// The publication property.
+pub const SPEC: &str = "start(notified = 1) -> balance >= 150";
+
+/// Builds the workload. With `with_lock`, both threads guard their write
+/// with the same mutex *and* the notifier double-checks the balance inside
+/// the critical section — the realistic fix.
+#[must_use]
+pub fn workload(with_lock: bool) -> Workload {
+    let mut symbols = SymbolTable::new();
+    let balance = symbols.intern("balance");
+    let notified = symbols.intern("notified");
+    let lock = LockId(0);
+
+    let (bank, notifier, locks) = if with_lock {
+        (
+            vec![
+                Stmt::Lock(lock),
+                Stmt::assign(balance, Expr::val(150)),
+                Stmt::Unlock(lock),
+            ],
+            vec![
+                Stmt::Lock(lock),
+                Stmt::if_then(
+                    Expr::var(balance).ge(Expr::val(150)),
+                    vec![Stmt::assign(notified, Expr::val(1))],
+                ),
+                Stmt::Unlock(lock),
+            ],
+            1,
+        )
+    } else {
+        (
+            vec![Stmt::assign(balance, Expr::val(150))],
+            vec![Stmt::assign(notified, Expr::val(1))],
+            0,
+        )
+    };
+
+    let program = Program::new()
+        .with_thread(bank)
+        .with_thread(notifier)
+        .with_initial(balance, 0)
+        .with_initial(notified, 0)
+        .with_locks(locks);
+
+    Workload {
+        name: if with_lock {
+            "bank-locked"
+        } else {
+            "bank-buggy"
+        },
+        program,
+        spec: SPEC.to_owned(),
+        symbols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::ThreadId;
+    use jmpax_sched::run_fixed;
+
+    #[test]
+    fn buggy_version_observed_deposit_first_is_successful() {
+        let w = workload(false);
+        let t1 = ThreadId(0);
+        let t2 = ThreadId(1);
+        let out = run_fixed(&w.program, vec![t1, t2], 50);
+        assert!(out.finished);
+        assert!(w
+            .monitor()
+            .first_violation(&out.observed_states())
+            .is_none());
+    }
+
+    #[test]
+    fn buggy_version_receipt_first_violates_directly() {
+        let w = workload(false);
+        let t1 = ThreadId(0);
+        let t2 = ThreadId(1);
+        let out = run_fixed(&w.program, vec![t2, t1], 50);
+        assert!(
+            w.monitor()
+                .first_violation(&out.observed_states())
+                .is_some(),
+            "receipt before deposit must violate"
+        );
+    }
+
+    #[test]
+    fn locked_version_never_notifies_without_funds() {
+        let w = workload(true);
+        let t1 = ThreadId(0);
+        let t2 = ThreadId(1);
+        // Notifier first: it sees balance = 0 and does not notify.
+        let out = run_fixed(&w.program, vec![t2, t2, t2, t2, t1, t1, t1], 50);
+        assert!(out.finished);
+        assert!(w
+            .monitor()
+            .first_violation(&out.observed_states())
+            .is_none());
+        // Bank first: notification goes out, correctly.
+        let out = run_fixed(&w.program, vec![t1, t1, t1, t2, t2, t2, t2], 50);
+        assert!(out.finished);
+        assert!(w
+            .monitor()
+            .first_violation(&out.observed_states())
+            .is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Dining philosophers — the canonical lock-order deadlock.
+//!
+//! `n` philosophers, `n` forks (mutexes). In the *naive* version everyone
+//! picks up the left fork first: the lock-order graph has the cycle
+//! `f0 → f1 → … → f(n−1) → f0`, so some schedule deadlocks even though
+//! almost every run completes. In the *ordered* version the last
+//! philosopher picks the forks in reverse (the classic fix): the graph is
+//! acyclic.
+//!
+//! Used by the deadlock-prediction experiments: a single deadlock-free run
+//! of the naive version suffices for `jmpax_observer::predict_deadlocks`
+//! to report the cycle.
+
+use jmpax_core::{SymbolTable, VarId};
+use jmpax_sched::{Expr, LockId, Program, Stmt};
+
+use crate::Workload;
+
+/// Builds an `n`-philosopher table. `ordered` applies the lock-order fix.
+#[must_use]
+pub fn workload(n: u32, ordered: bool) -> Workload {
+    assert!(n >= 2, "need at least two philosophers");
+    let mut symbols = SymbolTable::new();
+    let meals = symbols.intern("meals");
+
+    let mut program = Program::new().with_locks(n).with_initial(meals, 0);
+    for p in 0..n {
+        let left = LockId(p);
+        let right = LockId((p + 1) % n);
+        let (first, second) = if ordered && p == n - 1 {
+            (right, left) // the fix: the last philosopher reverses
+        } else {
+            (left, right)
+        };
+        program = program.with_thread(vec![
+            Stmt::Lock(first),
+            Stmt::Lock(second),
+            Stmt::assign(meals, Expr::var(meals).add(Expr::val(1))),
+            Stmt::Unlock(second),
+            Stmt::Unlock(first),
+        ]);
+    }
+
+    Workload {
+        name: if ordered {
+            "dining-ordered"
+        } else {
+            "dining-naive"
+        },
+        program,
+        spec: "meals >= 0".to_owned(),
+        symbols,
+    }
+}
+
+/// The fork (lock) pseudo-variables of a dining workload.
+#[must_use]
+pub fn fork_vars(w: &Workload) -> Vec<VarId> {
+    (0..w.program.locks)
+        .map(|l| w.program.lock_var(LockId(l)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::ThreadId;
+    use jmpax_sched::{explore_all, run_fixed, ExploreLimits};
+
+    #[test]
+    fn naive_version_can_deadlock() {
+        let w = workload(2, false);
+        let outs = explore_all(&w.program, ExploreLimits::default());
+        assert!(
+            outs.iter().any(|o| o.deadlocked),
+            "deadlock schedule exists"
+        );
+        assert!(outs.iter().any(|o| o.finished), "safe schedules exist too");
+    }
+
+    #[test]
+    fn ordered_version_never_deadlocks() {
+        let w = workload(2, true);
+        let outs = explore_all(&w.program, ExploreLimits::default());
+        assert!(outs.iter().all(|o| !o.deadlocked));
+        assert!(outs.iter().all(|o| o.finished));
+    }
+
+    #[test]
+    fn three_philosophers_serial_run_finishes() {
+        let w = workload(3, false);
+        // Serve the philosophers one at a time: trivially safe.
+        let mut schedule = Vec::new();
+        for p in 0..3u32 {
+            schedule.extend(vec![ThreadId(p); 8]);
+        }
+        let out = run_fixed(&w.program, schedule, 200);
+        assert!(out.finished);
+        let meals = w.symbols.lookup("meals").unwrap();
+        assert_eq!(out.final_state.get(meals).as_int(), 3);
+    }
+
+    #[test]
+    fn fork_vars_are_past_program_vars() {
+        let w = workload(3, false);
+        let forks = fork_vars(&w);
+        assert_eq!(forks.len(), 3);
+        let meals = w.symbols.lookup("meals").unwrap();
+        assert!(forks.iter().all(|f| f.0 > meals.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! A one-slot producer/consumer handoff with a flag protocol.
+//!
+//! ```text
+//! producer (×n items):          consumer (×n items):
+//!   while (full == 1) { }         while (full == 0) { }
+//!   data = i;                     taken = data;
+//!   full = 1;                     consumed = consumed + 1;
+//!                                 full = 0;
+//! ```
+//!
+//! The *buggy* variant publishes `full = 1` **before** writing `data` — at
+//! the instant the flag rises the slot is stale, so the freshness property
+//!
+//! ```text
+//! start(full = 1) -> data >= 1
+//! ```
+//!
+//! (items are numbered from 1, the stale slot holds 0) fails on *every*
+//! schedule of the buggy variant and on *none* of the correct one — a
+//! fixture for both analyses and a realistic spin-loop workload for the
+//! interpreter (unfair schedules legitimately starve it, exercising the
+//! non-terminating-run paths).
+
+use jmpax_core::SymbolTable;
+use jmpax_sched::{Expr, Program, Stmt};
+
+use crate::Workload;
+
+/// The freshness property.
+pub const SPEC: &str = "start(full = 1) -> data >= 1";
+
+/// Builds the handoff workload moving `items` items. With `buggy`, the
+/// producer raises `full` before writing `data`.
+#[must_use]
+pub fn workload(items: i64, buggy: bool) -> Workload {
+    assert!(items >= 1);
+    let mut symbols = SymbolTable::new();
+    let data = symbols.intern("data");
+    let full = symbols.intern("full");
+    let consumed = symbols.intern("consumed");
+    let i_var = symbols.intern("i"); // producer-private counter
+    let taken = symbols.intern("taken"); // consumer-private slot
+
+    let publish = |value: Expr| -> Vec<Stmt> {
+        if buggy {
+            vec![Stmt::assign(full, Expr::val(1)), Stmt::assign(data, value)]
+        } else {
+            vec![Stmt::assign(data, value), Stmt::assign(full, Expr::val(1))]
+        }
+    };
+
+    let mut producer = vec![Stmt::assign(i_var, Expr::val(0))];
+    producer.push(Stmt::While(Expr::var(i_var).lt(Expr::val(items)), {
+        let mut body = vec![
+            Stmt::While(Expr::var(full).eq(Expr::val(1)), vec![Stmt::Skip]),
+            Stmt::assign(i_var, Expr::var(i_var).add(Expr::val(1))),
+        ];
+        body.extend(publish(Expr::var(i_var)));
+        body
+    }));
+
+    let consumer = vec![Stmt::While(
+        Expr::var(consumed).lt(Expr::val(items)),
+        vec![
+            Stmt::While(Expr::var(full).eq(Expr::val(0)), vec![Stmt::Skip]),
+            Stmt::assign(taken, Expr::var(data)),
+            Stmt::assign(consumed, Expr::var(consumed).add(Expr::val(1))),
+            Stmt::assign(full, Expr::val(0)),
+        ],
+    )];
+
+    let program = Program::new()
+        .with_thread(producer)
+        .with_thread(consumer)
+        .with_initial(data, 0)
+        .with_initial(full, 0)
+        .with_initial(consumed, 0)
+        .with_initial(i_var, 0)
+        .with_initial(taken, 0);
+
+    Workload {
+        name: if buggy {
+            "handoff-buggy"
+        } else {
+            "handoff-correct"
+        },
+        program,
+        spec: SPEC.to_owned(),
+        symbols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::Value;
+    use jmpax_sched::{run_random, run_round_robin};
+
+    #[test]
+    fn correct_handoff_moves_every_item() {
+        let w = workload(3, false);
+        let out = run_round_robin(&w.program, 5_000);
+        assert!(out.finished, "handoff must complete");
+        let consumed = w.symbols.lookup("consumed").unwrap();
+        let taken = w.symbols.lookup("taken").unwrap();
+        assert_eq!(out.final_state.get(consumed), Value::Int(3));
+        assert_eq!(out.final_state.get(taken), Value::Int(3));
+    }
+
+    #[test]
+    fn correct_handoff_satisfies_spec_on_many_schedules() {
+        let w = workload(2, false);
+        let monitor = w.monitor();
+        let mut finished = 0;
+        for seed in 0..30 {
+            let out = run_random(&w.program, seed, 5_000);
+            if !out.finished {
+                continue; // unfair schedules may starve the spin loops
+            }
+            finished += 1;
+            assert!(
+                monitor.first_violation(&out.observed_states()).is_none(),
+                "seed {seed}"
+            );
+        }
+        assert!(finished >= 20);
+    }
+
+    #[test]
+    fn buggy_handoff_flagged_on_every_schedule() {
+        // The inverted publish order makes every `full = 1` state carry a
+        // stale slot, so the violation is visible on every finished
+        // schedule — and the lattice analysis (which subsumes the observed
+        // run) agrees. The correct variant is never flagged, under either
+        // analysis.
+        use jmpax_core::Relevance;
+        use jmpax_lattice::{analyze, LatticeInput};
+        use jmpax_spec::ProgramState;
+
+        for (buggy, expect_flag) in [(true, true), (false, false)] {
+            let w = workload(1, buggy);
+            let monitor = w.monitor();
+            let mut finished = 0;
+            for seed in 0..30 {
+                let out = run_random(&w.program, seed, 5_000);
+                if !out.finished {
+                    continue;
+                }
+                finished += 1;
+                let observed = monitor.first_violation(&out.observed_states()).is_some();
+                let msgs = out
+                    .execution
+                    .instrument(Relevance::writes_of(w.relevant_vars()));
+                let initial = ProgramState::from_map(out.execution.initial.clone());
+                let input = LatticeInput::from_messages(msgs, initial).unwrap();
+                let predicted = analyze(input, &monitor).violating_runs > 0;
+                assert_eq!(observed, expect_flag, "{} seed {seed}", w.name);
+                assert_eq!(predicted, expect_flag, "{} seed {seed}", w.name);
+            }
+            assert!(finished >= 10, "{}: {finished} finished", w.name);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The buggy flight controller of Fig. 1 (Example 1 of the paper).
+//!
+//! ```c
+//! int landing = 0, approved = 0, radio = 1;
+//! void thread1() {
+//!     askLandingApproval();
+//!     if (approved == 1) { landing = 1; }
+//! }
+//! void askLandingApproval() {
+//!     if (radio == 0) approved = 0; else approved = 1;
+//! }
+//! void thread2() { while (radio) { checkRadio(); } }
+//! ```
+//!
+//! The property — "if the plane has started landing, then it is the case
+//! that landing has been approved and since the approval the radio signal
+//! has never been down" — is
+//!
+//! ```text
+//! start(landing = 1) -> [approved = 1, radio = 0)
+//! ```
+//!
+//! The bug: the radio can drop between the approval check and the landing.
+//! On the *successful* execution where the radio drops only after landing
+//! started, JMPaX's lattice (Fig. 5: 6 states, 3 runs) still contains the
+//! two violating runs.
+
+use jmpax_core::{SymbolTable, ThreadId};
+use jmpax_sched::{Expr, Program, Stmt};
+
+use crate::Workload;
+
+/// The property of Example 1.
+pub const SPEC: &str = "start(landing = 1) -> [approved = 1, radio = 0)";
+
+/// Builds the flight-controller workload. `radio_drops_after` is the
+/// number of `checkRadio` polls thread 2 performs before the radio drops
+/// (the paper's scenario needs at least one, so the drop can race the
+/// approval/landing sequence).
+#[must_use]
+pub fn workload_with_polls(radio_drops_after: i64) -> Workload {
+    let mut symbols = SymbolTable::new();
+    let landing = symbols.intern("landing");
+    let approved = symbols.intern("approved");
+    let radio = symbols.intern("radio");
+    let polls = symbols.intern("polls"); // thread2's private poll counter
+
+    // thread1: askLandingApproval(); if (approved == 1) landing = 1;
+    let thread1 = vec![
+        Stmt::If(
+            Expr::var(radio).eq(Expr::val(0)),
+            vec![Stmt::assign(approved, Expr::val(0))],
+            vec![Stmt::assign(approved, Expr::val(1))],
+        ),
+        Stmt::if_then(
+            Expr::var(approved).eq(Expr::val(1)),
+            vec![Stmt::assign(landing, Expr::val(1))],
+        ),
+    ];
+
+    // thread2: while (radio) { checkRadio(); } — modelled as: the radio
+    // stays up for `radio_drops_after` polls, then goes down.
+    let thread2 = vec![Stmt::While(
+        Expr::var(radio).eq(Expr::val(1)),
+        vec![
+            Stmt::assign(polls, Expr::var(polls).add(Expr::val(1))),
+            Stmt::if_then(
+                Expr::var(polls).gt(Expr::val(radio_drops_after)),
+                vec![Stmt::assign(radio, Expr::val(0))],
+            ),
+        ],
+    )];
+
+    let program = Program::new()
+        .with_thread(thread1)
+        .with_thread(thread2)
+        .with_initial(landing, 0)
+        .with_initial(approved, 0)
+        .with_initial(radio, 1)
+        .with_initial(polls, 0);
+
+    Workload {
+        name: "landing",
+        program,
+        spec: SPEC.to_owned(),
+        symbols,
+    }
+}
+
+/// The default configuration (one poll before the drop).
+#[must_use]
+pub fn workload() -> Workload {
+    workload_with_polls(0)
+}
+
+/// A schedule realizing the paper's *successful* execution: thread 1 runs
+/// to completion (approval granted, landing started), then thread 2 notices
+/// and drops the radio. Relevant writes, in order: `approved=1`,
+/// `landing=1`, `radio=0` — the leftmost path of Fig. 5.
+#[must_use]
+pub fn observed_success_schedule() -> Vec<ThreadId> {
+    let t1 = ThreadId(0);
+    let t2 = ThreadId(1);
+    // Generously script t1 until it finishes, then t2; the scheduler's
+    // fallback ignores surplus entries.
+    let mut s = vec![t1; 8];
+    s.extend(vec![t2; 32]);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::{EventKind, Value};
+    use jmpax_sched::run_fixed;
+
+    #[test]
+    fn successful_schedule_produces_papers_relevant_writes() {
+        let w = workload();
+        let out = run_fixed(&w.program, observed_success_schedule(), 200);
+        assert!(out.finished, "controller must terminate");
+        let landing = w.symbols.lookup("landing").unwrap();
+        let approved = w.symbols.lookup("approved").unwrap();
+        let radio = w.symbols.lookup("radio").unwrap();
+        let rel = [landing, approved, radio];
+        let writes: Vec<_> = out
+            .execution
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Write { var, value } if rel.contains(&var) => Some((var, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            writes,
+            vec![
+                (approved, Value::Int(1)),
+                (landing, Value::Int(1)),
+                (radio, Value::Int(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_bad_schedule_exhibits_the_bug_directly() {
+        // Let thread 2 drop the radio first: approval is then denied and
+        // the plane never lands — or, with the drop between approval and
+        // landing, the property is violated on the observed run itself.
+        let w = workload();
+        let t1 = jmpax_core::ThreadId(0);
+        let t2 = jmpax_core::ThreadId(1);
+        // t1 reads radio (up) and approves; t2 then drops the radio; t1
+        // lands. Schedule: t1 for the approval (3 visible steps: read
+        // radio, write approved), then t2 until the radio is down, then t1.
+        let mut schedule = vec![t1, t1];
+        schedule.extend(vec![t2; 10]);
+        schedule.extend(vec![t1; 6]);
+        let out = run_fixed(&w.program, schedule, 200);
+        assert!(out.finished);
+        let landing = w.symbols.lookup("landing").unwrap();
+        assert_eq!(out.final_state.get(landing), Value::Int(1));
+        // The observed trace violates the property.
+        let monitor = w.monitor();
+        let states: Vec<_> = out.observed_states();
+        assert!(monitor.first_violation(&states).is_some());
+    }
+
+    #[test]
+    fn radio_never_drops_before_thread1_reads_it_under_observed_schedule() {
+        let w = workload();
+        let out = run_fixed(&w.program, observed_success_schedule(), 200);
+        let monitor = w.monitor();
+        assert!(
+            monitor.first_violation(&out.observed_states()).is_none(),
+            "the observed execution must be successful"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Example 2 of the paper (the Fig. 6 lattice).
+//!
+//! Initially `x = -1, y = 0, z = 0`; one thread runs `x++; …; y = x + 1`,
+//! the other `z = x + 1; …; x++` (the dots are irrelevant code). Property:
+//!
+//! ```text
+//! (x > 0) -> [y = 0, y > z)
+//! ```
+//!
+//! The observed run `x=0, z=1, y=1, x=1` is successful, but the lattice of
+//! its computation contains three runs, one of which (`x=0, y=1, z=1, x=1`)
+//! violates the property — and, unlike the flight controller's, that run is
+//! *realizable* by an actual schedule (see `jmpax-sched`'s replay tests).
+
+use jmpax_core::{SymbolTable, ThreadId};
+use jmpax_sched::{Expr, Program, Stmt};
+
+use crate::Workload;
+
+/// The property of Example 2.
+pub const SPEC: &str = "(x > 0) -> [y = 0, y > z)";
+
+/// Builds the Example 2 workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut symbols = SymbolTable::new();
+    let x = symbols.intern("x");
+    let y = symbols.intern("y");
+    let z = symbols.intern("z");
+
+    let thread1 = vec![
+        Stmt::assign(x, Expr::var(x).add(Expr::val(1))),
+        Stmt::Skip, // the paper's "..." — irrelevant code
+        Stmt::assign(y, Expr::var(x).add(Expr::val(1))),
+    ];
+    let thread2 = vec![
+        Stmt::assign(z, Expr::var(x).add(Expr::val(1))),
+        Stmt::Skip,
+        Stmt::assign(x, Expr::var(x).add(Expr::val(1))),
+    ];
+
+    let program = Program::new()
+        .with_thread(thread1)
+        .with_thread(thread2)
+        .with_initial(x, -1)
+        .with_initial(y, 0)
+        .with_initial(z, 0);
+
+    Workload {
+        name: "xyz",
+        program,
+        spec: SPEC.to_owned(),
+        symbols,
+    }
+}
+
+/// The paper's observed interleaving: `x++` (T1), `z=x+1` (T2), `y=x+1`
+/// (T1), `x++` (T2) — the leftmost run of Fig. 6, which is successful.
+#[must_use]
+pub fn observed_success_schedule() -> Vec<ThreadId> {
+    let t1 = ThreadId(0);
+    let t2 = ThreadId(1);
+    vec![
+        t1, t1, // read x, write x (x = 0)
+        t2, t2, // read x, write z (z = 1)
+        t1, t1, t1, // skip, read x, write y (y = 1)
+        t2, t2, t2, // skip, read x, write x (x = 1)
+    ]
+}
+
+/// A schedule realizing the *violating* run of Fig. 6: `y = x + 1` executes
+/// before `z = x + 1`.
+#[must_use]
+pub fn violating_schedule() -> Vec<ThreadId> {
+    let t1 = ThreadId(0);
+    let t2 = ThreadId(1);
+    vec![
+        t1, t1, t1, t1, t1, // all of thread 1: x = 0, skip, y = 1
+        t2, t2, t2, t2, t2, // all of thread 2: z = 1, skip, x = 1
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::{EventKind, Value};
+    use jmpax_sched::run_fixed;
+
+    #[test]
+    fn observed_schedule_matches_paper_messages() {
+        let w = workload();
+        let out = run_fixed(&w.program, observed_success_schedule(), 100);
+        assert!(out.finished);
+        let x = w.symbols.lookup("x").unwrap();
+        let y = w.symbols.lookup("y").unwrap();
+        let z = w.symbols.lookup("z").unwrap();
+        let writes: Vec<_> = out
+            .execution
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Write { var, value } => Some((var, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            writes,
+            vec![
+                (x, Value::Int(0)),
+                (z, Value::Int(1)),
+                (y, Value::Int(1)),
+                (x, Value::Int(1)),
+            ]
+        );
+        // The observed run satisfies the property.
+        assert!(w
+            .monitor()
+            .first_violation(&out.observed_states())
+            .is_none());
+    }
+
+    #[test]
+    fn violating_schedule_breaks_the_property_directly() {
+        let w = workload();
+        let out = run_fixed(&w.program, violating_schedule(), 100);
+        assert!(out.finished);
+        assert!(
+            w.monitor()
+                .first_violation(&out.observed_states())
+                .is_some(),
+            "y=1 lands while z=0; once x>0 the interval is dead"
+        );
+    }
+
+    #[test]
+    fn final_state_is_schedule_independent_here() {
+        let w = workload();
+        let a = run_fixed(&w.program, observed_success_schedule(), 100);
+        let b = run_fixed(&w.program, violating_schedule(), 100);
+        let x = w.symbols.lookup("x").unwrap();
+        assert_eq!(a.final_state.get(x), Value::Int(1));
+        assert_eq!(b.final_state.get(x), Value::Int(1));
+    }
+}

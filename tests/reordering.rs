@@ -1,0 +1,102 @@
+//! Experiment Q4: the observer tolerates arbitrary message delivery orders
+//! (Section 4: "the observer therefore receives messages … in any order").
+//! Shuffling the message stream must never change the verdict, the lattice
+//! shape, or the violating-run count.
+
+use jmpax::observer::Observer;
+use jmpax::sched::run_random;
+use jmpax::spec::ProgramState;
+use jmpax::workloads::{synthetic, xyz};
+use jmpax::Relevance;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn every_shuffle_of_example2_gives_the_same_verdict() {
+    let w = xyz::workload();
+    let out = jmpax::sched::run_fixed(&w.program, xyz::observed_success_schedule(), 100);
+    let msgs = out
+        .execution
+        .instrument(Relevance::writes_of(w.relevant_vars()));
+    let initial = ProgramState::from_map(out.execution.initial.clone());
+    let monitor = w.monitor();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 0..50 {
+        let mut shuffled = msgs.clone();
+        shuffled.shuffle(&mut rng);
+        let mut obs = Observer::new(monitor.clone(), initial.clone());
+        obs.offer_all(shuffled);
+        assert!(!obs.has_gaps(), "round {round}: all messages delivered");
+        let verdict = obs.conclude().unwrap();
+        let a = verdict.analysis();
+        assert_eq!(
+            (a.states, a.total_runs, a.violating_runs),
+            (7, 3, 1),
+            "round {round}: shuffle changed the analysis"
+        );
+    }
+}
+
+#[test]
+fn shuffled_synthetic_workloads_match_in_order_analysis() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for seed in 0..8 {
+        let w = synthetic::workload(synthetic::SyntheticConfig {
+            threads: 3,
+            vars: 3,
+            stmts_per_thread: 4,
+            seed,
+            ..Default::default()
+        });
+        let out = run_random(&w.program, seed, 10_000);
+        assert!(out.finished);
+        let msgs = out
+            .execution
+            .instrument(Relevance::writes_of(w.relevant_vars()));
+        let initial = ProgramState::from_map(out.execution.initial.clone());
+        let monitor = w.monitor();
+
+        let mut reference = Observer::new(monitor.clone(), initial.clone());
+        reference.offer_all(msgs.clone());
+        let ref_analysis = reference.conclude().unwrap();
+        let ref_a = ref_analysis.analysis();
+
+        for _ in 0..5 {
+            let mut shuffled = msgs.clone();
+            shuffled.shuffle(&mut rng);
+            let mut obs = Observer::new(monitor.clone(), initial.clone());
+            obs.offer_all(shuffled);
+            let verdict = obs.conclude().unwrap();
+            let a = verdict.analysis();
+            assert_eq!(a.states, ref_a.states, "seed {seed}");
+            assert_eq!(a.total_runs, ref_a.total_runs, "seed {seed}");
+            assert_eq!(a.violating_runs, ref_a.violating_runs, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn streaming_analyzer_is_order_insensitive_too() {
+    use jmpax::StreamingAnalyzer;
+
+    let w = xyz::workload();
+    let out = jmpax::sched::run_fixed(&w.program, xyz::observed_success_schedule(), 100);
+    let msgs = out
+        .execution
+        .instrument(Relevance::writes_of(w.relevant_vars()));
+    let initial = ProgramState::from_map(out.execution.initial.clone());
+    let monitor = w.monitor();
+
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..20 {
+        let mut shuffled = msgs.clone();
+        shuffled.shuffle(&mut rng);
+        let mut s = StreamingAnalyzer::new(monitor.clone(), &initial, 2);
+        s.push_all(shuffled);
+        let report = s.finish();
+        assert!(report.completed);
+        assert_eq!(report.states_explored, 7);
+        assert_eq!(report.violations.len(), 1);
+    }
+}
