@@ -79,7 +79,10 @@ fn codec() {
     use jmpax_instrument::{encode_compact_frame, encode_frame};
 
     header("Wire formats — plain frames vs compact (varint) frames");
-    println!("{:>8} {:>6} {:>12} {:>12} {:>8}", "msgs", "thr", "plain-B", "compact-B", "ratio");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>8}",
+        "msgs", "thr", "plain-B", "compact-B", "ratio"
+    );
     for (threads, events) in [(2usize, 1_000usize), (8, 10_000), (32, 10_000)] {
         let ex = random_execution(RandomExecutionConfig {
             threads,

@@ -3,9 +3,11 @@
 use std::fmt::Write as _;
 
 use jmpax_core::{Relevance, SymbolTable};
+use jmpax_instrument::EventSink as _;
 use jmpax_lattice::{to_dot, DotOptions, Lattice, LatticeInput, StreamingAnalyzer};
-use jmpax_observer::{check_execution, render_analysis};
+use jmpax_observer::{check_execution_with_telemetry, render_analysis};
 use jmpax_spec::{parse, ProgramState};
+use jmpax_telemetry::Registry;
 use jmpax_workloads as workloads;
 
 use crate::args::Args;
@@ -20,6 +22,7 @@ Multithreaded Programs', IPDPS/PADTAD 2004)
 USAGE:
     jmpax check --spec <FORMULA> --trace <FILE>
                 [--dot <OUT>] [--streaming] [--history <N>]
+                [--telemetry <text|json>]
         Check a safety property against EVERY interleaving consistent with
         the recorded trace. The trace is the text format of
         `jmpax gen` (one event per line, `init v = k` headers).
@@ -38,7 +41,16 @@ USAGE:
         cross-thread cycles.
 
     jmpax demo <landing|xyz|bank|bank-locked|dining|handoff|peterson>
+                [--telemetry <text|json>]
         Run a built-in demonstration and print its analysis.
+
+    --telemetry <text|json> (check, demo)
+        Collect pipeline metrics — instrumentation counters, MVC join and
+        per-event timing histograms, lattice level/frontier statistics,
+        observer stage timings and verdict counts — and print a final
+        report to STDERR after the analysis output. Without the flag no
+        metrics are collected (the disabled path reads no clocks and
+        touches no atomics).
 
     jmpax gen <landing|xyz|bank|bank-locked|dining|handoff|peterson> [--seed <N>]
         Print a trace of the chosen workload under a random schedule
@@ -57,16 +69,101 @@ EXAMPLES:
     jmpax check --spec '(x > 0) -> [y = 0, y > z)' --trace xyz.trace
 ";
 
+/// How `--telemetry` asked for the metrics report to be rendered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Aligned human-readable table.
+    Text,
+    /// A single JSON object (`{"metrics": {...}}`).
+    Json,
+}
+
+/// The full result of a CLI invocation.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Process exit code.
+    pub code: i32,
+    /// Analysis output (stdout).
+    pub output: String,
+    /// Rendered telemetry report (stderr), present iff `--telemetry` was
+    /// given and valid.
+    pub telemetry: Option<String>,
+}
+
+fn telemetry_mode(args: &Args) -> Result<Option<TelemetryMode>, String> {
+    match args.get("telemetry") {
+        None => Ok(None),
+        Some("" | "text") => Ok(Some(TelemetryMode::Text)),
+        Some("json") => Ok(Some(TelemetryMode::Json)),
+        Some(other) => Err(format!(
+            "unknown --telemetry mode `{other}` (expected `text` or `json`)\n"
+        )),
+    }
+}
+
 /// Runs the CLI; returns the process exit code and the full output text.
+/// Telemetry, if requested, is collected but not rendered — use
+/// [`run_with_telemetry`] to also get the report.
 pub fn run(args: &Args, trace_source: Option<&str>) -> (i32, String) {
+    let out = run_with_telemetry(args, trace_source);
+    (out.code, out.output)
+}
+
+/// Runs the CLI with an optional `--telemetry <text|json>` metrics report.
+pub fn run_with_telemetry(args: &Args, trace_source: Option<&str>) -> RunOutput {
+    let mode = match telemetry_mode(args) {
+        Ok(m) => m,
+        Err(e) => {
+            return RunOutput {
+                code: 2,
+                output: e,
+                telemetry: None,
+            }
+        }
+    };
+    let registry = if mode.is_some() {
+        Registry::enabled()
+    } else {
+        Registry::disabled()
+    };
+    let (code, output) = run_inner(args, trace_source, &registry);
+    let telemetry = mode.map(|m| {
+        let snapshot = registry.snapshot();
+        match m {
+            TelemetryMode::Text => snapshot.to_text(),
+            TelemetryMode::Json => snapshot.to_json(),
+        }
+    });
+    RunOutput {
+        code,
+        output,
+        telemetry,
+    }
+}
+
+fn run_inner(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, String) {
     match args.command() {
-        Some("check") => check(args, trace_source),
+        Some("check") => check(args, trace_source, registry),
         Some("races") => races(args, trace_source),
         Some("deadlocks") => deadlocks(args, trace_source),
-        Some("demo") => demo(args),
+        Some("demo") => demo(args, registry),
         Some("gen") => gen(args),
         Some("help") | None => (0, USAGE.to_owned()),
         Some(other) => (2, format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// Models the wire between instrumented program and observer: encodes
+/// `messages` through a telemetered [`jmpax_instrument::FrameSink`] so
+/// `instrument.frames_encoded` / `instrument.bytes_encoded` reflect what a
+/// live deployment would have shipped. Skipped when telemetry is off.
+fn account_frames(messages: &[jmpax_core::Message], registry: &Registry) {
+    if !registry.is_enabled() {
+        return;
+    }
+    let mut sink = jmpax_instrument::FrameSink::with_telemetry(registry);
+    for m in messages {
+        sink.emit(m);
     }
 }
 
@@ -163,7 +260,7 @@ fn deadlocks(args: &Args, trace_source: Option<&str>) -> (i32, String) {
     (1, out)
 }
 
-fn check(args: &Args, trace_source: Option<&str>) -> (i32, String) {
+fn check(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, String) {
     let mut out = String::new();
     let Some(spec) = args.get("spec") else {
         return (2, "check: missing --spec <FORMULA>\n".to_owned());
@@ -185,18 +282,24 @@ fn check(args: &Args, trace_source: Option<&str>) -> (i32, String) {
             Err(e) => return (2, format!("check: {e}\n")),
         };
         let monitor = match formula.monitor() {
-            Ok(m) => m,
+            Ok(m) => m.with_telemetry(registry),
             Err(e) => return (2, format!("check: {e}\n")),
         };
         let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
-        let messages = execution.instrument(relevance);
+        let messages = execution.instrument_with_telemetry(relevance, registry);
+        account_frames(&messages, registry);
         let initial = ProgramState::from_map(execution.initial.clone());
         let history = args
             .get("history")
             .and_then(|h| h.parse::<usize>().ok())
             .unwrap_or(0);
-        let mut s = StreamingAnalyzer::new(monitor, &initial, execution.thread_count())
-            .with_history(history);
+        let mut s = StreamingAnalyzer::with_telemetry(
+            monitor,
+            &initial,
+            execution.thread_count(),
+            registry,
+        )
+        .with_history(history);
         s.push_all(messages);
         let report = s.finish();
         let _ = writeln!(
@@ -220,10 +323,11 @@ fn check(args: &Args, trace_source: Option<&str>) -> (i32, String) {
         return (1, out);
     }
 
-    let report = match check_execution(&execution, spec, &mut symbols) {
+    let report = match check_execution_with_telemetry(&execution, spec, &mut symbols, registry) {
         Ok(r) => r,
         Err(e) => return (2, format!("check: {e}\n")),
     };
+    account_frames(&report.messages, registry);
     let analysis = report.verdict.analysis();
     out.push_str(&render_analysis(analysis, &symbols));
     if let Some(idx) = report.observed_violation {
@@ -267,7 +371,7 @@ fn workload_by_name(name: &str) -> Option<workloads::Workload> {
     }
 }
 
-fn demo(args: &Args) -> (i32, String) {
+fn demo(args: &Args, registry: &Registry) -> (i32, String) {
     let Some(name) = args.positional.get(1) else {
         return (
             2,
@@ -299,8 +403,9 @@ fn demo(args: &Args) -> (i32, String) {
         );
     }
     let mut symbols = w.symbols.clone();
-    match check_execution(&run.execution, &w.spec, &mut symbols) {
+    match check_execution_with_telemetry(&run.execution, &w.spec, &mut symbols, registry) {
         Ok(report) => {
+            account_frames(&report.messages, registry);
             out.push_str(&render_analysis(report.verdict.analysis(), &symbols));
             (i32::from(report.predicted()), out)
         }

@@ -13,7 +13,10 @@ fn main() {
             std::process::exit(2);
         })
     });
-    let (code, output) = commands::run(&args, trace.as_deref());
-    print!("{output}");
-    std::process::exit(code);
+    let result = commands::run_with_telemetry(&args, trace.as_deref());
+    print!("{}", result.output);
+    if let Some(report) = result.telemetry {
+        eprint!("{report}");
+    }
+    std::process::exit(result.code);
 }

@@ -95,6 +95,19 @@ impl Execution {
         instr.process_all(&self.events)
     }
 
+    /// Like [`Execution::instrument`], but with Algorithm A reporting into
+    /// `registry` (see [`MvcInstrumentor::with_telemetry`] for the metric
+    /// names).
+    #[must_use]
+    pub fn instrument_with_telemetry(
+        &self,
+        relevance: Relevance,
+        registry: &jmpax_telemetry::Registry,
+    ) -> Vec<Message> {
+        let mut instr = MvcInstrumentor::with_telemetry(self.thread_count(), relevance, registry);
+        instr.process_all(&self.events)
+    }
+
     /// The final value of every shared variable after replaying the writes
     /// in observed order over the initial state.
     #[must_use]

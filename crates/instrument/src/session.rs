@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use jmpax_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 
 use jmpax_core::{Event, Message, Relevance, SymbolTable, ThreadId, VarId, VectorClock};
@@ -21,6 +22,12 @@ pub(crate) struct SessionInner {
     seq: AtomicU64,
     logging: bool,
     log: Mutex<Vec<(u64, Event)>>,
+    /// `instrument.events_seen` — every event recorded, relevant or not.
+    tel_seen: Counter,
+    /// `instrument.events_relevant` — events the relevance policy kept.
+    tel_relevant: Counter,
+    /// `instrument.messages_emitted` — messages handed to the sink.
+    tel_emitted: Counter,
 }
 
 impl SessionInner {
@@ -29,16 +36,19 @@ impl SessionInner {
     /// variable's critical section so the log order is a true
     /// linearization.
     pub(crate) fn record(&self, ctx: &ThreadCtx, event: Event, relevant: bool) {
+        self.tel_seen.inc();
         if self.logging {
             let seq = self.seq.fetch_add(1, Ordering::Relaxed);
             self.log.lock().push((seq, event));
         }
         if relevant {
+            self.tel_relevant.inc();
             let message = Message {
                 event,
                 clock: ctx.clock.clone(),
             };
             self.sink.lock().emit(&message);
+            self.tel_emitted.inc();
         }
     }
 }
@@ -54,19 +64,13 @@ pub struct Session {
 }
 
 impl Session {
-    /// A session emitting to an in-memory [`VecSink`] (drain with
-    /// [`Session::drain_messages`]).
-    #[must_use]
-    pub fn new(relevance: Relevance) -> Self {
-        let vec_sink = VecSink::new();
-        let mut s = Self::with_sink(relevance, Box::new(vec_sink.clone()));
-        s.vec_sink = Some(vec_sink);
-        s
-    }
-
-    /// A session emitting to a custom sink.
-    #[must_use]
-    pub fn with_sink(relevance: Relevance, sink: Box<dyn EventSink>) -> Self {
+    fn build(
+        relevance: Relevance,
+        sink: Box<dyn EventSink>,
+        vec_sink: Option<VecSink>,
+        logging: bool,
+        registry: &Registry,
+    ) -> Self {
         Self {
             inner: Arc::new(SessionInner {
                 relevance,
@@ -74,11 +78,53 @@ impl Session {
                 symbols: Mutex::new(SymbolTable::new()),
                 next_thread: AtomicU32::new(0),
                 seq: AtomicU64::new(0),
-                logging: false,
+                logging,
                 log: Mutex::new(Vec::new()),
+                tel_seen: registry.counter("instrument.events_seen"),
+                tel_relevant: registry.counter("instrument.events_relevant"),
+                tel_emitted: registry.counter("instrument.messages_emitted"),
             }),
-            vec_sink: None,
+            vec_sink,
         }
+    }
+
+    /// A session emitting to an in-memory [`VecSink`] (drain with
+    /// [`Session::drain_messages`]).
+    #[must_use]
+    pub fn new(relevance: Relevance) -> Self {
+        Self::new_with_telemetry(relevance, &Registry::disabled())
+    }
+
+    /// Like [`Session::new`], but counting `instrument.events_seen`,
+    /// `instrument.events_relevant` and `instrument.messages_emitted` into
+    /// `registry`.
+    #[must_use]
+    pub fn new_with_telemetry(relevance: Relevance, registry: &Registry) -> Self {
+        let vec_sink = VecSink::new();
+        Self::build(
+            relevance,
+            Box::new(vec_sink.clone()),
+            Some(vec_sink),
+            false,
+            registry,
+        )
+    }
+
+    /// A session emitting to a custom sink.
+    #[must_use]
+    pub fn with_sink(relevance: Relevance, sink: Box<dyn EventSink>) -> Self {
+        Self::with_sink_telemetry(relevance, sink, &Registry::disabled())
+    }
+
+    /// Like [`Session::with_sink`], but reporting into `registry` (see
+    /// [`Session::new_with_telemetry`] for the metric names).
+    #[must_use]
+    pub fn with_sink_telemetry(
+        relevance: Relevance,
+        sink: Box<dyn EventSink>,
+        registry: &Registry,
+    ) -> Self {
+        Self::build(relevance, sink, None, false, registry)
     }
 
     /// Like [`Session::new`] but additionally records the global
@@ -87,18 +133,13 @@ impl Session {
     #[must_use]
     pub fn new_logged(relevance: Relevance) -> Self {
         let vec_sink = VecSink::new();
-        Self {
-            inner: Arc::new(SessionInner {
-                relevance,
-                sink: Mutex::new(Box::new(vec_sink.clone())),
-                symbols: Mutex::new(SymbolTable::new()),
-                next_thread: AtomicU32::new(0),
-                seq: AtomicU64::new(0),
-                logging: true,
-                log: Mutex::new(Vec::new()),
-            }),
-            vec_sink: Some(vec_sink),
-        }
+        Self::build(
+            relevance,
+            Box::new(vec_sink.clone()),
+            Some(vec_sink),
+            true,
+            &Registry::disabled(),
+        )
     }
 
     /// The relevance policy.
@@ -331,6 +372,23 @@ mod tests {
         ctx.internal_event();
         assert_eq!(ctx.clock().get(ctx.id()), 0);
         assert!(s.drain_messages().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_seen_relevant_emitted() {
+        let registry = jmpax_telemetry::Registry::enabled();
+        let s = Session::new_with_telemetry(Relevance::AllWrites, &registry);
+        let x = s.shared("x", 0i64);
+        let mut ctx = s.register_thread();
+        x.write(&mut ctx, 1); // read-modify-free write: relevant
+        let _ = x.read(&mut ctx); // read: seen, not relevant
+        ctx.internal_event(); // internal: seen, not relevant
+        assert_eq!(s.drain_messages().len(), 1);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("instrument.events_seen"), Some(3));
+        assert_eq!(snap.counter("instrument.events_relevant"), Some(1));
+        assert_eq!(snap.counter("instrument.messages_emitted"), Some(1));
     }
 
     #[test]

@@ -80,6 +80,10 @@ impl EventSink for ChannelSink {
 #[derive(Clone, Debug, Default)]
 pub struct FrameSink {
     buffer: Arc<Mutex<bytes::BytesMut>>,
+    /// `instrument.frames_encoded` / `instrument.bytes_encoded`; no-ops
+    /// unless built via [`FrameSink::with_telemetry`].
+    tel_frames: jmpax_telemetry::Counter,
+    tel_bytes: jmpax_telemetry::Counter,
 }
 
 impl FrameSink {
@@ -87,6 +91,18 @@ impl FrameSink {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty sink counting `instrument.frames_encoded` (messages
+    /// serialized) and `instrument.bytes_encoded` (wire bytes produced)
+    /// into `registry`.
+    #[must_use]
+    pub fn with_telemetry(registry: &jmpax_telemetry::Registry) -> Self {
+        Self {
+            buffer: Arc::default(),
+            tel_frames: registry.counter("instrument.frames_encoded"),
+            tel_bytes: registry.counter("instrument.bytes_encoded"),
+        }
     }
 
     /// Takes the bytes accumulated so far.
@@ -98,7 +114,13 @@ impl FrameSink {
 
 impl EventSink for FrameSink {
     fn emit(&mut self, message: &Message) {
-        crate::codec::encode_frame(message, &mut self.buffer.lock());
+        let mut buffer = self.buffer.lock();
+        let before = buffer.len();
+        crate::codec::encode_frame(message, &mut buffer);
+        let encoded = buffer.len() - before;
+        drop(buffer);
+        self.tel_frames.inc();
+        self.tel_bytes.add(encoded as u64);
     }
 }
 

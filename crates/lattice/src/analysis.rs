@@ -101,6 +101,32 @@ impl Analysis {
     pub fn prediction_only(&self) -> bool {
         self.violating_runs > 0 && self.violating_runs < self.total_runs
     }
+
+    /// Publishes this analysis's statistics into `registry` under the same
+    /// `lattice.*` metric names the streaming analyzer uses, so offline
+    /// (retained-lattice) and online analyses render through one snapshot.
+    /// Run counts saturate at `u64::MAX` — they are combinatorial and can
+    /// exceed the counter width.
+    pub fn record(&self, registry: &jmpax_telemetry::Registry) {
+        registry
+            .counter("lattice.states_explored")
+            .add(self.states as u64);
+        registry
+            .counter("lattice.levels_built")
+            .add(self.levels as u64);
+        registry
+            .gauge("lattice.peak_frontier")
+            .set(self.max_level_width as u64);
+        registry
+            .counter("lattice.total_runs")
+            .add(u64::try_from(self.total_runs).unwrap_or(u64::MAX));
+        registry
+            .counter("lattice.violating_runs")
+            .add(u64::try_from(self.violating_runs).unwrap_or(u64::MAX));
+        registry
+            .counter("lattice.violations")
+            .add(self.violations.len() as u64);
+    }
 }
 
 /// Options for [`analyze_lattice`].

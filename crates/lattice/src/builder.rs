@@ -20,6 +20,7 @@ use std::collections::{HashMap, HashSet};
 
 use jmpax_core::{CausalBuffer, Message, ThreadId};
 use jmpax_spec::{Monitor, MonitorState, ProgramState};
+use jmpax_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::cut::Cut;
 
@@ -63,6 +64,25 @@ impl StreamReport {
     #[must_use]
     pub fn satisfied(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Publishes this report's statistics into `registry` under the same
+    /// metric names a live [`StreamingAnalyzer::with_telemetry`] run uses.
+    /// Use this when the analysis ran *without* an attached registry; a
+    /// telemetered analyzer has already reported these incrementally.
+    pub fn record(&self, registry: &Registry) {
+        registry
+            .counter("lattice.states_explored")
+            .add(self.states_explored);
+        registry
+            .counter("lattice.levels_built")
+            .add(u64::from(self.levels_built));
+        registry
+            .gauge("lattice.peak_frontier")
+            .set(self.peak_frontier as u64);
+        registry
+            .counter("lattice.violations")
+            .add(self.violations.len() as u64);
     }
 }
 
@@ -116,12 +136,46 @@ pub struct StreamingAnalyzer {
     states_explored: u64,
     levels_built: u32,
     peak_frontier: usize,
+    /// `lattice.*` metrics; no-ops unless built via
+    /// [`StreamingAnalyzer::with_telemetry`].
+    tel_states: Counter,
+    tel_deduped: Counter,
+    tel_levels: Counter,
+    tel_violations: Counter,
+    tel_width: Histogram,
+    tel_peak: Gauge,
 }
 
 impl StreamingAnalyzer {
     /// Creates an analyzer for `threads` threads starting from `initial`.
     #[must_use]
     pub fn new(monitor: Monitor, initial: &ProgramState, threads: usize) -> Self {
+        Self::build(monitor, initial, threads, &Registry::disabled())
+    }
+
+    /// Like [`StreamingAnalyzer::new`], but reporting live metrics into
+    /// `registry`: `lattice.states_explored` (lattice nodes created,
+    /// including the initial cut), `lattice.cuts_deduped` (successor cuts
+    /// merged into an already-created node of the next level),
+    /// `lattice.levels_built`, `lattice.violations`,
+    /// `lattice.frontier_width` (histogram, one sample per completed
+    /// level), and `lattice.peak_frontier` (gauge).
+    #[must_use]
+    pub fn with_telemetry(
+        monitor: Monitor,
+        initial: &ProgramState,
+        threads: usize,
+        registry: &Registry,
+    ) -> Self {
+        Self::build(monitor, initial, threads, registry)
+    }
+
+    fn build(
+        monitor: Monitor,
+        initial: &ProgramState,
+        threads: usize,
+        registry: &Registry,
+    ) -> Self {
         let (mem0, ok0) = monitor.initial(initial);
         let bottom = Cut::bottom(threads);
         let mut frontier = HashMap::new();
@@ -144,6 +198,12 @@ impl StreamingAnalyzer {
             });
         }
         frontier.insert(bottom, node);
+        let tel_states = registry.counter("lattice.states_explored");
+        tel_states.inc(); // the initial cut is a lattice node
+        let tel_peak = registry.gauge("lattice.peak_frontier");
+        tel_peak.set(1);
+        let tel_violations = registry.counter("lattice.violations");
+        tel_violations.add(violations.len() as u64);
         Self {
             monitor,
             threads,
@@ -157,6 +217,12 @@ impl StreamingAnalyzer {
             states_explored: 1,
             levels_built: 0,
             peak_frontier: 1,
+            tel_states,
+            tel_deduped: registry.counter("lattice.cuts_deduped"),
+            tel_levels: registry.counter("lattice.levels_built"),
+            tel_violations,
+            tel_width: registry.histogram("lattice.frontier_width"),
+            tel_peak,
         }
     }
 
@@ -327,9 +393,13 @@ impl StreamingAnalyzer {
                     let succ_cut = cut.advanced(ThreadId(t as u32));
                     let succ_state = node.state.updated(var, value);
                     let entry = match next.entry(succ_cut.clone()) {
-                        Entry::Occupied(e) => e.into_mut(),
+                        Entry::Occupied(e) => {
+                            self.tel_deduped.inc();
+                            e.into_mut()
+                        }
                         Entry::Vacant(e) => {
                             self.states_explored += 1;
+                            self.tel_states.inc();
                             e.insert(FrontierNode {
                                 state: succ_state.clone(),
                                 mems: HashSet::new(),
@@ -360,6 +430,7 @@ impl StreamingAnalyzer {
                     }
                 }
             }
+            self.tel_violations.add(found.len() as u64);
             self.violations.append(&mut found);
             // Cuts that had no successor (only possible mid-stream for the
             // top-so-far cut when some threads ended) are retained if they
@@ -379,6 +450,9 @@ impl StreamingAnalyzer {
             self.frontier = next;
             self.levels_built += 1;
             self.peak_frontier = self.peak_frontier.max(self.frontier.len());
+            self.tel_levels.inc();
+            self.tel_width.record(self.frontier.len() as u64);
+            self.tel_peak.set(self.frontier.len() as u64);
         }
     }
 }

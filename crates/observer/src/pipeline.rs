@@ -12,6 +12,7 @@ use std::fmt;
 
 use jmpax_core::{Execution, Message, Relevance, SymbolTable};
 use jmpax_spec::{parse, Monitor, ParseError, ProgramState};
+use jmpax_telemetry::Registry;
 
 use crate::observer::{Observer, Verdict};
 
@@ -99,12 +100,33 @@ pub fn check_execution(
     spec_src: &str,
     symbols: &mut SymbolTable,
 ) -> Result<PipelineReport, PipelineError> {
+    check_execution_with_telemetry(execution, spec_src, symbols, &Registry::disabled())
+}
+
+/// [`check_execution`] with pipeline telemetry reported into `registry`:
+/// per-stage wall-clock histograms (`observer.stage.instrument_ns`,
+/// `observer.stage.jpax_ns`, `observer.stage.analysis_ns`), verdict
+/// counters (`observer.verdict.satisfied` / `.predicted` / `.observed`),
+/// and every metric the underlying instrumentor, monitor and lattice
+/// analysis publish. With a disabled registry this is exactly
+/// [`check_execution`] — no clocks are read and no atomics touched.
+pub fn check_execution_with_telemetry(
+    execution: &Execution,
+    spec_src: &str,
+    symbols: &mut SymbolTable,
+    registry: &Registry,
+) -> Result<PipelineReport, PipelineError> {
     let formula = parse(spec_src, symbols)?;
-    let monitor = formula.monitor()?;
+    let monitor = formula.monitor()?.with_telemetry(registry);
     let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
-    let messages = execution.instrument(relevance.clone());
+    let messages = {
+        let _span = registry
+            .histogram("observer.stage.instrument_ns")
+            .start_span();
+        execution.instrument_with_telemetry(relevance.clone(), registry)
+    };
     let initial = ProgramState::from_map(execution.initial.clone());
-    conclude(monitor, initial, messages, relevance)
+    conclude_with_telemetry(monitor, initial, messages, relevance, registry)
 }
 
 /// Runs the pipeline over an interpreter outcome (`jmpax-sched`).
@@ -145,10 +167,37 @@ fn conclude(
     messages: Vec<Message>,
     relevance: Relevance,
 ) -> Result<PipelineReport, PipelineError> {
-    let observed_violation = crate::jpax::observed_violation(&monitor, &initial, &messages);
+    conclude_with_telemetry(monitor, initial, messages, relevance, &Registry::disabled())
+}
+
+fn conclude_with_telemetry(
+    monitor: Monitor,
+    initial: ProgramState,
+    messages: Vec<Message>,
+    relevance: Relevance,
+    registry: &Registry,
+) -> Result<PipelineReport, PipelineError> {
+    let observed_violation = {
+        let _span = registry.histogram("observer.stage.jpax_ns").start_span();
+        crate::jpax::observed_violation(&monitor, &initial, &messages)
+    };
     let mut observer = Observer::new(monitor, initial);
     observer.offer_all(messages.clone());
-    let verdict = observer.conclude()?;
+    let verdict = {
+        let _span = registry
+            .histogram("observer.stage.analysis_ns")
+            .start_span();
+        observer.conclude()?
+    };
+    verdict.analysis().record(registry);
+    if verdict.is_satisfied() {
+        registry.counter("observer.verdict.satisfied").inc();
+    } else {
+        registry.counter("observer.verdict.predicted").inc();
+    }
+    if observed_violation.is_some() {
+        registry.counter("observer.verdict.observed").inc();
+    }
     Ok(PipelineReport {
         verdict,
         observed_violation,

@@ -117,6 +117,10 @@ pub struct Monitor {
     nodes: Vec<Node>,
     root: NodeId,
     bits: usize,
+    /// Counts full formula evaluations (`spec.formula_evals`); disabled
+    /// unless attached via [`Monitor::with_telemetry`]. Clones share the
+    /// counter, so every cut evaluated across the lattice is counted.
+    evals: jmpax_telemetry::Counter,
 }
 
 impl Monitor {
@@ -128,7 +132,21 @@ impl Monitor {
         if bits > MAX_BITS {
             return Err(MonitorError::TooManyTemporalOperators { needed: bits });
         }
-        Ok(Self { nodes, root, bits })
+        Ok(Self {
+            nodes,
+            root,
+            bits,
+            evals: jmpax_telemetry::Counter::disabled(),
+        })
+    }
+
+    /// Attaches this monitor to `registry`, counting every formula
+    /// evaluation (each [`initial`](Self::initial) or [`step`](Self::step)
+    /// call) as `spec.formula_evals`.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &jmpax_telemetry::Registry) -> Self {
+        self.evals = registry.counter("spec.formula_evals");
+        self
     }
 
     fn lower(f: &Formula, nodes: &mut Vec<Node>, bits: &mut usize) -> NodeId {
@@ -218,6 +236,7 @@ impl Monitor {
     }
 
     fn run(&self, prev: Option<MonitorState>, state: &ProgramState) -> (MonitorState, bool) {
+        self.evals.inc();
         let mut now = vec![false; self.nodes.len()];
         let mut next = MonitorState::default();
         for (id, node) in self.nodes.iter().enumerate() {

@@ -1,0 +1,784 @@
+//! std-only metrics and span timing for the jmpax pipeline.
+//!
+//! A [`Registry`] owns a set of named metrics — [`Counter`]s, [`Gauge`]s,
+//! and log2-bucketed [`Histogram`]s — and hands out cheap cloneable handles
+//! that instrumented code hot paths update with single atomic operations.
+//! A [`SpanTimer`] drop-guard (or the [`span!`] macro) times a scope into a
+//! histogram. [`Registry::snapshot`] freezes everything into a [`Snapshot`]
+//! renderable as aligned text or JSON (both hand-rolled; no serde).
+//!
+//! # Disabled-path cost model
+//!
+//! `Registry::disabled()` (also `Default`) allocates nothing and hands out
+//! handles whose inner `Option` is `None`. Every update on a disabled
+//! handle is one branch on an immediate — no atomic traffic, no `Instant`
+//! reads (a disabled [`SpanTimer`] never calls `Instant::now`), no
+//! allocation. Instrumented code therefore threads handles through
+//! unconditionally and stays within noise of un-instrumented builds when
+//! telemetry is off.
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of histogram buckets: one for zero plus one per power of two of
+/// the `u64` domain.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing count.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op handle, identical to those a disabled registry hands out.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "Counter({})", self.get()),
+            None => write!(f, "Counter(disabled)"),
+        }
+    }
+}
+
+struct GaugeCell {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// A last-value metric that also remembers its high-water mark.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// A no-op handle, identical to those a disabled registry hands out.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Records the current value and folds it into the peak.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.value.store(v, Ordering::Relaxed);
+            cell.peak.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+
+    /// Largest value ever set (0 when disabled).
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.peak.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "Gauge({}, peak {})", self.get(), self.peak()),
+            None => write!(f, "Gauge(disabled)"),
+        }
+    }
+}
+
+struct HistogramCell {
+    /// `buckets[0]` counts zeros; `buckets[i]` counts values in
+    /// `[2^(i-1), 2^i - 1]`.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the log2 bucket covering `v`.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`; bucket 0 holds only 0).
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A distribution of `u64` samples in power-of-two buckets.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// A no-op handle, identical to those a disabled registry hands out.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+            cell.min.fetch_min(v, Ordering::Relaxed);
+            cell.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples (0 when disabled).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded samples (0 when disabled).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Starts a scope timer that records elapsed nanoseconds into this
+    /// histogram when dropped. A disabled histogram yields an inert timer
+    /// that never reads the clock.
+    #[must_use]
+    pub fn start_span(&self) -> SpanTimer {
+        SpanTimer {
+            start: self.0.is_some().then(Instant::now),
+            hist: self.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "Histogram({} samples)", self.count()),
+            None => write!(f, "Histogram(disabled)"),
+        }
+    }
+}
+
+/// Drop-guard recording elapsed nanoseconds into a [`Histogram`].
+pub struct SpanTimer {
+    start: Option<Instant>,
+    hist: Histogram,
+}
+
+impl SpanTimer {
+    /// Stops the timer early and records, consuming the guard.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(ns);
+        }
+    }
+}
+
+/// Times the rest of the enclosing scope into a histogram handle:
+/// `let _guard = span!(hist);`.
+#[macro_export]
+macro_rules! span {
+    ($hist:expr) => {
+        $crate::Histogram::start_span(&$hist)
+    };
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct RegistryInner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A named collection of metrics.
+///
+/// Cloning shares the underlying store, so one registry can be threaded
+/// through every pipeline stage. Registration takes a lock; the handles it
+/// returns do not.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Registry({})",
+            if self.is_enabled() {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        )
+    }
+}
+
+impl Registry {
+    /// A live registry.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(RegistryInner {
+                metrics: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// A registry whose handles are all no-ops; allocates nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// True when metrics are being collected.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_metrics<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> Option<R> {
+        let inner = self.inner.as_ref()?;
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        Some(f(&mut metrics))
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.with_metrics(|m| {
+            match m
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+            {
+                Metric::Counter(cell) => Arc::clone(cell),
+                other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+            }
+        }))
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.with_metrics(|m| {
+            match m.entry(name.to_string()).or_insert_with(|| {
+                Metric::Gauge(Arc::new(GaugeCell {
+                    value: AtomicU64::new(0),
+                    peak: AtomicU64::new(0),
+                }))
+            }) {
+                Metric::Gauge(cell) => Arc::clone(cell),
+                other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+            }
+        }))
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.with_metrics(|m| {
+            match m
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCell::new())))
+            {
+                Metric::Histogram(cell) => Arc::clone(cell),
+                other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+            }
+        }))
+    }
+
+    /// Freezes current metric values into a [`Snapshot`] (empty when
+    /// disabled), sorted by metric name.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self
+            .with_metrics(|m| {
+                m.iter()
+                    .map(|(name, metric)| MetricSnapshot {
+                        name: name.clone(),
+                        value: match metric {
+                            Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                            Metric::Gauge(g) => MetricValue::Gauge {
+                                value: g.value.load(Ordering::Relaxed),
+                                peak: g.peak.load(Ordering::Relaxed),
+                            },
+                            Metric::Histogram(h) => {
+                                let count = h.count.load(Ordering::Relaxed);
+                                let sum = h.sum.load(Ordering::Relaxed);
+                                MetricValue::Histogram {
+                                    count,
+                                    sum,
+                                    min: if count == 0 {
+                                        0
+                                    } else {
+                                        h.min.load(Ordering::Relaxed)
+                                    },
+                                    max: h.max.load(Ordering::Relaxed),
+                                    buckets: h
+                                        .buckets
+                                        .iter()
+                                        .enumerate()
+                                        .filter_map(|(i, b)| {
+                                            let n = b.load(Ordering::Relaxed);
+                                            (n > 0).then(|| (bucket_upper_bound(i), n))
+                                        })
+                                        .collect(),
+                                }
+                            }
+                        },
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Snapshot { entries }
+    }
+}
+
+/// One metric's frozen value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's last value and high-water mark.
+    Gauge {
+        /// Last value set.
+        value: u64,
+        /// Largest value ever set.
+        peak: u64,
+    },
+    /// A histogram's aggregates and non-empty buckets.
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Smallest sample (0 when empty).
+        min: u64,
+        /// Largest sample (0 when empty).
+        max: u64,
+        /// `(inclusive upper bound, sample count)` per non-empty bucket.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// One named metric in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Registered name, e.g. `lattice.frontier_width`.
+    pub name: String,
+    /// Frozen value.
+    pub value: MetricValue,
+}
+
+/// A frozen view of a registry, renderable as text or JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// All metrics, sorted by name.
+    pub entries: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// Convenience: a counter's value, or `None` if absent / not a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: a gauge's `(value, peak)`, or `None`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<(u64, u64)> {
+        match self.get(name)? {
+            MetricValue::Gauge { value, peak } => Some((*value, *peak)),
+            _ => None,
+        }
+    }
+
+    /// Renders as aligned plain text, one metric per line.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let name_width = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let mut out = String::new();
+        for entry in &self.entries {
+            let _ = write!(out, "{:<name_width$}  ", entry.name);
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "counter    {v}");
+                }
+                MetricValue::Gauge { value, peak } => {
+                    let _ = writeln!(out, "gauge      value={value} peak={peak}");
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    ..
+                } => {
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        *sum as f64 / *count as f64
+                    };
+                    let _ = writeln!(
+                        out,
+                        "histogram  count={count} mean={mean:.1} min={min} max={max}"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders as a JSON object: `{"metrics": {"<name>": {...}, ...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":{");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, &entry.name);
+            out.push(':');
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge { value, peak } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"gauge\",\"value\":{value},\"peak\":{peak}}}"
+                    );
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets,
+                } => {
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        *sum as f64 / *count as f64
+                    };
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\
+                         \"min\":{min},\"max\":{max},\"mean\":{mean:.3},\"buckets\":["
+                    );
+                    for (j, (bound, n)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{bound},{n}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        // Every boundary: 2^k opens bucket k+1, 2^k - 1 closes bucket k.
+        for k in 1..64 {
+            let pow = 1u64 << k;
+            assert_eq!(bucket_index(pow), k + 1, "2^{k} opens bucket {}", k + 1);
+            assert_eq!(bucket_index(pow - 1), k, "2^{k}-1 closes bucket {k}");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // bucket_index and bucket_upper_bound agree: v <= bound(index(v)).
+        for v in [0, 1, 2, 3, 4, 5, 127, 128, 129, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("h");
+        for v in [0u64, 1, 3, 4, 1000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        match snap.get("h").unwrap() {
+            MetricValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } => {
+                assert_eq!(*count, 5);
+                assert_eq!(*sum, 1008);
+                assert_eq!(*min, 0);
+                assert_eq!(*max, 1000);
+                // 0→bucket 0, 1→1, 3→2, 4→3, 1000→10.
+                assert_eq!(buckets, &vec![(0, 1), (1, 1), (3, 1), (7, 1), (1023, 1)]);
+            }
+            other => panic!("wrong metric kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_many_threads() {
+        let reg = Registry::enabled();
+        let counter = reg.counter("hits");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = counter.clone();
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.get(), 80_000);
+        assert_eq!(reg.snapshot().counter("hits"), Some(80_000));
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_peak() {
+        let reg = Registry::enabled();
+        let g = reg.gauge("width");
+        g.set(3);
+        g.set(9);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 9);
+        assert_eq!(reg.snapshot().gauge("width"), Some((2, 9)));
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.add(10);
+        g.set(5);
+        h.record(7);
+        let timer = h.start_span();
+        drop(timer);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.peak(), 0);
+        assert_eq!(h.count(), 0);
+        assert!(reg.snapshot().entries.is_empty());
+        assert_eq!(reg.snapshot().to_json(), "{\"metrics\":{}}");
+    }
+
+    #[test]
+    fn span_timer_records_into_histogram() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("ns");
+        {
+            let _guard = span!(h);
+            std::hint::black_box(1 + 1);
+        }
+        h.start_span().finish();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn handles_share_state_by_name() {
+        let reg = Registry::enabled();
+        reg.counter("x").inc();
+        reg.counter("x").add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::enabled();
+        let _ = reg.counter("m");
+        let _ = reg.gauge("m");
+    }
+
+    #[test]
+    fn text_rendering_is_aligned_and_sorted() {
+        let reg = Registry::enabled();
+        reg.counter("b.count").add(2);
+        reg.gauge("a.width").set(4);
+        reg.histogram("c.ns").record(100);
+        let text = reg.snapshot().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a.width"));
+        assert!(lines[1].starts_with("b.count"));
+        assert!(lines[2].starts_with("c.ns"));
+        // Metric kinds line up in the same column.
+        let col = lines[0].find("gauge").unwrap();
+        assert_eq!(lines[1].find("counter").unwrap(), col);
+        assert_eq!(lines[2].find("histogram").unwrap(), col);
+    }
+
+    #[test]
+    fn json_round_trips_through_own_parser() {
+        let reg = Registry::enabled();
+        reg.counter("core.events_processed").add(12);
+        reg.gauge("lattice.peak_frontier").set(4);
+        let h = reg.histogram("observer.stage.analysis_ns");
+        h.record(900);
+        h.record(1200);
+        let text = reg.snapshot().to_json();
+        let value = json::parse(&text).expect("snapshot JSON must parse");
+        let metrics = value.get("metrics").expect("metrics key");
+        assert_eq!(
+            metrics
+                .get("core.events_processed")
+                .and_then(|m| m.get("value"))
+                .and_then(json::Value::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            metrics
+                .get("lattice.peak_frontier")
+                .and_then(|m| m.get("peak"))
+                .and_then(json::Value::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            metrics
+                .get("observer.stage.analysis_ns")
+                .and_then(|m| m.get("count"))
+                .and_then(json::Value::as_u64),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stub of `crossbeam`, delegating to `std::sync::mpsc`.
+//!
+//! Only the `channel` module is provided — the workspace uses unbounded
+//! MPSC channels for program→observer message streams, which std covers
+//! (cloneable `Sender`, blocking iteration on `Receiver`).
+
+pub mod channel {
+    //! Unbounded channels with crossbeam's constructor name.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,728 @@
+//! Offline stub of the `proptest` crate.
+//!
+//! Implements the API subset the jmpax test suites use — `Strategy` with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`, integer-range
+//! and `Just` strategies, `prop::collection::vec`, `prop::option::of`,
+//! `any::<T>()`, `prop_oneof!`, and the `proptest!` / `prop_assert*` /
+//! `prop_assume!` macros — over a deterministic SplitMix64 generator seeded
+//! from the test name.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case panics with the assertion message;
+//!   rerun with the same binary to reproduce (generation is deterministic).
+//! - **Case budget is capped at 64** per test unless the `PROPTEST_CASES`
+//!   environment variable overrides it, keeping debug-mode `cargo test`
+//!   fast. `ProptestConfig::with_cases(n)` requests are clamped to the cap.
+//! - `.proptest-regressions` files are ignored.
+
+/// Deterministic generator state handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary 64-bit value.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Stable seed derived from a test name (FNV-1a).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniformly random bool.
+    pub fn bit(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Strategies: composable recipes for generating test values.
+pub mod strategy {
+    use super::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` derives
+        /// from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves and
+        /// `recurse` wraps an inner strategy into branches. The stub
+        /// expands the recursion eagerly up to `depth` levels (capped at 6),
+        /// choosing leaf or branch with equal probability at each level;
+        /// `desired_size` and `expected_branch_size` are accepted for
+        /// API compatibility but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth.min(6) {
+                let branch = recurse(current).boxed();
+                current = Union::new(vec![leaf.clone(), branch]).boxed();
+            }
+            current
+        }
+
+        /// Type-erases this strategy behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe generation, so strategies can live behind `Arc<dyn _>`.
+    trait DynStrategy<T> {
+        fn dyn_gen(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_gen(&self, rng: &mut TestRng) -> S::Value {
+            self.gen(rng)
+        }
+    }
+
+    /// A cloneable, type-erased strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_gen(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.gen(rng))
+        }
+    }
+
+    /// [`Strategy::prop_flat_map`] adapter.
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, R, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        R: Strategy,
+        F: Fn(S::Value) -> R,
+    {
+        type Value = R::Value;
+        fn gen(&self, rng: &mut TestRng) -> R::Value {
+            (self.f)(self.source.gen(rng)).gen(rng)
+        }
+    }
+
+    /// Uniform choice among alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from a non-empty list of alternatives.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "Union of zero strategies");
+            Self { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Self {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].gen(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy on empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-domain range: every 64-bit pattern is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident : $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// `any::<T>()` strategy.
+    pub struct Any<T>(pub(crate) PhantomData<fn() -> T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` — generate any value of a primitive type.
+pub mod arbitrary {
+    use super::strategy::Any;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain generator.
+    pub trait Arbitrary {
+        /// Generates one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.bit()
+        }
+    }
+
+    /// A strategy over the full domain of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// `prop::collection` — strategies for containers.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for [`vec()`]: an exact length or a
+    /// range of lengths.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "vec strategy on empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(
+                self.start() <= self.end(),
+                "vec strategy on empty size range"
+            );
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Generates `Vec`s of elements from `element`, with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+
+    /// Strategy produced by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_len - self.min_len + 1) as u64;
+            let len = self.min_len + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen(rng)).collect()
+        }
+    }
+}
+
+/// `prop::option` — strategies for `Option`.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Generates `None` or `Some` (each with probability 1/2) of values
+    /// from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy produced by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.bit() {
+                Some(self.inner.gen(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Test-runner configuration and case outcomes.
+pub mod test_runner {
+    /// Hard ceiling on cases per test unless `PROPTEST_CASES` overrides,
+    /// keeping debug-mode suites fast.
+    pub const CASE_CAP: u32 = 64;
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Requested number of accepted cases.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running (up to the cap) `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// The number of cases actually run: `PROPTEST_CASES` if set,
+        /// otherwise `min(cases, CASE_CAP)`.
+        #[must_use]
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                Some(n) => n,
+                None => self.cases.clamp(1, CASE_CAP),
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered this case out; it does not count.
+        Reject(String),
+        /// A `prop_assert*!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure outcome.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// A rejection outcome.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Result alias used by generated test bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` that generates inputs and runs the body until the configured
+/// case count is accepted.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::ProptestConfig::effective_cases(&$cfg);
+            let strategies = ($($strat,)*);
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < cases {
+                attempts += 1;
+                assert!(
+                    attempts <= cases.saturating_mul(20).max(1000),
+                    "proptest {}: too many cases rejected by prop_assume!",
+                    stringify!($name),
+                );
+                let ($($arg,)*) =
+                    $crate::strategy::Strategy::gen(&strategies, &mut rng);
+                let outcome = (move || -> $crate::test_runner::TestCaseResult {
+                    $body;
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed (case {}): {}", stringify!($name), accepted + 1, msg)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {:?} == {:?}: {}", l, r, ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {:?} != {:?}: {}", l, r, ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among the listed strategies (all must generate the same
+/// type); weights are not supported by the stub.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Doc comments before the attribute must parse.
+        #[test]
+        fn ranges_and_tuples((a, b) in (0..10u32, 5..=6u64), c in -3i64..3) {
+            prop_assert!(a < 10);
+            prop_assert!(b == 5 || b == 6, "b = {}", b);
+            prop_assert!((-3..3).contains(&c));
+        }
+
+        #[test]
+        fn maps_vecs_options_and_oneof(
+            v in prop::collection::vec(0..100u8, 0..5),
+            o in prop::option::of(0..2u32),
+            x in prop_oneof![Just(1u8), Just(2u8), (5..7u8).prop_map(|n| n)],
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 100));
+            if let Some(i) = o {
+                prop_assert!(i < 2);
+            }
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+
+        #[test]
+        fn assume_filters(a in 0..10u32, b in 0..10u32) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn any_and_flat_map(x in any::<u64>(), v in (1..4usize).prop_flat_map(|n| prop::collection::vec(Just(7u8), n))) {
+            let _ = x;
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(v[0], 7);
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_terminate(
+            t in (0..8u8).prop_map(Tree::Leaf).prop_recursive(4, 16, 3, |inner: BoxedStrategy<Tree>| {
+                prop::collection::vec(inner.clone(), 0..3).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 8);
+        }
+    }
+
+    #[test]
+    fn case_cap_applies() {
+        let cfg = ProptestConfig::with_cases(1024);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cfg.effective_cases(), crate::test_runner::CASE_CAP);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline stub of the `rand` crate (0.8-era API subset).
+//!
+//! Deterministic, seedable randomness for tests and workload generators:
+//! `rngs::StdRng` is xoshiro256** seeded through SplitMix64, `Rng` provides
+//! `gen_range` / `gen_bool`, and `seq::SliceRandom` provides Fisher–Yates
+//! `shuffle` plus `choose`. Not cryptographically secure — and nothing in
+//! this workspace needs it to be.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** with SplitMix64 seeding.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream expands the seed into the full state; it
+            // never yields an all-zero state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** (Blackman & Vigna, public domain reference).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform sample from `[lo, hi]` (inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Width as the unsigned twin; `span == 0` encodes the full
+                // domain (every value valid, no reduction needed).
+                let span = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $u as $t;
+                }
+                // Multiply-shift reduction (Lemire); bias is < 2^-32 for
+                // every range in this workspace, fine for tests/workloads.
+                let reduced = ((rng.next_u64() as u128 * span as u128) >> 64) as $u;
+                lo.wrapping_add(reduced as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+}
+
+/// Ranges that `gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + HasPrev> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_inclusive(rng, self.start, self.end.prev())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range on empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Predecessor, for turning `..end` into an inclusive bound.
+pub trait HasPrev: Copy {
+    /// `self - 1`.
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_has_prev {
+    ($($t:ty),* $(,)?) => {$(
+        impl HasPrev for $t {
+            fn prev(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_has_prev!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling methods.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits against the threshold.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Slice utilities.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random shuffling and selection on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let j = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+                Some(&self[j])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-20i64..20);
+            assert!((-20..20).contains(&v));
+            let u = rng.gen_range(3..=5u32);
+            assert!((3..=5).contains(&u));
+            let w = rng.gen_range(0..1usize);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_middle() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait + derive macro, as
+//! the real crate does with its `derive` feature) so existing annotations
+//! compile unchanged. Nothing in this workspace serializes through serde —
+//! the wire format is the hand-rolled codec in `jmpax-instrument` and the
+//! telemetry JSON writer in `jmpax-telemetry`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace keeps `#[derive(Serialize, Deserialize)]` annotations on its
+//! data types for source compatibility, but never serializes through serde
+//! (the wire format is the hand-rolled codec in `jmpax-instrument`). These
+//! derives therefore expand to nothing, which keeps the workspace building
+//! with no network access.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

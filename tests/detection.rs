@@ -54,14 +54,15 @@ fn sweep(w: &Workload, seeds: u64, max_steps: usize) -> Rates {
 #[test]
 fn xyz_prediction_dominates_observation() {
     let w = xyz::workload();
-    let rates = sweep(&w, 60, 500);
-    assert!(rates.runs >= 50, "most runs finish");
-    // Measured on seeds 0..60: observed 41/60, predicted 53/60. (A few
-    // schedules produce computations where different read values make
-    // every run clean — prediction is exact about the *observed values*,
-    // so those are genuine negatives, not misses.)
+    let rates = sweep(&w, 200, 500);
+    assert!(rates.runs >= 170, "most runs finish");
+    // Measured on seeds 0..200 with the workspace PRNG: observed 145/200,
+    // predicted 165/200. (A few schedules produce computations where
+    // different read values make every run clean — prediction is exact
+    // about the *observed values*, so those are genuine negatives, not
+    // misses.)
     assert!(
-        rates.predicted > rates.observed + 5,
+        rates.predicted > rates.observed + 10,
         "prediction must catch substantially more schedules \
          (observed {}, predicted {}, runs {})",
         rates.observed,
