@@ -22,13 +22,16 @@ Multithreaded Programs', IPDPS/PADTAD 2004)
 USAGE:
     jmpax check --spec <FORMULA> --trace <FILE>
                 [--dot <OUT>] [--streaming] [--history <N>]
-                [--telemetry <text|json>]
+                [--frontier-cap <N>] [--telemetry <text|json>]
         Check a safety property against EVERY interleaving consistent with
         the recorded trace. The trace is the text format of
         `jmpax gen` (one event per line, `init v = k` headers).
         --streaming uses the constant-memory two-level analyzer;
         --history N additionally retains N retired lattice levels so
-        violations carry a trail of recent states.
+        violations carry a trail of recent states; --frontier-cap N
+        bounds the streaming frontier to its N smallest cuts (beam
+        search) — pruned cuts are counted and the verdict is reported
+        as Degraded instead of exhausting memory.
 
     jmpax races --trace <FILE> [--locks <name,name,...>]
         Predictive data-race detection over the trace: accesses are checked
@@ -43,6 +46,19 @@ USAGE:
     jmpax demo <landing|xyz|bank|bank-locked|dining|handoff|peterson>
                 [--telemetry <text|json>]
         Run a built-in demonstration and print its analysis.
+
+    jmpax chaos <landing|xyz|bank|bank-locked|dining|handoff|peterson>
+                [--seed <N>] [--drop <RATE>] [--dup <RATE>]
+                [--corrupt <RATE>] [--reorder-window <N>]
+                [--stall-budget <N>] [--telemetry <text|json>]
+        Run a workload, ship its messages through a fault-injecting
+        channel (seeded PRNG; rates in [0,1]) and analyze what survives
+        with the resilient observer: CRC-validated v2 frames, resync past
+        corruption, causal reassembly with gap skipping after
+        --stall-budget arrivals (default 64). Prints transport and
+        reassembly accounting plus the verdict, marked Exact when nothing
+        was lost and Degraded otherwise. Exits 0 when the analysis
+        completes, regardless of the verdict.
 
     --telemetry <text|json> (check, demo)
         Collect pipeline metrics — instrumentation counters, MVC join and
@@ -147,6 +163,7 @@ fn run_inner(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i
         Some("races") => races(args, trace_source),
         Some("deadlocks") => deadlocks(args, trace_source),
         Some("demo") => demo(args, registry),
+        Some("chaos") => chaos(args, registry),
         Some("gen") => gen(args),
         Some("help") | None => (0, USAGE.to_owned()),
         Some(other) => (2, format!("unknown command `{other}`\n\n{USAGE}")),
@@ -293,13 +310,18 @@ fn check(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, 
             .get("history")
             .and_then(|h| h.parse::<usize>().ok())
             .unwrap_or(0);
+        let frontier_cap = args
+            .get("frontier-cap")
+            .and_then(|h| h.parse::<usize>().ok())
+            .unwrap_or(0);
         let mut s = StreamingAnalyzer::with_telemetry(
             monitor,
             &initial,
             execution.thread_count(),
             registry,
         )
-        .with_history(history);
+        .with_history(history)
+        .with_frontier_cap(frontier_cap);
         s.push_all(messages);
         let report = s.finish();
         let _ = writeln!(
@@ -307,6 +329,9 @@ fn check(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, 
             "streaming analysis: {} states in {} levels (peak frontier {})",
             report.states_explored, report.levels_built, report.peak_frontier
         );
+        if !report.exactness.is_exact() {
+            let _ = writeln!(out, "confidence: {}", report.exactness);
+        }
         if report.satisfied() {
             let _ = writeln!(out, "property satisfied on every run");
             return (0, out);
@@ -411,6 +436,131 @@ fn demo(args: &Args, registry: &Registry) -> (i32, String) {
         }
         Err(e) => (2, format!("demo: {e}\n")),
     }
+}
+
+/// Parses a `--<key> <rate>` option as a probability in `[0, 1]`.
+fn fault_rate(args: &Args, key: &str) -> Result<f64, String> {
+    let Some(raw) = args.get(key) else {
+        return Ok(0.0);
+    };
+    match raw.parse::<f64>() {
+        Ok(r) if (0.0..=1.0).contains(&r) => Ok(r),
+        _ => Err(format!("chaos: --{key} expects a rate in [0, 1], got `{raw}`")),
+    }
+}
+
+fn chaos(args: &Args, registry: &Registry) -> (i32, String) {
+    use jmpax_instrument::{ChaosConfig, ChaosSink};
+
+    let Some(name) = args.positional.get(1) else {
+        return (
+            2,
+            "chaos: expected a workload name (landing|xyz|bank|dining)\n".to_owned(),
+        );
+    };
+    let Some(w) = workload_by_name(name) else {
+        return (2, format!("chaos: unknown workload `{name}`\n"));
+    };
+    let seed = args
+        .get("seed")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let config = ChaosConfig {
+        seed,
+        drop_rate: match fault_rate(args, "drop") {
+            Ok(r) => r,
+            Err(e) => return (2, format!("{e}\n")),
+        },
+        dup_rate: match fault_rate(args, "dup") {
+            Ok(r) => r,
+            Err(e) => return (2, format!("{e}\n")),
+        },
+        corrupt_rate: match fault_rate(args, "corrupt") {
+            Ok(r) => r,
+            Err(e) => return (2, format!("{e}\n")),
+        },
+        reorder_window: args
+            .get("reorder-window")
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(0),
+    };
+    let stall_budget = args
+        .get("stall-budget")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(jmpax_lattice::reassemble::DEFAULT_STALL_BUDGET);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name);
+    let _ = writeln!(out, "property: {}", w.spec);
+    let _ = writeln!(
+        out,
+        "chaos: seed={seed} drop={} dup={} corrupt={} reorder-window={}",
+        config.drop_rate, config.dup_rate, config.corrupt_rate, config.reorder_window
+    );
+
+    let run = jmpax_sched::run_random(&w.program, 0, 1000);
+    let mut symbols = w.symbols.clone();
+    let formula = match parse(&w.spec, &mut symbols) {
+        Ok(f) => f,
+        Err(e) => return (2, format!("chaos: {e}\n")),
+    };
+    let monitor = match formula.monitor() {
+        Ok(m) => m.with_telemetry(registry),
+        Err(e) => return (2, format!("chaos: {e}\n")),
+    };
+    let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
+    let messages = run.execution.instrument_with_telemetry(relevance, registry);
+
+    let mut sink = ChaosSink::new(config);
+    for m in &messages {
+        sink.emit(m);
+    }
+    let bytes = sink.take_bytes();
+    let stats = sink.stats();
+    let _ = writeln!(
+        out,
+        "injected: {} frames emitted, {} dropped, {} duplicated, {} corrupted, {} reordered",
+        stats.emitted, stats.dropped, stats.duplicated, stats.corrupted, stats.reordered
+    );
+
+    let initial = ProgramState::from_map(run.execution.initial.clone());
+    let (report, summary) = match jmpax_observer::check_frames_resilient(
+        &bytes,
+        monitor,
+        initial,
+        stall_budget,
+        registry,
+    ) {
+        Ok(r) => r,
+        Err(e) => return (2, format!("chaos: {e}\n")),
+    };
+    let _ = writeln!(
+        out,
+        "transport: {} frames ok, {} corrupt, {} resynced, {} bytes skipped",
+        summary.frames_ok, summary.frames_corrupt, summary.frames_resynced, summary.bytes_skipped
+    );
+    let r = &summary.reassembly;
+    let _ = writeln!(
+        out,
+        "reassembly: {} received, {} delivered, {} reordered, {} duplicates, {} gaps skipped ({} messages lost)",
+        r.received,
+        r.delivered,
+        r.reordered,
+        r.duplicates,
+        r.skipped_gaps(),
+        r.messages_lost()
+    );
+    let _ = writeln!(out, "verdict: {}", report.verdict.exactness());
+    out.push_str(&render_analysis(report.verdict.analysis(), &symbols));
+    if let Some(idx) = report.observed_violation {
+        let _ = writeln!(out, "the OBSERVED run violates at state #{idx}");
+    } else if report.predicted() {
+        let _ = writeln!(
+            out,
+            "the observed run was successful — the violation is PREDICTED"
+        );
+    }
+    (0, out)
 }
 
 fn gen(args: &Args) -> (i32, String) {

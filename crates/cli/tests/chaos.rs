@@ -1,0 +1,132 @@
+//! End-to-end fault-injection tests: `jmpax chaos` survives a lossy,
+//! corrupting, reordering channel and reports an honest Degraded verdict;
+//! with all fault rates at zero it reproduces `jmpax check` exactly.
+
+use jmpax_cli::args::Args;
+use jmpax_cli::commands;
+use jmpax_telemetry::json;
+
+fn run_cli(argv: &[&str], trace: Option<&str>) -> commands::RunOutput {
+    let args = Args::parse(argv.iter().map(ToString::to_string));
+    commands::run_with_telemetry(&args, trace)
+}
+
+/// The acceptance scenario: fixed seed, 5% drop, 5% corrupt, reorder
+/// window 8, on the bank workload — completes, exits 0, reports a
+/// Degraded verdict, and the resilience counters in the telemetry JSON
+/// agree with the accounting lines in the output.
+#[test]
+fn chaos_bank_degrades_gracefully_with_accurate_counters() {
+    let out = run_cli(
+        &[
+            "chaos",
+            "bank",
+            "--seed",
+            "35",
+            "--drop",
+            "0.05",
+            "--corrupt",
+            "0.05",
+            "--reorder-window",
+            "8",
+            "--telemetry",
+            "json",
+        ],
+        None,
+    );
+    assert_eq!(out.code, 0, "{}", out.output);
+    assert!(out.output.contains("verdict: Degraded"), "{}", out.output);
+    assert!(
+        out.output.contains("transport: 1 frames ok, 1 corrupt"),
+        "{}",
+        out.output
+    );
+
+    let report = out.telemetry.expect("--telemetry json must yield a report");
+    let value = json::parse(&report).expect("telemetry must be valid JSON");
+    let metrics = value
+        .get("metrics")
+        .and_then(json::Value::as_object)
+        .expect("report must be {\"metrics\": {...}}");
+    let counter = |name: &str| {
+        metrics
+            .get(name)
+            .and_then(|m| m.get("value"))
+            .and_then(json::Value::as_u64)
+            .unwrap_or_else(|| panic!("missing counter `{name}` in {report}"))
+    };
+    assert_eq!(counter("resilience.frames_corrupt"), 1);
+    assert_eq!(counter("resilience.frames_resynced"), 0);
+    assert_eq!(counter("resilience.msgs_reordered"), 0);
+    assert_eq!(counter("resilience.msgs_duplicate"), 0);
+    assert_eq!(counter("resilience.gaps_skipped"), 0);
+}
+
+/// Heavier faults on a chattier workload: still no panic, exit 0, and the
+/// verdict honestly reports the loss.
+#[test]
+fn chaos_handoff_under_heavy_fire_still_concludes() {
+    let out = run_cli(
+        &[
+            "chaos",
+            "handoff",
+            "--seed",
+            "3",
+            "--drop",
+            "0.3",
+            "--corrupt",
+            "0.3",
+            "--dup",
+            "0.2",
+            "--reorder-window",
+            "4",
+            "--stall-budget",
+            "2",
+        ],
+        None,
+    );
+    assert_eq!(out.code, 0, "{}", out.output);
+    assert!(
+        out.output.contains("verdict: Degraded") || out.output.contains("verdict: Exact"),
+        "{}",
+        out.output
+    );
+    assert!(out.output.contains("lattice:"), "{}", out.output);
+}
+
+/// With every fault rate at zero, the chaos pipeline (v2 frames, resilient
+/// decode, reassembly) must be byte-for-byte verdict-identical to
+/// `jmpax check` on the same workload: identical analysis section,
+/// identical prediction line, and an Exact verdict.
+#[test]
+fn chaos_at_zero_fault_rates_matches_check_exactly() {
+    let gen = run_cli(&["gen", "bank"], None);
+    assert_eq!(gen.code, 0);
+    let w = jmpax_workloads::bank::workload(false);
+    let check = run_cli(&["check", "--spec", &w.spec], Some(&gen.output));
+
+    let chaos = run_cli(&["chaos", "bank", "--seed", "35"], None);
+    assert_eq!(chaos.code, 0, "{}", chaos.output);
+    assert!(chaos.output.contains("verdict: Exact"), "{}", chaos.output);
+
+    // Everything after the verdict line is the analysis section; it must
+    // equal check's entire output.
+    let analysis = chaos
+        .output
+        .split_once("verdict: Exact\n")
+        .map(|(_, rest)| rest)
+        .expect("chaos output has a verdict line");
+    assert_eq!(analysis, check.output);
+}
+
+/// Bad rates are rejected up front.
+#[test]
+fn chaos_rejects_malformed_rates() {
+    for bad in [["chaos", "bank", "--drop", "1.5"], ["chaos", "bank", "--corrupt", "nope"]] {
+        let out = run_cli(&bad, None);
+        assert_eq!(out.code, 2, "{}", out.output);
+        assert!(out.output.contains("expects a rate"), "{}", out.output);
+    }
+    let out = run_cli(&["chaos", "nosuch"], None);
+    assert_eq!(out.code, 2);
+}

@@ -14,11 +14,36 @@
 //! ```
 //!
 //! The format is deliberately hand-rolled (no serde data format crates are
-//! used by this workspace) and versioned only by this documentation.
+//! used by this workspace). Two frame layouts coexist:
+//!
+//! * **v1** (above): bare length-prefixed frames, assuming a perfect
+//!   transport. One corrupted length prefix desynchronizes the rest of the
+//!   stream.
+//! * **v2**: each frame is `magic:u8 version:u8 len:u32le crc:u32le
+//!   payload`, where `crc` is the CRC-32 (IEEE) of the payload and `len` is
+//!   bounded by [`MAX_FRAME_LEN`]. The magic byte gives
+//!   [`decode_frames_resilient`] a resynchronization point: after garbage or
+//!   a failed CRC it scans forward to the next credible header instead of
+//!   giving up, counting what was lost.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use jmpax_core::{Event, EventKind, Message, ThreadId, Value, VarId, VectorClock};
+
+/// First byte of every v2 frame — the resynchronization point.
+pub const MAGIC: u8 = 0xA5;
+
+/// Wire-format version encoded in every v2 frame header.
+pub const VERSION: u8 = 2;
+
+/// Upper bound on an encoded payload. The largest legitimate payload is a
+/// write of an `i64` plus a full `u16::MAX`-component clock (≈ 256 KiB);
+/// anything above this bound is a corrupt length prefix, rejected *before*
+/// any buffer is reserved.
+pub const MAX_FRAME_LEN: usize = 1 << 19;
+
+/// Bytes in a v2 header: magic + version + len + crc.
+const V2_HEADER_LEN: usize = 10;
 
 /// Decoding errors.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -27,6 +52,20 @@ pub enum CodecError {
     Truncated,
     /// An unknown kind or value tag was found.
     BadTag(u8),
+    /// A length prefix exceeded [`MAX_FRAME_LEN`] — a corrupt prefix must
+    /// not be allowed to request an arbitrarily large allocation.
+    Oversized(u32),
+    /// A v2 frame did not start with [`MAGIC`].
+    BadMagic(u8),
+    /// A v2 frame declared an unsupported version.
+    BadVersion(u8),
+    /// A v2 payload failed its CRC-32 check.
+    CrcMismatch {
+        /// The checksum carried in the header.
+        expected: u32,
+        /// The checksum computed over the received payload.
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -34,14 +73,71 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Truncated => write!(f, "truncated frame"),
             CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+            CodecError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound")
+            }
+            CodecError::BadMagic(b) => write!(f, "expected magic {MAGIC:#04x}, found {b:#04x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::CrcMismatch { expected, found } => {
+                write!(f, "payload CRC mismatch (header {expected:#010x}, computed {found:#010x})")
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), hand-rolled — no external dependency.
+// ---------------------------------------------------------------------------
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the checksum protecting every v2 payload.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// Appends one encoded frame to `out`.
 pub fn encode_frame(message: &Message, out: &mut BytesMut) {
+    let payload = encode_payload(message);
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+}
+
+/// Appends one **v2** frame (magic + version + length + CRC-32 + payload)
+/// to `out`. The payload bytes are identical to the v1 format; only the
+/// header differs, so a v2 stream costs 6 extra bytes per message and buys
+/// corruption detection plus resynchronization.
+pub fn encode_frame_v2(message: &Message, out: &mut BytesMut) {
+    let payload = encode_payload(message);
+    out.put_u8(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u32_le(payload.len() as u32);
+    out.put_u32_le(crc32(&payload));
+    out.extend_from_slice(&payload);
+}
+
+fn encode_payload(message: &Message) -> BytesMut {
     let mut payload = BytesMut::with_capacity(32);
     payload.put_u32_le(message.event.thread.0);
     match message.event.kind {
@@ -71,8 +167,152 @@ pub fn encode_frame(message: &Message, out: &mut BytesMut) {
     for &c in clock {
         payload.put_u32_le(c);
     }
-    out.put_u32_le(payload.len() as u32);
-    out.extend_from_slice(&payload);
+    payload
+}
+
+/// Decodes every complete **v2** frame in `bytes`, failing on the first
+/// malformed one. Use [`decode_frames_resilient`] when the transport may
+/// corrupt, truncate, or interleave garbage — this strict variant is for
+/// trusted local buffers.
+pub fn decode_frames_v2(bytes: &Bytes) -> Result<Vec<Message>, CodecError> {
+    let mut buf = bytes.clone();
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        if buf.remaining() < V2_HEADER_LEN {
+            return Err(CodecError::Truncated);
+        }
+        let magic = buf.get_u8();
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let len = buf.get_u32_le();
+        if len as usize > MAX_FRAME_LEN {
+            return Err(CodecError::Oversized(len));
+        }
+        let expected = buf.get_u32_le();
+        if buf.remaining() < len as usize {
+            return Err(CodecError::Truncated);
+        }
+        let mut frame = buf.split_to(len as usize);
+        let found = crc32(&frame);
+        if found != expected {
+            return Err(CodecError::CrcMismatch { expected, found });
+        }
+        out.push(decode_payload(&mut frame)?);
+    }
+    Ok(out)
+}
+
+/// Outcome of a [`decode_frames_resilient`] pass: whatever decoded cleanly
+/// plus an accounting of everything that did not.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilientDecode {
+    /// Messages whose frames passed magic, version, length, CRC and
+    /// payload checks.
+    pub messages: Vec<Message>,
+    /// Frames decoded intact.
+    pub frames_ok: u64,
+    /// Frames whose header was credible but whose payload failed the CRC
+    /// or structural decode — each counts one message lost in place.
+    pub frames_corrupt: u64,
+    /// Garbage runs skipped before locking back onto a credible frame.
+    pub frames_resynced: u64,
+    /// Total bytes discarded while scanning for the next magic boundary.
+    pub bytes_skipped: u64,
+    /// The buffer ended inside a credible frame (a partial tail, e.g. a
+    /// cut-off stream) — not counted as corruption.
+    pub truncated: bool,
+}
+
+impl ResilientDecode {
+    /// True when every byte decoded cleanly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.frames_corrupt == 0 && self.frames_resynced == 0 && !self.truncated
+    }
+}
+
+/// Is `buf[at..]` a credible v2 header? Magic, version and bounded length
+/// must all hold; truncation mid-header is *not* credible (the caller
+/// decides how to treat the tail).
+fn credible_header(buf: &[u8], at: usize) -> bool {
+    if buf.len() - at < V2_HEADER_LEN {
+        return false;
+    }
+    if buf[at] != MAGIC || buf[at + 1] != VERSION {
+        return false;
+    }
+    let len = u32::from_le_bytes([buf[at + 2], buf[at + 3], buf[at + 4], buf[at + 5]]);
+    len as usize <= MAX_FRAME_LEN
+}
+
+/// Decodes a v2 stream that may contain corruption: frames whose CRC or
+/// structure fails are counted and stepped over, and stretches of garbage
+/// are scanned byte-by-byte until the next credible [`MAGIC`] boundary
+/// ("resync"). Never fails — damage is reported in the returned
+/// [`ResilientDecode`] instead.
+#[must_use]
+pub fn decode_frames_resilient(bytes: &Bytes) -> ResilientDecode {
+    let buf: &[u8] = bytes;
+    let mut out = ResilientDecode::default();
+    let mut pos = 0usize;
+    // True while we are inside a garbage run; the first credible frame
+    // after a run closes it and counts one resync.
+    let mut scanning = false;
+    while pos < buf.len() {
+        if credible_header(buf, pos) {
+            let len = u32::from_le_bytes([buf[pos + 2], buf[pos + 3], buf[pos + 4], buf[pos + 5]])
+                as usize;
+            let expected =
+                u32::from_le_bytes([buf[pos + 6], buf[pos + 7], buf[pos + 8], buf[pos + 9]]);
+            let body_at = pos + V2_HEADER_LEN;
+            if buf.len() - body_at < len {
+                // Credible header but the stream ends inside the payload:
+                // a cut-off tail, not corruption.
+                out.truncated = true;
+                out.bytes_skipped += (buf.len() - pos) as u64;
+                break;
+            }
+            if scanning {
+                scanning = false;
+                out.frames_resynced += 1;
+            }
+            let payload = &buf[body_at..body_at + len];
+            let decoded = if crc32(payload) == expected {
+                decode_payload(&mut bytes.slice(body_at..body_at + len)).ok()
+            } else {
+                None
+            };
+            match decoded {
+                Some(m) => {
+                    out.messages.push(m);
+                    out.frames_ok += 1;
+                }
+                // The length field was credible, so step over the whole
+                // claimed frame — under isolated bit flips this keeps the
+                // loss accounting at exactly one frame.
+                None => out.frames_corrupt += 1,
+            }
+            pos = body_at + len;
+        } else if !scanning && buf[pos] == MAGIC && buf.len() - pos < V2_HEADER_LEN {
+            // A partial header right after a good frame: a cut-off tail,
+            // not garbage.
+            out.truncated = true;
+            out.bytes_skipped += (buf.len() - pos) as u64;
+            break;
+        } else {
+            scanning = true;
+            out.bytes_skipped += 1;
+            pos += 1;
+        }
+    }
+    // A garbage run that reaches the end of the buffer never resynced; it
+    // is already accounted in `bytes_skipped`.
+    out
 }
 
 /// Decodes every complete frame in `bytes`.
@@ -84,6 +324,9 @@ pub fn decode_frames(bytes: &Bytes) -> Result<Vec<Message>, CodecError> {
             return Err(CodecError::Truncated);
         }
         let len = buf.get_u32_le() as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::Oversized(len as u32));
+        }
         if buf.remaining() < len {
             return Err(CodecError::Truncated);
         }
@@ -199,6 +442,9 @@ pub fn decode_compact_frames(bytes: &Bytes) -> Result<Vec<Message>, CodecError> 
     let mut out = Vec::new();
     while buf.has_remaining() {
         let len = get_varint(&mut buf)? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::Oversized(len.min(u32::MAX as usize) as u32));
+        }
         if buf.remaining() < len {
             return Err(CodecError::Truncated);
         }
@@ -478,5 +724,162 @@ mod tests {
     #[test]
     fn empty_buffer_is_ok() {
         assert_eq!(decode_frames(&Bytes::new()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX); // would be a 4 GiB "frame"
+        assert_eq!(
+            decode_frames(&buf.freeze()),
+            Err(CodecError::Oversized(u32::MAX))
+        );
+        let mut compact = BytesMut::new();
+        put_varint(&mut compact, (MAX_FRAME_LEN + 1) as u64);
+        assert_eq!(
+            decode_compact_frames(&compact.freeze()),
+            Err(CodecError::Oversized(MAX_FRAME_LEN as u32 + 1))
+        );
+    }
+}
+
+#[cfg(test)]
+mod v2_tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        (0..12)
+            .map(|i| Message {
+                event: Event::write(ThreadId(i % 3), VarId(i), i64::from(i) - 5),
+                clock: VectorClock::from_components(vec![i + 1; (i as usize % 4) + 1]),
+            })
+            .collect()
+    }
+
+    fn encode_all(msgs: &[Message]) -> BytesMut {
+        let mut buf = BytesMut::new();
+        for m in msgs {
+            encode_frame_v2(m, &mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn v2_roundtrips() {
+        let msgs = sample_messages();
+        let buf = encode_all(&msgs).freeze();
+        assert_eq!(decode_frames_v2(&buf).unwrap(), msgs);
+        let r = decode_frames_resilient(&buf);
+        assert!(r.is_clean());
+        assert_eq!(r.messages, msgs);
+        assert_eq!(r.frames_ok, msgs.len() as u64);
+    }
+
+    #[test]
+    fn v2_strict_rejects_damage() {
+        let msgs = sample_messages();
+        let mut buf = encode_all(&msgs);
+        buf[V2_HEADER_LEN + 2] ^= 0x40; // flip a payload bit in frame 0
+        assert!(matches!(
+            decode_frames_v2(&buf.clone().freeze()),
+            Err(CodecError::CrcMismatch { .. })
+        ));
+        let mut bad_magic = encode_all(&msgs);
+        bad_magic[0] = 0x00;
+        assert_eq!(
+            decode_frames_v2(&bad_magic.freeze()),
+            Err(CodecError::BadMagic(0))
+        );
+        let mut bad_version = encode_all(&msgs);
+        bad_version[1] = 9;
+        assert_eq!(
+            decode_frames_v2(&bad_version.freeze()),
+            Err(CodecError::BadVersion(9))
+        );
+    }
+
+    #[test]
+    fn resilient_steps_over_corrupt_frame() {
+        let msgs = sample_messages();
+        let mut buf = encode_all(&msgs);
+        // Flip one payload bit in the second frame; its length field stays
+        // intact, so exactly one frame is lost and no resync is needed.
+        let frame_len = {
+            let first = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+            V2_HEADER_LEN + first
+        };
+        buf[frame_len + V2_HEADER_LEN + 1] ^= 0x10;
+        let r = decode_frames_resilient(&buf.freeze());
+        assert_eq!(r.frames_corrupt, 1);
+        assert_eq!(r.frames_resynced, 0);
+        assert_eq!(r.frames_ok, msgs.len() as u64 - 1);
+        assert_eq!(r.messages.len(), msgs.len() - 1);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn resilient_resyncs_over_garbage() {
+        let msgs = sample_messages();
+        let mut buf = BytesMut::new();
+        encode_frame_v2(&msgs[0], &mut buf);
+        buf.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01, 0x02]);
+        encode_frame_v2(&msgs[1], &mut buf);
+        buf.extend_from_slice(&[0x42; 11]);
+        encode_frame_v2(&msgs[2], &mut buf);
+        let r = decode_frames_resilient(&buf.freeze());
+        assert_eq!(r.frames_ok, 3);
+        assert_eq!(r.frames_resynced, 2);
+        assert_eq!(r.bytes_skipped, 18);
+        assert_eq!(r.messages, msgs[..3].to_vec());
+    }
+
+    #[test]
+    fn resilient_reports_truncated_tail() {
+        let msgs = sample_messages();
+        let buf = encode_all(&msgs[..2]).freeze();
+        for cut in 1..V2_HEADER_LEN {
+            // Cut inside the second frame's header.
+            let first_len = V2_HEADER_LEN
+                + u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+            let r = decode_frames_resilient(&buf.slice(..first_len + cut));
+            assert!(r.truncated, "cut {cut} must look truncated");
+            assert_eq!(r.frames_ok, 1);
+            assert_eq!(r.frames_corrupt, 0);
+        }
+        // Cut inside the second payload.
+        let r = decode_frames_resilient(&buf.slice(..buf.len() - 3));
+        assert!(r.truncated);
+        assert_eq!(r.frames_ok, 1);
+    }
+
+    #[test]
+    fn resilient_handles_pure_garbage_and_empty() {
+        assert!(decode_frames_resilient(&Bytes::new()).is_clean());
+        let r = decode_frames_resilient(&Bytes::from_static(&[0x13, 0x37, 0xAB]));
+        assert_eq!(r.frames_ok, 0);
+        assert_eq!(r.bytes_skipped, 3);
+        assert_eq!(r.frames_resynced, 0, "a run that never recovers is not a resync");
+    }
+
+    #[test]
+    fn resilient_rejects_absurd_length_as_garbage() {
+        // A magic + version header whose length claims 4 GiB must be
+        // treated as garbage (skipped), not allocated.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(0);
+        buf.extend_from_slice(&[0u8; 16]);
+        let r = decode_frames_resilient(&buf.freeze());
+        assert_eq!(r.frames_ok, 0);
+        assert!(r.bytes_skipped > 0);
     }
 }

@@ -57,8 +57,11 @@ pub mod session;
 pub mod shared;
 pub mod sink;
 
-pub use codec::{decode_compact_frames, decode_frames, encode_compact_frame, encode_frame};
+pub use codec::{
+    decode_compact_frames, decode_frames, decode_frames_resilient, decode_frames_v2,
+    encode_compact_frame, encode_frame, encode_frame_v2, ResilientDecode,
+};
 pub use lock::{InstrCondvar, InstrMutex, InstrMutexGuard};
 pub use session::{InstrJoinHandle, Session, ThreadCtx};
 pub use shared::Shared;
-pub use sink::{ChannelSink, EventSink, FrameSink, VecSink};
+pub use sink::{ChannelSink, ChaosConfig, ChaosSink, ChaosStats, EventSink, FrameSink, VecSink};

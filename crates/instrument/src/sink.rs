@@ -4,6 +4,8 @@ use std::sync::Arc;
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use jmpax_core::Message;
 
@@ -124,6 +126,175 @@ impl EventSink for FrameSink {
     }
 }
 
+/// Fault model for [`ChaosSink`]: every rate is a probability in `[0, 1]`
+/// applied independently per frame, driven by a seeded PRNG so a given
+/// configuration replays byte-identically.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// PRNG seed — same seed, same faults.
+    pub seed: u64,
+    /// Probability a frame is silently dropped (message loss).
+    pub drop_rate: f64,
+    /// Probability a frame is enqueued twice (duplicate delivery).
+    pub dup_rate: f64,
+    /// Probability a flushed frame has one random bit flipped (corruption).
+    pub corrupt_rate: f64,
+    /// Number of frames held back and flushed in random order; `0` or `1`
+    /// disables reordering.
+    pub reorder_window: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
+            reorder_window: 0,
+        }
+    }
+}
+
+/// What a [`ChaosSink`] actually did to the stream — the ground truth the
+/// resilience layer's recovered counts are checked against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Messages offered to the sink.
+    pub emitted: u64,
+    /// Frames silently discarded.
+    pub dropped: u64,
+    /// Extra copies enqueued.
+    pub duplicated: u64,
+    /// Frames flushed with a flipped bit.
+    pub corrupted: u64,
+    /// Frames flushed out of arrival order.
+    pub reordered: u64,
+}
+
+struct ChaosInner {
+    rng: StdRng,
+    config: ChaosConfig,
+    /// Encoded frames held back for reordering, tagged with their arrival
+    /// index so out-of-order flushes can be counted.
+    window: Vec<(u64, Vec<u8>)>,
+    /// Arrival index for the next enqueued frame.
+    next_arrival: u64,
+    /// One past the highest arrival index flushed so far; frames flushed
+    /// below it went out late, i.e. were reordered.
+    flushed_watermark: u64,
+    out: bytes::BytesMut,
+    stats: ChaosStats,
+}
+
+impl ChaosInner {
+    /// Moves one randomly chosen frame from the window to the output,
+    /// possibly flipping a bit on the way out.
+    fn flush_one(&mut self) {
+        if self.window.is_empty() {
+            return;
+        }
+        let i = self.rng.gen_range(0..self.window.len());
+        let (arrival, mut frame) = self.window.remove(i);
+        if arrival < self.flushed_watermark {
+            self.stats.reordered += 1;
+        } else {
+            self.flushed_watermark = arrival + 1;
+        }
+        if self.config.corrupt_rate > 0.0 && self.rng.gen_bool(self.config.corrupt_rate) {
+            let bit = self.rng.gen_range(0..frame.len() * 8);
+            frame[bit / 8] ^= 1 << (bit % 8);
+            self.stats.corrupted += 1;
+        }
+        self.out.extend_from_slice(&frame);
+    }
+}
+
+/// A [`FrameSink`] with a fault injector in front of the wire: frames are
+/// dropped, duplicated, reordered within a bounded window, and bit-flipped
+/// at configured rates ([`ChaosConfig`]). Encodes the **v2** format of
+/// [`crate::codec::encode_frame_v2`], so the damage it does is exactly what
+/// [`crate::codec::decode_frames_resilient`] and the lattice `Reassembler`
+/// are specified to survive.
+#[derive(Clone)]
+pub struct ChaosSink {
+    inner: Arc<Mutex<ChaosInner>>,
+}
+
+impl ChaosSink {
+    /// An empty sink injecting faults per `config`.
+    #[must_use]
+    pub fn new(config: ChaosConfig) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(ChaosInner {
+                rng: StdRng::seed_from_u64(config.seed),
+                config,
+                window: Vec::new(),
+                next_arrival: 0,
+                flushed_watermark: 0,
+                out: bytes::BytesMut::new(),
+                stats: ChaosStats::default(),
+            })),
+        }
+    }
+
+    /// Flushes the reorder window and takes every byte produced so far.
+    #[must_use]
+    pub fn take_bytes(&self) -> bytes::Bytes {
+        let mut inner = self.inner.lock();
+        while !inner.window.is_empty() {
+            inner.flush_one();
+        }
+        std::mem::take(&mut inner.out).freeze()
+    }
+
+    /// What the injector has done so far (arrival-order bookkeeping is only
+    /// final after [`ChaosSink::take_bytes`]).
+    #[must_use]
+    pub fn stats(&self) -> ChaosStats {
+        self.inner.lock().stats
+    }
+}
+
+impl std::fmt::Debug for ChaosSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ChaosSink")
+            .field("config", &inner.config)
+            .field("stats", &inner.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventSink for ChaosSink {
+    fn emit(&mut self, message: &Message) {
+        let mut inner = self.inner.lock();
+        inner.stats.emitted += 1;
+        let drop_rate = inner.config.drop_rate;
+        if drop_rate > 0.0 && inner.rng.gen_bool(drop_rate) {
+            inner.stats.dropped += 1;
+            return;
+        }
+        let mut buf = bytes::BytesMut::new();
+        crate::codec::encode_frame_v2(message, &mut buf);
+        let frame: Vec<u8> = buf[..].to_vec();
+        let arrival = inner.next_arrival;
+        inner.next_arrival += 1;
+        inner.window.push((arrival, frame.clone()));
+        let dup_rate = inner.config.dup_rate;
+        if dup_rate > 0.0 && inner.rng.gen_bool(dup_rate) {
+            inner.stats.duplicated += 1;
+            let arrival = inner.next_arrival;
+            inner.next_arrival += 1;
+            inner.window.push((arrival, frame));
+        }
+        let window_cap = inner.config.reorder_window.max(1);
+        while inner.window.len() >= window_cap {
+            inner.flush_one();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +346,99 @@ mod tests {
         let decoded = crate::codec::decode_frames(&bytes).unwrap();
         assert_eq!(decoded, vec![msg(1), msg(2)]);
         assert!(sink.take_bytes().is_empty());
+    }
+
+    #[test]
+    fn chaos_sink_at_zero_rates_is_plain_v2() {
+        let sink = ChaosSink::new(ChaosConfig::default());
+        let mut writer = sink.clone();
+        let mut reference = bytes::BytesMut::new();
+        for i in 1..=20 {
+            writer.emit(&msg(i));
+            crate::codec::encode_frame_v2(&msg(i), &mut reference);
+        }
+        assert_eq!(&sink.take_bytes()[..], &reference[..]);
+        let stats = sink.stats();
+        assert_eq!(stats.emitted, 20);
+        assert_eq!(
+            (stats.dropped, stats.duplicated, stats.corrupted, stats.reordered),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn chaos_sink_is_deterministic_per_seed() {
+        let config = ChaosConfig {
+            seed: 7,
+            drop_rate: 0.1,
+            dup_rate: 0.1,
+            corrupt_rate: 0.1,
+            reorder_window: 4,
+        };
+        let run = || {
+            let sink = ChaosSink::new(config);
+            let mut writer = sink.clone();
+            for i in 1..=100 {
+                writer.emit(&msg(i));
+            }
+            (sink.take_bytes(), sink.stats())
+        };
+        let (a_bytes, a_stats) = run();
+        let (b_bytes, b_stats) = run();
+        assert_eq!(&a_bytes[..], &b_bytes[..]);
+        assert_eq!(a_stats, b_stats);
+        assert!(a_stats.dropped > 0 || a_stats.duplicated > 0 || a_stats.corrupted > 0);
+    }
+
+    #[test]
+    fn chaos_sink_faults_are_recoverable() {
+        let sink = ChaosSink::new(ChaosConfig {
+            seed: 11,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            corrupt_rate: 0.25,
+            reorder_window: 1,
+        });
+        let mut writer = sink.clone();
+        for i in 1..=200 {
+            writer.emit(&msg(i));
+        }
+        let stats = sink.stats();
+        let r = crate::codec::decode_frames_resilient(&sink.take_bytes());
+        assert!(stats.corrupted > 20, "corrupted = {}", stats.corrupted);
+        // Most flips land in the payload (CRC failure, one frame lost in
+        // place); flips in a header can swallow a neighbour, so the
+        // accounting is bounded rather than exact.
+        assert!(
+            r.frames_ok >= 200u64.saturating_sub(stats.corrupted * 2),
+            "ok = {}, corrupted = {}",
+            r.frames_ok,
+            stats.corrupted
+        );
+        assert!(r.frames_corrupt + r.frames_resynced >= stats.corrupted / 2);
+        assert!(r.frames_ok + r.frames_corrupt + r.frames_resynced <= 200);
+    }
+
+    #[test]
+    fn chaos_sink_reorders_within_window() {
+        let sink = ChaosSink::new(ChaosConfig {
+            seed: 3,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
+            reorder_window: 8,
+        });
+        let mut writer = sink.clone();
+        for i in 1..=50 {
+            writer.emit(&msg(i));
+        }
+        let decoded = crate::codec::decode_frames_v2(&sink.take_bytes()).unwrap();
+        assert_eq!(decoded.len(), 50);
+        let in_order: Vec<Message> = (1..=50).map(msg).collect();
+        assert_ne!(decoded, in_order, "window 8 must actually shuffle");
+        let mut sorted = decoded.clone();
+        sorted.sort_by_key(|m| m.clock.as_slice()[0]);
+        assert_eq!(sorted, in_order, "every message survives, just shuffled");
+        assert!(sink.stats().reordered > 0);
     }
 }

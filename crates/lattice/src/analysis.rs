@@ -85,6 +85,11 @@ pub struct Analysis {
     pub violating_runs: u128,
     /// Distinct `(cut, memory)` violation points, with counterexamples.
     pub violations: Vec<Violation>,
+    /// Whether the verdict covers every consistent run exactly, or upstream
+    /// resilience machinery (gap skipping, frontier pruning) lost
+    /// information. Full lattice analysis itself is always exact; degraded
+    /// values are threaded in by the ingestion pipeline.
+    pub exactness: crate::reassemble::Exactness,
 }
 
 impl Analysis {
@@ -226,6 +231,7 @@ pub fn analyze_lattice(lattice: &Lattice, monitor: &Monitor, options: AnalysisOp
         total_runs,
         violating_runs,
         violations: out,
+        exactness: crate::reassemble::Exactness::Exact,
     }
 }
 

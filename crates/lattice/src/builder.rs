@@ -23,6 +23,7 @@ use jmpax_spec::{Monitor, MonitorState, ProgramState};
 use jmpax_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::cut::Cut;
+use crate::reassemble::Exactness;
 
 /// A violation observed by the streaming analyzer.
 #[derive(Clone, Debug)]
@@ -57,6 +58,13 @@ pub struct StreamReport {
     /// True when the analysis consumed every message (the frontier reached
     /// the top cut).
     pub completed: bool,
+    /// Whether the verdict covers every consistent run, or a frontier cap
+    /// pruned some cuts ([`StreamingAnalyzer::with_frontier_cap`]).
+    pub exactness: Exactness,
+    /// Relevant non-write messages encountered during expansion (exotic
+    /// relevance policies); each was treated as a stutter step instead of
+    /// aborting the analysis.
+    pub non_writes_skipped: u64,
 }
 
 impl StreamReport {
@@ -83,6 +91,12 @@ impl StreamReport {
         registry
             .counter("lattice.violations")
             .add(self.violations.len() as u64);
+        registry
+            .counter("lattice.frontier_pruned")
+            .add(self.exactness.losses().0);
+        registry
+            .counter("lattice.non_writes_skipped")
+            .add(self.non_writes_skipped);
     }
 }
 
@@ -136,6 +150,12 @@ pub struct StreamingAnalyzer {
     states_explored: u64,
     levels_built: u32,
     peak_frontier: usize,
+    /// Beam width limit for the frontier; `None` explores exhaustively.
+    frontier_cap: Option<usize>,
+    /// Cuts pruned by the cap (runs the verdict no longer covers).
+    dropped_cuts: u64,
+    /// Relevant non-writes stepped over instead of panicking.
+    non_writes_skipped: u64,
     /// `lattice.*` metrics; no-ops unless built via
     /// [`StreamingAnalyzer::with_telemetry`].
     tel_states: Counter,
@@ -144,6 +164,8 @@ pub struct StreamingAnalyzer {
     tel_violations: Counter,
     tel_width: Histogram,
     tel_peak: Gauge,
+    tel_pruned: Counter,
+    tel_non_writes: Counter,
 }
 
 impl StreamingAnalyzer {
@@ -217,12 +239,17 @@ impl StreamingAnalyzer {
             states_explored: 1,
             levels_built: 0,
             peak_frontier: 1,
+            frontier_cap: None,
+            dropped_cuts: 0,
+            non_writes_skipped: 0,
             tel_states,
             tel_deduped: registry.counter("lattice.cuts_deduped"),
             tel_levels: registry.counter("lattice.levels_built"),
             tel_violations,
             tel_width: registry.histogram("lattice.frontier_width"),
             tel_peak,
+            tel_pruned: registry.counter("lattice.frontier_pruned"),
+            tel_non_writes: registry.counter("lattice.non_writes_skipped"),
         }
     }
 
@@ -235,6 +262,20 @@ impl StreamingAnalyzer {
     #[must_use]
     pub fn with_history(mut self, levels: usize) -> Self {
         self.history = levels;
+        self
+    }
+
+    /// Bounds the frontier to at most `cap` cuts per level. When a level
+    /// exceeds the cap it is pruned to a *deterministic beam* — the `cap`
+    /// smallest cuts in [`Cut`]'s lexicographic order — instead of
+    /// exhausting memory on pathological computations (the width of a level
+    /// is exponential in the thread count in the worst case). Every pruned
+    /// cut is counted and surfaces as [`Exactness::Degraded`] in the final
+    /// report: the verdict then covers *some*, not all, consistent runs.
+    /// A cap of `0` is treated as unbounded.
+    #[must_use]
+    pub fn with_frontier_cap(mut self, cap: usize) -> Self {
+        self.frontier_cap = (cap > 0).then_some(cap);
         self
     }
 
@@ -310,6 +351,8 @@ impl StreamingAnalyzer {
             levels_built: self.levels_built,
             peak_frontier: self.peak_frontier,
             completed,
+            exactness: Exactness::degraded(self.dropped_cuts, 0),
+            non_writes_skipped: self.non_writes_skipped,
         }
     }
 
@@ -386,12 +429,20 @@ impl StreamingAnalyzer {
                     let Some(msg) = self.enabled(cut, t) else {
                         continue;
                     };
-                    let var = msg.var().expect("relevant lattice messages are writes");
-                    let value = msg
-                        .written_value()
-                        .expect("relevant lattice messages are writes");
+                    let update = msg.var().zip(msg.written_value());
                     let succ_cut = cut.advanced(ThreadId(t as u32));
-                    let succ_state = node.state.updated(var, value);
+                    let succ_state = match update {
+                        Some((var, value)) => node.state.updated(var, value),
+                        // A relevant message that is not a write (exotic
+                        // relevance policy) cannot update the global state;
+                        // step over it as a stutter instead of aborting a
+                        // long-running analysis.
+                        None => {
+                            self.non_writes_skipped += 1;
+                            self.tel_non_writes.inc();
+                            node.state.clone()
+                        }
+                    };
                     let entry = match next.entry(succ_cut.clone()) {
                         Entry::Occupied(e) => {
                             self.tel_deduped.inc();
@@ -439,6 +490,21 @@ impl StreamingAnalyzer {
             if next.is_empty() {
                 self.frontier = current;
                 return;
+            }
+            // Degrade instead of OOM: prune the level to a deterministic
+            // beam (the cap smallest cuts in lexicographic order) and
+            // account every dropped cut toward the report's exactness.
+            if let Some(cap) = self.frontier_cap {
+                if next.len() > cap {
+                    let mut keys: Vec<Cut> = next.keys().cloned().collect();
+                    keys.sort();
+                    let excess = (next.len() - cap) as u64;
+                    for k in &keys[cap..] {
+                        next.remove(k);
+                    }
+                    self.dropped_cuts += excess;
+                    self.tel_pruned.add(excess);
+                }
             }
             // Retire the expanded level into the bounded history.
             if self.history > 0 {
@@ -603,6 +669,75 @@ mod tests {
         let report = s.finish();
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].cut, Cut::bottom(1));
+    }
+
+    #[test]
+    fn uncapped_report_is_exact() {
+        let (msgs, monitor, init) = fig6_setup();
+        let mut s = StreamingAnalyzer::new(monitor, &init, 2);
+        s.push_all(msgs);
+        let report = s.finish();
+        assert!(report.exactness.is_exact());
+        assert_eq!(report.non_writes_skipped, 0);
+    }
+
+    #[test]
+    fn frontier_cap_degrades_instead_of_exploring_everything() {
+        use jmpax_core::gen::{random_execution, RandomExecutionConfig};
+
+        let mut syms = SymbolTable::new();
+        let monitor = parse("v0 <= v1 \\/ v2 < 3", &mut syms)
+            .unwrap()
+            .monitor()
+            .unwrap();
+        let ex = random_execution(RandomExecutionConfig {
+            threads: 4,
+            vars: 3,
+            events: 40,
+            write_ratio: 0.8,
+            internal_ratio: 0.0,
+            seed: 5,
+        });
+        let msgs = ex.instrument(Relevance::writes_of([VarId(0), VarId(1), VarId(2)]));
+        let init = ProgramState::new();
+
+        let mut exhaustive = StreamingAnalyzer::new(monitor.clone(), &init, 4);
+        exhaustive.push_all(msgs.clone());
+        let full = exhaustive.finish();
+        assert!(full.peak_frontier > 2, "need a wide lattice for this test");
+
+        let mut capped = StreamingAnalyzer::new(monitor, &init, 4).with_frontier_cap(2);
+        capped.push_all(msgs);
+        let beam = capped.finish();
+        assert!(beam.completed, "the beam still reaches the top cut");
+        assert!(beam.peak_frontier <= 2);
+        assert!(beam.states_explored < full.states_explored);
+        let (dropped, gaps) = beam.exactness.losses();
+        assert!(dropped > 0, "pruning must be visible in the report");
+        assert_eq!(gaps, 0);
+        assert!(!beam.exactness.is_exact());
+    }
+
+    #[test]
+    fn non_write_messages_stutter_instead_of_panicking() {
+        let mut syms = SymbolTable::new();
+        let monitor = parse("x >= 0", &mut syms).unwrap().monitor().unwrap();
+        let x = syms.lookup("x").unwrap();
+        // An exotic relevance policy: *accesses* of x are relevant, so the
+        // observer also receives read messages, which cannot update state.
+        let mut a = MvcInstrumentor::new(1, Relevance::accesses_of([x]));
+        let mut msgs = Vec::new();
+        msgs.extend(a.process(&Event::write(T1, x, 1)));
+        msgs.extend(a.process(&Event::read(T1, x)));
+        msgs.extend(a.process(&Event::write(T1, x, 2)));
+        assert_eq!(msgs.len(), 3);
+        let mut s = StreamingAnalyzer::new(monitor, &ProgramState::new(), 1);
+        s.push_all(msgs);
+        let report = s.finish();
+        assert!(report.completed);
+        assert!(report.satisfied());
+        assert_eq!(report.non_writes_skipped, 1);
+        assert!(report.exactness.is_exact(), "stutters do not degrade");
     }
 
     #[test]

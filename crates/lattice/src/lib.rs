@@ -33,6 +33,7 @@ pub mod cut;
 pub mod dot;
 pub mod explore;
 pub mod input;
+pub mod reassemble;
 
 pub use analysis::{analyze, analyze_multi, Analysis, Counterexample, RunStep, Violation};
 pub use builder::StreamingAnalyzer;
@@ -40,3 +41,4 @@ pub use cut::Cut;
 pub use dot::{to_dot, DotOptions};
 pub use explore::Lattice;
 pub use input::{InputError, LatticeInput};
+pub use reassemble::{Exactness, GapRecord, Reassembler, ReassemblyReport};

@@ -2,7 +2,7 @@
 
 use jmpax_core::{CausalBuffer, Message};
 use jmpax_lattice::analysis::{analyze_lattice, Analysis, AnalysisOptions};
-use jmpax_lattice::{Lattice, LatticeInput, StreamingAnalyzer};
+use jmpax_lattice::{Exactness, Lattice, LatticeInput, StreamingAnalyzer};
 use jmpax_spec::{Monitor, ProgramState};
 
 /// The observer's conclusion about one multithreaded computation.
@@ -46,6 +46,22 @@ impl Verdict {
                 ..
             }
         )
+    }
+
+    /// The underlying analysis, mutably — used by resilient ingestion to
+    /// thread transport-fault degradation into the verdict.
+    #[must_use]
+    pub fn analysis_mut(&mut self) -> &mut Analysis {
+        match self {
+            Verdict::Satisfied(a) | Verdict::Violated { analysis: a, .. } => a,
+        }
+    }
+
+    /// How much this verdict can be trusted: [`Exactness::Exact`] when every
+    /// message arrived and every run was explored, degraded otherwise.
+    #[must_use]
+    pub fn exactness(&self) -> Exactness {
+        self.analysis().exactness
     }
 }
 

@@ -149,6 +149,102 @@ pub fn check_frames(
     conclude(monitor, initial, messages, Relevance::AllWrites)
 }
 
+/// Transport-fault accounting for one [`check_frames_resilient`] pass:
+/// what the codec layer recovered from and what the reassembler had to
+/// give up on.
+#[derive(Clone, Debug)]
+pub struct ResilienceSummary {
+    /// Frames decoded successfully.
+    pub frames_ok: u64,
+    /// Frames whose CRC failed (payload discarded, stream position kept).
+    pub frames_corrupt: u64,
+    /// Times the scanner had to byte-scan to the next credible header.
+    pub frames_resynced: u64,
+    /// Garbage bytes skipped while resynchronizing.
+    pub bytes_skipped: u64,
+    /// The stream ended inside a frame.
+    pub truncated: bool,
+    /// What the causal reassembler saw: reorders, duplicates, skipped gaps.
+    pub reassembly: jmpax_lattice::ReassemblyReport,
+}
+
+impl ResilienceSummary {
+    /// True when nothing was lost anywhere: the verdict is exact.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.frames_corrupt == 0
+            && self.frames_resynced == 0
+            && !self.truncated
+            && self.reassembly.exactness().is_exact()
+    }
+}
+
+/// Runs the observer side over a possibly *damaged* frame stream: frames
+/// may be reordered, duplicated, bit-flipped or missing. Instead of
+/// failing like [`check_frames`], this decodes what survives (CRC-validated
+/// v2 frames, resynchronizing past garbage), reassembles per-thread
+/// sequences (skipping gaps after `stall_budget` subsequent arrivals), and
+/// returns a verdict whose [`crate::Verdict::exactness`] reflects exactly
+/// how much was lost. With an undamaged stream the verdict is bit-for-bit
+/// the one [`check_frames`] computes, marked [`jmpax_lattice::Exactness::Exact`].
+///
+/// Telemetry (when `registry` is enabled): `resilience.frames_corrupt`,
+/// `resilience.frames_resynced`, `resilience.msgs_reordered`,
+/// `resilience.msgs_duplicate`, `resilience.gaps_skipped`, plus everything
+/// the monitor and analysis publish.
+///
+/// # Errors
+///
+/// Only [`PipelineError::Input`] is possible, and only if the reassembled
+/// stream still violates the per-thread sequencing invariant — which the
+/// gap-skipping clock remap rules out for streams produced by Algorithm A.
+pub fn check_frames_resilient(
+    frames: &bytes::Bytes,
+    monitor: Monitor,
+    initial: ProgramState,
+    stall_budget: u64,
+    registry: &Registry,
+) -> Result<(PipelineReport, ResilienceSummary), PipelineError> {
+    let decoded = jmpax_instrument::decode_frames_resilient(frames);
+    registry
+        .counter("resilience.frames_corrupt")
+        .add(decoded.frames_corrupt);
+    registry
+        .counter("resilience.frames_resynced")
+        .add(decoded.frames_resynced);
+
+    let mut reassembler = jmpax_lattice::Reassembler::with_stall_budget(stall_budget);
+    reassembler.push_all(decoded.messages);
+    let (messages, reassembly) = reassembler.finish();
+    reassembly.record(registry);
+
+    // Transport losses the reassembler could not notice (a corrupted frame
+    // at the end of a thread's stream leaves no later message to reveal the
+    // gap) still mean information is missing — count each as one more
+    // skipped gap so a damaged stream can never yield an Exact verdict.
+    let transport_lost = decoded.frames_corrupt
+        + decoded.frames_resynced
+        + u64::from(decoded.truncated);
+    let unaccounted = transport_lost.saturating_sub(reassembly.messages_lost());
+    let exactness = reassembly
+        .exactness()
+        .combine(jmpax_lattice::Exactness::degraded(0, unaccounted));
+    let summary = ResilienceSummary {
+        frames_ok: decoded.frames_ok,
+        frames_corrupt: decoded.frames_corrupt,
+        frames_resynced: decoded.frames_resynced,
+        bytes_skipped: decoded.bytes_skipped,
+        truncated: decoded.truncated,
+        reassembly,
+    };
+
+    let mut report =
+        conclude_with_telemetry(monitor, initial, messages, Relevance::AllWrites, registry)?;
+    let analysis = report.verdict.analysis_mut();
+    analysis.exactness = analysis.exactness.combine(exactness);
+    Ok((report, summary))
+}
+
 /// Like [`check_frames`] but for the compact (varint) wire format of
 /// [`jmpax_instrument::codec::encode_compact_frame`] — 2–3× smaller on the
 /// wire, same analysis.
@@ -320,6 +416,91 @@ mod tests {
         assert!(report.predicted());
         assert_eq!(report.verdict.analysis().total_runs, 3);
         assert_eq!(report.verdict.analysis().violating_runs, 1);
+    }
+
+    #[test]
+    fn resilient_on_clean_v2_stream_is_exact_and_matches_check_frames() {
+        use jmpax_core::Relevance;
+
+        let mut syms = SymbolTable::new();
+        let ex = example2(&mut syms);
+        let monitor = parse("(x > 0) -> [y = 0, y > z)", &mut syms)
+            .unwrap()
+            .monitor()
+            .unwrap();
+        let vars: Vec<_> = ["x", "y", "z"]
+            .iter()
+            .map(|n| syms.lookup(n).unwrap())
+            .collect();
+        let messages = ex.instrument(Relevance::writes_of(vars));
+        let mut buf = bytes::BytesMut::new();
+        for m in &messages {
+            jmpax_instrument::codec::encode_frame_v2(m, &mut buf);
+        }
+        let (report, summary) = check_frames_resilient(
+            &buf.freeze(),
+            monitor,
+            ProgramState::from_map(ex.initial.clone()),
+            8,
+            &Registry::disabled(),
+        )
+        .unwrap();
+        assert!(summary.is_clean());
+        assert!(report.verdict.exactness().is_exact());
+        assert!(report.predicted());
+        assert_eq!(report.verdict.analysis().total_runs, 3);
+        assert_eq!(report.verdict.analysis().violating_runs, 1);
+        assert_eq!(report.messages, messages);
+    }
+
+    #[test]
+    fn resilient_survives_a_corrupt_frame_and_reports_degraded() {
+        use jmpax_core::Relevance;
+
+        let mut syms = SymbolTable::new();
+        let ex = example2(&mut syms);
+        let monitor = parse("(x > 0) -> [y = 0, y > z)", &mut syms)
+            .unwrap()
+            .monitor()
+            .unwrap();
+        let vars: Vec<_> = ["x", "y", "z"]
+            .iter()
+            .map(|n| syms.lookup(n).unwrap())
+            .collect();
+        let messages = ex.instrument(Relevance::writes_of(vars));
+        let mut buf = bytes::BytesMut::new();
+        let mut offsets = Vec::new();
+        for m in &messages {
+            offsets.push(buf.len());
+            jmpax_instrument::codec::encode_frame_v2(m, &mut buf);
+        }
+        // Flip a payload bit in the second frame: its CRC fails, the frame
+        // is dropped, and the reassembler must skip the resulting gap.
+        buf[offsets[1] + 12] ^= 0x01;
+        let registry = Registry::enabled();
+        let (report, summary) = check_frames_resilient(
+            &buf.freeze(),
+            monitor,
+            ProgramState::from_map(ex.initial.clone()),
+            2,
+            &registry,
+        )
+        .unwrap();
+        assert!(!summary.is_clean());
+        assert_eq!(summary.frames_corrupt, 1);
+        assert_eq!(summary.frames_ok as usize, messages.len() - 1);
+        assert_eq!(summary.reassembly.skipped_gaps(), 1);
+        assert!(!report.verdict.exactness().is_exact());
+        assert_eq!(report.messages.len(), messages.len() - 1);
+        let json = registry.snapshot().to_json();
+        assert!(
+            json.contains("\"resilience.frames_corrupt\":{\"type\":\"counter\",\"value\":1}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"resilience.gaps_skipped\":{\"type\":\"counter\",\"value\":1}"),
+            "{json}"
+        );
     }
 
     #[test]

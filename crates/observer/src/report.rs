@@ -86,6 +86,9 @@ pub fn render_analysis(a: &Analysis, symbols: &SymbolTable) -> String {
         "runs: {} total, {} violating",
         a.total_runs, a.violating_runs
     );
+    if !a.exactness.is_exact() {
+        let _ = writeln!(out, "confidence: {}", a.exactness);
+    }
     if a.violations.is_empty() {
         let _ = writeln!(out, "property satisfied on every run");
     } else {
