@@ -11,6 +11,7 @@ use jmpax_telemetry::Registry;
 use jmpax_workloads as workloads;
 
 use crate::args::Args;
+use crate::report;
 use crate::trace_text;
 
 /// Usage text.
@@ -68,6 +69,22 @@ USAGE:
         metrics are collected (the disabled path reads no clocks and
         touches no atomics).
 
+    jmpax trace <landing|xyz|bank|bank-locked|dining|handoff|peterson>
+                --out <DIR> [--seed <N>] [--serve-metrics <PORT>]
+                [--telemetry <text|json>]
+        Run a workload with full causal tracing and write to <DIR>:
+          trace.json   Chrome trace-event / Perfetto JSON — per-lane spans
+                       and instants, happens-before edges as flow events
+                       (every flow edge satisfies Theorem 3);
+          causal.dot   the causal DAG of emitted messages (Graphviz);
+          profile.json per-level lattice profile (width, states, prunes,
+                       property evaluations, wall time).
+        --serve-metrics PORT additionally serves the final snapshot over
+        HTTP on 127.0.0.1:PORT — `/metrics` in Prometheus text format,
+        `/trace` as a status JSON — until interrupted (port 0 picks an
+        ephemeral port, printed to stderr). Exits 0 when the run
+        completes, regardless of the verdict.
+
     jmpax gen <landing|xyz|bank|bank-locked|dining|handoff|peterson> [--seed <N>]
         Print a trace of the chosen workload under a random schedule
         (redirect to a file, then `jmpax check` it).
@@ -104,6 +121,35 @@ pub struct RunOutput {
     /// Rendered telemetry report (stderr), present iff `--telemetry` was
     /// given and valid.
     pub telemetry: Option<String>,
+    /// Endpoint to serve after printing, present iff `--serve-metrics` was
+    /// given (only `jmpax trace` sets it).
+    pub serve: Option<ServeMetrics>,
+}
+
+/// What `--serve-metrics <PORT>` asked `main` to expose once the run is
+/// done: the final snapshot, pre-rendered, served until interrupted.
+#[derive(Clone, Debug)]
+pub struct ServeMetrics {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// `/metrics` body — Prometheus text exposition format.
+    pub metrics: String,
+    /// `/trace` body — the run's status JSON.
+    pub status: String,
+}
+
+/// The routes a [`ServeMetrics`] serves — shared by `main` and the
+/// integration tests so a scrape test exercises exactly what ships.
+#[must_use]
+pub fn metrics_routes(serve: &ServeMetrics) -> Vec<jmpax_trace::serve::Route> {
+    vec![
+        jmpax_trace::serve::Route::new(
+            "/metrics",
+            "text/plain; version=0.0.4",
+            serve.metrics.clone(),
+        ),
+        jmpax_trace::serve::Route::new("/trace", "application/json", serve.status.clone()),
+    ]
 }
 
 fn telemetry_mode(args: &Args) -> Result<Option<TelemetryMode>, String> {
@@ -134,40 +180,44 @@ pub fn run_with_telemetry(args: &Args, trace_source: Option<&str>) -> RunOutput 
                 code: 2,
                 output: e,
                 telemetry: None,
+                serve: None,
             }
         }
     };
-    let registry = if mode.is_some() {
+    // `trace` always collects metrics: its endpoint and status document
+    // need them even without `--telemetry`.
+    let registry = if mode.is_some() || args.command() == Some("trace") {
         Registry::enabled()
     } else {
         Registry::disabled()
     };
-    let (code, output) = run_inner(args, trace_source, &registry);
-    let telemetry = mode.map(|m| {
-        let snapshot = registry.snapshot();
-        match m {
-            TelemetryMode::Text => snapshot.to_text(),
-            TelemetryMode::Json => snapshot.to_json(),
-        }
-    });
+    let (code, output, serve) = run_inner(args, trace_source, &registry);
+    let telemetry = mode.map(|m| report::render_telemetry(&registry.snapshot(), m));
     RunOutput {
         code,
         output,
         telemetry,
+        serve,
     }
 }
 
-fn run_inner(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, String) {
-    match args.command() {
+fn run_inner(
+    args: &Args,
+    trace_source: Option<&str>,
+    registry: &Registry,
+) -> (i32, String, Option<ServeMetrics>) {
+    let (code, output) = match args.command() {
         Some("check") => check(args, trace_source, registry),
         Some("races") => races(args, trace_source),
         Some("deadlocks") => deadlocks(args, trace_source),
         Some("demo") => demo(args, registry),
         Some("chaos") => chaos(args, registry),
+        Some("trace") => return trace_cmd(args, registry),
         Some("gen") => gen(args),
         Some("help") | None => (0, USAGE.to_owned()),
         Some(other) => (2, format!("unknown command `{other}`\n\n{USAGE}")),
-    }
+    };
+    (code, output, None)
 }
 
 /// Models the wire between instrumented program and observer: encodes
@@ -445,7 +495,9 @@ fn fault_rate(args: &Args, key: &str) -> Result<f64, String> {
     };
     match raw.parse::<f64>() {
         Ok(r) if (0.0..=1.0).contains(&r) => Ok(r),
-        _ => Err(format!("chaos: --{key} expects a rate in [0, 1], got `{raw}`")),
+        _ => Err(format!(
+            "chaos: --{key} expects a rate in [0, 1], got `{raw}`"
+        )),
     }
 }
 
@@ -517,11 +569,6 @@ fn chaos(args: &Args, registry: &Registry) -> (i32, String) {
     }
     let bytes = sink.take_bytes();
     let stats = sink.stats();
-    let _ = writeln!(
-        out,
-        "injected: {} frames emitted, {} dropped, {} duplicated, {} corrupted, {} reordered",
-        stats.emitted, stats.dropped, stats.duplicated, stats.corrupted, stats.reordered
-    );
 
     let initial = ProgramState::from_map(run.execution.initial.clone());
     let (report, summary) = match jmpax_observer::check_frames_resilient(
@@ -534,23 +581,11 @@ fn chaos(args: &Args, registry: &Registry) -> (i32, String) {
         Ok(r) => r,
         Err(e) => return (2, format!("chaos: {e}\n")),
     };
-    let _ = writeln!(
-        out,
-        "transport: {} frames ok, {} corrupt, {} resynced, {} bytes skipped",
-        summary.frames_ok, summary.frames_corrupt, summary.frames_resynced, summary.bytes_skipped
-    );
-    let r = &summary.reassembly;
-    let _ = writeln!(
-        out,
-        "reassembly: {} received, {} delivered, {} reordered, {} duplicates, {} gaps skipped ({} messages lost)",
-        r.received,
-        r.delivered,
-        r.reordered,
-        r.duplicates,
-        r.skipped_gaps(),
-        r.messages_lost()
-    );
-    let _ = writeln!(out, "verdict: {}", report.verdict.exactness());
+    out.push_str(&crate::report::chaos_summary(
+        &stats,
+        &summary,
+        report.verdict.exactness(),
+    ));
     out.push_str(&render_analysis(report.verdict.analysis(), &symbols));
     if let Some(idx) = report.observed_violation {
         let _ = writeln!(out, "the OBSERVED run violates at state #{idx}");
@@ -561,6 +596,134 @@ fn chaos(args: &Args, registry: &Registry) -> (i32, String) {
         );
     }
     (0, out)
+}
+
+fn trace_cmd(args: &Args, registry: &Registry) -> (i32, String, Option<ServeMetrics>) {
+    let Some(name) = args.positional.get(1) else {
+        return (
+            2,
+            "trace: expected a workload name (landing|xyz|bank|dining)\n".to_owned(),
+            None,
+        );
+    };
+    let Some(w) = workload_by_name(name) else {
+        return (2, format!("trace: unknown workload `{name}`\n"), None);
+    };
+    let Some(out_dir) = args.get("out").filter(|s| !s.is_empty()) else {
+        return (2, "trace: missing --out <DIR>\n".to_owned(), None);
+    };
+    let serve_port = match args.get("serve-metrics") {
+        None => None,
+        Some(raw) => match raw.parse::<u16>() {
+            Ok(p) => Some(p),
+            Err(_) => {
+                return (
+                    2,
+                    format!("trace: --serve-metrics expects a port, got `{raw}`\n"),
+                    None,
+                )
+            }
+        },
+    };
+    let seed = args
+        .get("seed")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name);
+    let _ = writeln!(out, "property: {}", w.spec);
+
+    let run = match name.as_str() {
+        "xyz" if seed == 0 => {
+            jmpax_sched::run_fixed(&w.program, workloads::xyz::observed_success_schedule(), 100)
+        }
+        "landing" if seed == 0 => jmpax_sched::run_fixed(
+            &w.program,
+            workloads::landing::observed_success_schedule(),
+            300,
+        ),
+        _ => jmpax_sched::run_random(&w.program, seed, 1000),
+    };
+    let tracer = jmpax_trace::Tracer::enabled();
+    let mut symbols = w.symbols.clone();
+    let report = match jmpax_observer::check_execution_with_observability(
+        &run.execution,
+        &w.spec,
+        &mut symbols,
+        registry,
+        &tracer,
+    ) {
+        Ok(r) => r,
+        Err(e) => return (2, format!("trace: {e}\n"), None),
+    };
+    // Ship the messages through a traced frame sink so the `wire` lane and
+    // the frame counters reflect what a live deployment would transmit.
+    {
+        let mut sink = jmpax_instrument::FrameSink::with_observability(registry, &tracer);
+        for m in &report.pipeline.messages {
+            sink.emit(m);
+        }
+    }
+
+    let data = tracer.collect();
+    let chrome = jmpax_trace::chrome::to_chrome_json(&data);
+    let dot =
+        jmpax_trace::dot::to_causal_dot(&data, |v| symbols.name_or_default(jmpax_core::VarId(v)));
+    let profile = jmpax_trace::profile::lattice_profile(&data);
+    let profile_json = jmpax_trace::profile::profile_to_json(&profile);
+
+    let dir = std::path::Path::new(out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        return (2, format!("trace: cannot create {out_dir}: {e}\n"), None);
+    }
+    for (file, body) in [
+        ("trace.json", &chrome),
+        ("causal.dot", &dot),
+        ("profile.json", &profile_json),
+    ] {
+        if let Err(e) = std::fs::write(dir.join(file), body) {
+            return (
+                2,
+                format!("trace: cannot write {out_dir}/{file}: {e}\n"),
+                None,
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if report.pipeline.predicted() {
+            "violations predicted"
+        } else {
+            "satisfied on every run"
+        }
+    );
+    let hb_edges = jmpax_trace::causal_edges(&data.causal_messages()).len();
+    let transport = jmpax_trace::chrome::transport_flow_count(&data);
+    let _ = writeln!(
+        out,
+        "traced {} events across {} lanes ({} happens-before edges, {} transport flows)",
+        data.len(),
+        data.lanes.len(),
+        hb_edges,
+        transport
+    );
+    out.push_str(&jmpax_trace::profile::profile_to_text(&profile));
+    let _ = writeln!(
+        out,
+        "trace written to {out_dir}/trace.json (open in Perfetto or chrome://tracing)"
+    );
+    let _ = writeln!(out, "causal DAG written to {out_dir}/causal.dot");
+    let _ = writeln!(out, "profile written to {out_dir}/profile.json");
+
+    let serve = serve_port.map(|port| ServeMetrics {
+        port,
+        metrics: registry.snapshot().to_prometheus(),
+        status: crate::report::trace_status_json(w.name, &data, &profile),
+    });
+    (0, out, serve)
 }
 
 fn gen(args: &Args) -> (i32, String) {

@@ -5,13 +5,16 @@
 //! * [`trace_text`] — a human-editable text format for multithreaded
 //!   execution traces (one event per line), with reader and writer;
 //! * [`args`] — a minimal flag parser (no external dependencies);
-//! * [`commands`] — the `check`, `demo` and `gen` subcommands.
+//! * [`commands`] — the `check`, `demo`, `trace` and `gen` subcommands;
+//! * [`report`] — unified rendering of telemetry, chaos and trace reports
+//!   (one JSON emitter for everything the CLI prints).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
+pub mod report;
 pub mod trace_text;
 
 pub use args::Args;

@@ -18,5 +18,15 @@ fn main() {
     if let Some(report) = result.telemetry {
         eprint!("{report}");
     }
+    if let Some(serve) = result.serve {
+        let server = jmpax_trace::serve::MetricsServer::bind(serve.port).unwrap_or_else(|e| {
+            eprintln!("jmpax: cannot bind 127.0.0.1:{}: {e}", serve.port);
+            std::process::exit(2);
+        });
+        if let Ok(addr) = server.local_addr() {
+            eprintln!("serving metrics on http://{addr}/metrics (and /trace); Ctrl-C to stop");
+        }
+        server.serve(&commands::metrics_routes(&serve), None);
+    }
     std::process::exit(result.code);
 }

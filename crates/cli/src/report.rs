@@ -1,0 +1,158 @@
+//! One place where every CLI report is rendered.
+//!
+//! The `--telemetry` stderr report, the `jmpax chaos` transport/reassembly
+//! summary and the `jmpax trace` status document all funnel through this
+//! module, and every JSON the CLI produces is emitted with the same
+//! escaping rules (`jmpax_telemetry::json::write_string`) the telemetry
+//! snapshot itself uses — no ad-hoc string formatting of JSON anywhere in
+//! the command layer.
+
+use std::fmt::Write as _;
+
+use jmpax_instrument::ChaosStats;
+use jmpax_lattice::Exactness;
+use jmpax_observer::ResilienceSummary;
+use jmpax_telemetry::json::write_string;
+use jmpax_telemetry::Snapshot;
+use jmpax_trace::profile::LevelProfile;
+use jmpax_trace::TraceData;
+
+use crate::commands::TelemetryMode;
+
+/// Renders the `--telemetry` report in the requested mode. The JSON form
+/// is a single object with a top-level `"metrics"` key — consumed by CI
+/// and external dashboards, so its shape is load-bearing.
+#[must_use]
+pub fn render_telemetry(snapshot: &Snapshot, mode: TelemetryMode) -> String {
+    match mode {
+        TelemetryMode::Text => snapshot.to_text(),
+        TelemetryMode::Json => snapshot.to_json(),
+    }
+}
+
+/// The `jmpax chaos` stdout accounting block: what the fault injector did,
+/// what the transport recovered, what the reassembler gave up on, and the
+/// verdict's exactness. Line shapes are asserted by integration tests —
+/// change them there first.
+#[must_use]
+pub fn chaos_summary(
+    stats: &ChaosStats,
+    summary: &ResilienceSummary,
+    exactness: Exactness,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "injected: {} frames emitted, {} dropped, {} duplicated, {} corrupted, {} reordered",
+        stats.emitted, stats.dropped, stats.duplicated, stats.corrupted, stats.reordered
+    );
+    let _ = writeln!(
+        out,
+        "transport: {} frames ok, {} corrupt, {} resynced, {} bytes skipped",
+        summary.frames_ok, summary.frames_corrupt, summary.frames_resynced, summary.bytes_skipped
+    );
+    let r = &summary.reassembly;
+    let _ = writeln!(
+        out,
+        "reassembly: {} received, {} delivered, {} reordered, {} duplicates, {} gaps skipped ({} messages lost)",
+        r.received,
+        r.delivered,
+        r.reordered,
+        r.duplicates,
+        r.skipped_gaps(),
+        r.messages_lost()
+    );
+    let _ = writeln!(out, "verdict: {exactness}");
+    out
+}
+
+/// The `/trace` endpoint / `jmpax trace` status document: per-lane event
+/// counts and drops, total flow edges (happens-before plus transport,
+/// matching the Chrome export), and the per-level lattice profile.
+#[must_use]
+pub fn trace_status_json(workload: &str, data: &TraceData, profile: &[LevelProfile]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"workload\":");
+    write_string(&mut out, workload);
+    let _ = write!(out, ",\"events\":{}", data.len());
+    let hb = jmpax_trace::causal_edges(&data.causal_messages()).len();
+    let transport = jmpax_trace::chrome::transport_flow_count(data);
+    let _ = write!(out, ",\"hb_edges\":{hb}");
+    let _ = write!(out, ",\"flow_edges\":{}", hb + transport);
+    out.push_str(",\"lanes\":[");
+    for (i, lane) in data.lanes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"lane\":");
+        write_string(&mut out, &lane.lane);
+        let _ = write!(
+            out,
+            ",\"events\":{},\"dropped\":{}}}",
+            lane.events.len(),
+            lane.dropped
+        );
+    }
+    out.push_str("],\"levels\":[");
+    for (i, l) in profile.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"level\":{},\"width\":{},\"states\":{},\"pruned\":{},\"evals\":{},\"violations\":{},\"wall_ns\":{}}}",
+            l.level, l.width, l.states, l.pruned, l.evals, l.violations, l.wall_ns
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_status_is_valid_json_and_escapes_names() {
+        let t = jmpax_trace::Tracer::enabled();
+        let mut ring = t.ring("lane \"odd\"");
+        ring.record(jmpax_trace::TraceKind::Stage { name: "x" });
+        ring.seal();
+        let data = t.collect();
+        let json = trace_status_json("bank\n", &data, &[]);
+        let v = jmpax_telemetry::json::parse(&json).expect("valid JSON");
+        assert_eq!(v.get("workload").and_then(|w| w.as_str()), Some("bank\n"));
+        assert_eq!(v.get("events").and_then(|e| e.as_u64()), Some(1));
+        let lanes = v.get("lanes").and_then(|l| l.as_array()).unwrap();
+        assert_eq!(
+            lanes[0].get("lane").and_then(|l| l.as_str()),
+            Some("lane \"odd\"")
+        );
+    }
+
+    #[test]
+    fn chaos_summary_line_shapes() {
+        let stats = ChaosStats {
+            emitted: 5,
+            dropped: 1,
+            duplicated: 0,
+            corrupted: 1,
+            reordered: 2,
+        };
+        let summary = ResilienceSummary {
+            frames_ok: 4,
+            frames_corrupt: 1,
+            frames_resynced: 0,
+            bytes_skipped: 12,
+            truncated: false,
+            reassembly: jmpax_lattice::ReassemblyReport::default(),
+        };
+        let out = chaos_summary(&stats, &summary, Exactness::Exact);
+        assert!(
+            out.contains("injected: 5 frames emitted, 1 dropped"),
+            "{out}"
+        );
+        assert!(out.contains("transport: 4 frames ok, 1 corrupt"), "{out}");
+        assert!(out.contains("verdict: Exact"), "{out}");
+    }
+}

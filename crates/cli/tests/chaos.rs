@@ -122,7 +122,10 @@ fn chaos_at_zero_fault_rates_matches_check_exactly() {
 /// Bad rates are rejected up front.
 #[test]
 fn chaos_rejects_malformed_rates() {
-    for bad in [["chaos", "bank", "--drop", "1.5"], ["chaos", "bank", "--corrupt", "nope"]] {
+    for bad in [
+        ["chaos", "bank", "--drop", "1.5"],
+        ["chaos", "bank", "--corrupt", "nope"],
+    ] {
         let out = run_cli(&bad, None);
         assert_eq!(out.code, 2, "{}", out.output);
         assert!(out.output.contains("expects a rate"), "{}", out.output);

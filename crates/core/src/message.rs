@@ -79,6 +79,20 @@ impl Message {
     pub fn concurrent_with(&self, other: &Message) -> bool {
         !self.causally_precedes(other) && !other.causally_precedes(self)
     }
+
+    /// Flattens this message into the trace layer's crate-agnostic
+    /// [`jmpax_trace::MsgRef`]: thread index, sequence number, full clock,
+    /// and the write payload when present.
+    #[must_use]
+    pub fn trace_ref(&self) -> jmpax_trace::MsgRef {
+        jmpax_trace::MsgRef {
+            thread: self.thread().0,
+            seq: self.seq(),
+            clock: self.clock.as_slice().to_vec(),
+            var: self.var().map(|v| v.0),
+            value: self.written_value().map(Value::as_int),
+        }
+    }
 }
 
 impl fmt::Display for Message {

@@ -108,6 +108,22 @@ impl Execution {
         instr.process_all(&self.events)
     }
 
+    /// Like [`Execution::instrument_with_telemetry`], but additionally
+    /// recording per-event trace spans and emitted messages into `tracer`
+    /// (lane `"core"`; see [`MvcInstrumentor::with_trace`]). The
+    /// instrumentor's ring seals when this returns.
+    #[must_use]
+    pub fn instrument_with_observability(
+        &self,
+        relevance: Relevance,
+        registry: &jmpax_telemetry::Registry,
+        tracer: &jmpax_trace::Tracer,
+    ) -> Vec<Message> {
+        let mut instr = MvcInstrumentor::with_telemetry(self.thread_count(), relevance, registry)
+            .with_trace(tracer);
+        instr.process_all(&self.events)
+    }
+
     /// The final value of every shared variable after replaying the writes
     /// in observed order over the initial state.
     #[must_use]

@@ -74,12 +74,18 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated frame"),
             CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
             CodecError::Oversized(len) => {
-                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound")
+                write!(
+                    f,
+                    "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound"
+                )
             }
             CodecError::BadMagic(b) => write!(f, "expected magic {MAGIC:#04x}, found {b:#04x}"),
             CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             CodecError::CrcMismatch { expected, found } => {
-                write!(f, "payload CRC mismatch (header {expected:#010x}, computed {found:#010x})")
+                write!(
+                    f,
+                    "payload CRC mismatch (header {expected:#010x}, computed {found:#010x})"
+                )
             }
         }
     }
@@ -98,7 +104,11 @@ const CRC32_TABLE: [u32; 256] = {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -846,8 +856,8 @@ mod v2_tests {
         let buf = encode_all(&msgs[..2]).freeze();
         for cut in 1..V2_HEADER_LEN {
             // Cut inside the second frame's header.
-            let first_len = V2_HEADER_LEN
-                + u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+            let first_len =
+                V2_HEADER_LEN + u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
             let r = decode_frames_resilient(&buf.slice(..first_len + cut));
             assert!(r.truncated, "cut {cut} must look truncated");
             assert_eq!(r.frames_ok, 1);
@@ -865,7 +875,10 @@ mod v2_tests {
         let r = decode_frames_resilient(&Bytes::from_static(&[0x13, 0x37, 0xAB]));
         assert_eq!(r.frames_ok, 0);
         assert_eq!(r.bytes_skipped, 3);
-        assert_eq!(r.frames_resynced, 0, "a run that never recovers is not a resync");
+        assert_eq!(
+            r.frames_resynced, 0,
+            "a run that never recovers is not a resync"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use jmpax_telemetry::{Counter, Registry};
+use jmpax_trace::{TraceKind, TraceRing, Tracer};
 use parking_lot::Mutex;
 
 use jmpax_core::{Event, Message, Relevance, SymbolTable, ThreadId, VarId, VectorClock};
@@ -28,6 +29,9 @@ pub(crate) struct SessionInner {
     tel_relevant: Counter,
     /// `instrument.messages_emitted` — messages handed to the sink.
     tel_emitted: Counter,
+    /// Hands out one per-thread trace lane (`T1`, `T2`, …) at registration;
+    /// disabled by default, so untraced sessions never touch a clock.
+    tracer: Tracer,
 }
 
 impl SessionInner {
@@ -35,11 +39,17 @@ impl SessionInner {
     /// message when the event is relevant. MUST be called while holding the
     /// variable's critical section so the log order is a true
     /// linearization.
-    pub(crate) fn record(&self, ctx: &ThreadCtx, event: Event, relevant: bool) {
+    pub(crate) fn record(&self, ctx: &mut ThreadCtx, event: Event, relevant: bool) {
         self.tel_seen.inc();
         if self.logging {
             let seq = self.seq.fetch_add(1, Ordering::Relaxed);
             self.log.lock().push((seq, event));
+        }
+        if ctx.ring.is_enabled() {
+            ctx.ring.record(TraceKind::Processed {
+                thread: ctx.id.0,
+                relevant,
+            });
         }
         if relevant {
             self.tel_relevant.inc();
@@ -47,6 +57,9 @@ impl SessionInner {
                 event,
                 clock: ctx.clock.clone(),
             };
+            if ctx.ring.is_enabled() {
+                ctx.ring.record(TraceKind::Emitted(message.trace_ref()));
+            }
             self.sink.lock().emit(&message);
             self.tel_emitted.inc();
         }
@@ -70,6 +83,7 @@ impl Session {
         vec_sink: Option<VecSink>,
         logging: bool,
         registry: &Registry,
+        tracer: &Tracer,
     ) -> Self {
         Self {
             inner: Arc::new(SessionInner {
@@ -83,6 +97,7 @@ impl Session {
                 tel_seen: registry.counter("instrument.events_seen"),
                 tel_relevant: registry.counter("instrument.events_relevant"),
                 tel_emitted: registry.counter("instrument.messages_emitted"),
+                tracer: tracer.clone(),
             }),
             vec_sink,
         }
@@ -107,6 +122,7 @@ impl Session {
             Some(vec_sink),
             false,
             registry,
+            &Tracer::disabled(),
         )
     }
 
@@ -124,7 +140,40 @@ impl Session {
         sink: Box<dyn EventSink>,
         registry: &Registry,
     ) -> Self {
-        Self::build(relevance, sink, None, false, registry)
+        Self::build(relevance, sink, None, false, registry, &Tracer::disabled())
+    }
+
+    /// Like [`Session::new_with_telemetry`], but every registered thread
+    /// additionally records its processed events and emitted messages into
+    /// a per-thread trace lane (`T1`, `T2`, … — sealed into `tracer` when
+    /// the thread's context drops).
+    #[must_use]
+    pub fn new_with_observability(
+        relevance: Relevance,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> Self {
+        let vec_sink = VecSink::new();
+        Self::build(
+            relevance,
+            Box::new(vec_sink.clone()),
+            Some(vec_sink),
+            false,
+            registry,
+            tracer,
+        )
+    }
+
+    /// [`Session::with_sink_telemetry`] plus per-thread trace lanes (see
+    /// [`Session::new_with_observability`]).
+    #[must_use]
+    pub fn with_sink_observability(
+        relevance: Relevance,
+        sink: Box<dyn EventSink>,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> Self {
+        Self::build(relevance, sink, None, false, registry, tracer)
     }
 
     /// Like [`Session::new`] but additionally records the global
@@ -139,6 +188,7 @@ impl Session {
             Some(vec_sink),
             true,
             &Registry::disabled(),
+            &Tracer::disabled(),
         )
     }
 
@@ -194,10 +244,12 @@ impl Session {
     #[must_use]
     pub fn register_thread(&self) -> ThreadCtx {
         let id = ThreadId(self.inner.next_thread.fetch_add(1, Ordering::Relaxed));
+        let ring = self.inner.tracer.ring(&id.to_string());
         ThreadCtx {
             id,
             clock: VectorClock::new(),
             inner: Arc::clone(&self.inner),
+            ring,
         }
     }
 
@@ -225,10 +277,12 @@ impl Session {
         F: FnOnce(&mut ThreadCtx) + Send + 'static,
     {
         let id = ThreadId(self.inner.next_thread.fetch_add(1, Ordering::Relaxed));
+        let ring = self.inner.tracer.ring(&id.to_string());
         let mut ctx = ThreadCtx {
             id,
             clock: parent.clock.clone(),
             inner: Arc::clone(&self.inner),
+            ring,
         };
         let handle = std::thread::spawn(move || {
             f(&mut ctx);
@@ -296,6 +350,9 @@ pub struct ThreadCtx {
     pub(crate) id: ThreadId,
     pub(crate) clock: VectorClock,
     pub(crate) inner: Arc<SessionInner>,
+    /// This thread's trace lane; a disabled no-op unless the session was
+    /// built with [`Session::new_with_observability`].
+    pub(crate) ring: TraceRing,
 }
 
 impl ThreadCtx {
@@ -319,7 +376,8 @@ impl ThreadCtx {
         if relevant {
             self.clock.tick(self.id);
         }
-        self.inner.record(self, event, relevant);
+        let inner = Arc::clone(&self.inner);
+        inner.record(self, event, relevant);
     }
 }
 
@@ -389,6 +447,37 @@ mod tests {
         assert_eq!(snap.counter("instrument.events_seen"), Some(3));
         assert_eq!(snap.counter("instrument.events_relevant"), Some(1));
         assert_eq!(snap.counter("instrument.messages_emitted"), Some(1));
+    }
+
+    #[test]
+    fn observability_session_traces_per_thread_lanes() {
+        let tracer = jmpax_trace::Tracer::enabled();
+        let registry = jmpax_telemetry::Registry::enabled();
+        let s = Session::new_with_observability(Relevance::AllWrites, &registry, &tracer);
+        let x = s.shared("x", 0i64);
+        let mut t1 = s.register_thread();
+        let mut t2 = s.register_thread();
+        x.write(&mut t1, 1);
+        let _ = x.read(&mut t2);
+        x.write(&mut t2, 2);
+        drop((t1, t2)); // seal the per-thread rings
+
+        let data = tracer.collect();
+        let lanes: Vec<&str> = data.lanes.iter().map(|l| l.lane.as_str()).collect();
+        assert!(
+            lanes.contains(&"T1") && lanes.contains(&"T2"),
+            "per-thread lanes missing: {lanes:?}"
+        );
+        // Three processed events (two relevant), two emitted messages, and
+        // a cross-thread causal edge through the shared variable.
+        assert_eq!(data.len(), 5);
+        let msgs = data.causal_messages();
+        assert_eq!(msgs.len(), 2);
+        let edges = jmpax_trace::causal_edges(&msgs);
+        assert!(
+            edges.iter().any(|e| e.from.0 != e.to.0),
+            "expected a cross-thread happens-before edge: {edges:?}"
+        );
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct FrameSink {
     /// unless built via [`FrameSink::with_telemetry`].
     tel_frames: jmpax_telemetry::Counter,
     tel_bytes: jmpax_telemetry::Counter,
+    /// Trace lane `wire`: one span per encoded frame plus the message it
+    /// carried. Shared across clones (the sink itself is shared), so the
+    /// ring sits behind a lock — a disabled ring skips it entirely.
+    ring: Arc<Mutex<jmpax_trace::TraceRing>>,
 }
 
 impl FrameSink {
@@ -104,7 +108,20 @@ impl FrameSink {
             buffer: Arc::default(),
             tel_frames: registry.counter("instrument.frames_encoded"),
             tel_bytes: registry.counter("instrument.bytes_encoded"),
+            ring: Arc::default(),
         }
+    }
+
+    /// [`FrameSink::with_telemetry`] plus per-frame encode spans on the
+    /// `wire` trace lane (sealed into `tracer` when the last clone drops).
+    #[must_use]
+    pub fn with_observability(
+        registry: &jmpax_telemetry::Registry,
+        tracer: &jmpax_trace::Tracer,
+    ) -> Self {
+        let mut sink = Self::with_telemetry(registry);
+        sink.ring = Arc::new(Mutex::new(tracer.ring("wire")));
+        sink
     }
 
     /// Takes the bytes accumulated so far.
@@ -116,11 +133,18 @@ impl FrameSink {
 
 impl EventSink for FrameSink {
     fn emit(&mut self, message: &Message) {
+        let mut ring = self.ring.lock();
+        let start = ring.span_start();
         let mut buffer = self.buffer.lock();
         let before = buffer.len();
         crate::codec::encode_frame(message, &mut buffer);
         let encoded = buffer.len() - before;
         drop(buffer);
+        if ring.is_enabled() {
+            ring.record_span(jmpax_trace::TraceKind::Stage { name: "encode" }, start);
+            ring.record(jmpax_trace::TraceKind::Emitted(message.trace_ref()));
+        }
+        drop(ring);
         self.tel_frames.inc();
         self.tel_bytes.add(encoded as u64);
     }
@@ -349,6 +373,30 @@ mod tests {
     }
 
     #[test]
+    fn frame_sink_observability_traces_encode_spans() {
+        let tracer = jmpax_trace::Tracer::enabled();
+        let sink = FrameSink::with_observability(&jmpax_telemetry::Registry::disabled(), &tracer);
+        let mut writer = sink.clone();
+        writer.emit(&msg(1));
+        writer.emit(&msg(2));
+        drop(writer);
+        drop(sink); // last clone seals the wire lane
+        let data = tracer.collect();
+        let wire = data.lanes.iter().find(|l| l.lane == "wire").unwrap();
+        let spans = wire
+            .events
+            .iter()
+            .filter(|r| matches!(r.kind, jmpax_trace::TraceKind::Stage { name: "encode" }))
+            .count();
+        let emitted = wire
+            .events
+            .iter()
+            .filter(|r| matches!(r.kind, jmpax_trace::TraceKind::Emitted(_)))
+            .count();
+        assert_eq!((spans, emitted), (2, 2));
+    }
+
+    #[test]
     fn chaos_sink_at_zero_rates_is_plain_v2() {
         let sink = ChaosSink::new(ChaosConfig::default());
         let mut writer = sink.clone();
@@ -361,7 +409,12 @@ mod tests {
         let stats = sink.stats();
         assert_eq!(stats.emitted, 20);
         assert_eq!(
-            (stats.dropped, stats.duplicated, stats.corrupted, stats.reordered),
+            (
+                stats.dropped,
+                stats.duplicated,
+                stats.corrupted,
+                stats.reordered
+            ),
             (0, 0, 0, 0)
         );
     }

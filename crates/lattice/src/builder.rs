@@ -21,6 +21,7 @@ use std::collections::{HashMap, HashSet};
 use jmpax_core::{CausalBuffer, Message, ThreadId};
 use jmpax_spec::{Monitor, MonitorState, ProgramState};
 use jmpax_telemetry::{Counter, Gauge, Histogram, Registry};
+use jmpax_trace::{TraceKind, TraceRing, Tracer};
 
 use crate::cut::Cut;
 use crate::reassemble::Exactness;
@@ -166,6 +167,9 @@ pub struct StreamingAnalyzer {
     tel_peak: Gauge,
     tel_pruned: Counter,
     tel_non_writes: Counter,
+    /// Trace ring (lane `"lattice"`) for ingested messages, level seals,
+    /// prunes and property evaluations; disabled (free) by default.
+    trace_ring: TraceRing,
 }
 
 impl StreamingAnalyzer {
@@ -250,7 +254,19 @@ impl StreamingAnalyzer {
             tel_peak,
             tel_pruned: registry.counter("lattice.frontier_pruned"),
             tel_non_writes: registry.counter("lattice.non_writes_skipped"),
+            trace_ring: TraceRing::disabled(),
         }
+    }
+
+    /// Attaches a trace ring (lane `"lattice"`) recording one
+    /// [`TraceKind::Ingested`] instant per causally delivered message, one
+    /// [`TraceKind::LevelSealed`] span per frontier advance, plus
+    /// [`TraceKind::CutPruned`] / [`TraceKind::PropertyEvaluated`]
+    /// instants. With a disabled tracer this is free.
+    #[must_use]
+    pub fn with_trace(mut self, tracer: &Tracer) -> Self {
+        self.trace_ring = tracer.ring("lattice");
+        self
     }
 
     /// Retains up to `levels` retired lattice levels so that violations
@@ -314,6 +330,9 @@ impl StreamingAnalyzer {
                 self.delivered.resize_with(t + 1, Vec::new);
                 self.ended.resize(t + 1, false);
                 self.threads = t + 1;
+            }
+            if self.trace_ring.is_enabled() {
+                self.trace_ring.record(TraceKind::Ingested(m.trace_ref()));
             }
             self.delivered[t].push(m);
         }
@@ -421,6 +440,11 @@ impl StreamingAnalyzer {
                 return;
             }
 
+            let level_start = self.trace_ring.span_start();
+            let level_index = u64::from(self.levels_built) + 1;
+            let states_before = self.states_explored;
+            let mut level_evals = 0u64;
+            let mut level_pruned = 0u64;
             let current = std::mem::take(&mut self.frontier);
             let mut next: HashMap<Cut, FrontierNode> = HashMap::new();
             let mut found: Vec<StreamViolation> = Vec::new();
@@ -461,6 +485,13 @@ impl StreamingAnalyzer {
                     };
                     for &mem in &node.mems {
                         let (next_mem, ok) = self.monitor.step(mem, &succ_state);
+                        level_evals += 1;
+                        if self.trace_ring.is_enabled() {
+                            self.trace_ring.record(TraceKind::PropertyEvaluated {
+                                level: level_index,
+                                violated: !ok,
+                            });
+                        }
                         if ok {
                             if entry.mems.insert(next_mem) {
                                 entry.parents.insert(next_mem, (cut.clone(), mem));
@@ -481,7 +512,8 @@ impl StreamingAnalyzer {
                     }
                 }
             }
-            self.tel_violations.add(found.len() as u64);
+            let level_violations = found.len() as u64;
+            self.tel_violations.add(level_violations);
             self.violations.append(&mut found);
             // Cuts that had no successor (only possible mid-stream for the
             // top-so-far cut when some threads ended) are retained if they
@@ -504,6 +536,13 @@ impl StreamingAnalyzer {
                     }
                     self.dropped_cuts += excess;
                     self.tel_pruned.add(excess);
+                    level_pruned = excess;
+                    if self.trace_ring.is_enabled() {
+                        self.trace_ring.record(TraceKind::CutPruned {
+                            level: level_index,
+                            count: excess,
+                        });
+                    }
                 }
             }
             // Retire the expanded level into the bounded history.
@@ -519,6 +558,19 @@ impl StreamingAnalyzer {
             self.tel_levels.inc();
             self.tel_width.record(self.frontier.len() as u64);
             self.tel_peak.set(self.frontier.len() as u64);
+            if self.trace_ring.is_enabled() {
+                self.trace_ring.record_span(
+                    TraceKind::LevelSealed {
+                        level: level_index,
+                        width: self.frontier.len() as u64,
+                        states: self.states_explored - states_before,
+                        pruned: level_pruned,
+                        evals: level_evals,
+                        violations: level_violations,
+                    },
+                    level_start,
+                );
+            }
         }
     }
 }

@@ -36,7 +36,7 @@ pub mod input;
 pub mod reassemble;
 
 pub use analysis::{analyze, analyze_multi, Analysis, Counterexample, RunStep, Violation};
-pub use builder::StreamingAnalyzer;
+pub use builder::{StreamReport, StreamingAnalyzer};
 pub use cut::Cut;
 pub use dot::{to_dot, DotOptions};
 pub use explore::Lattice;

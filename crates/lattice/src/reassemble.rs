@@ -31,6 +31,7 @@ use std::collections::BTreeMap;
 
 use jmpax_core::{CausalBuffer, Message, ThreadId};
 use jmpax_telemetry::Registry;
+use jmpax_trace::{TraceKind, TraceRing, Tracer};
 
 /// How much an analysis result can be trusted after transport faults and
 /// resource caps have taken their toll.
@@ -220,7 +221,11 @@ impl ThreadState {
             self.retained.push(self.committed);
             self.emitted.push(entry);
         }
-        self.gap_age = if self.pending.is_empty() { None } else { self.gap_age };
+        self.gap_age = if self.pending.is_empty() {
+            None
+        } else {
+            self.gap_age
+        };
     }
 
     /// True when the next expected sequence number is missing while later
@@ -246,6 +251,9 @@ pub struct Reassembler {
     stall_budget: u64,
     arrivals: u64,
     report: ReassemblyReport,
+    /// Trace ring (lane `"resilience"`) for committed gaps; disabled
+    /// (free) by default.
+    trace_ring: TraceRing,
 }
 
 /// Default stall budget: a gap survives this many subsequent arrivals
@@ -276,12 +284,23 @@ impl Reassembler {
             stall_budget,
             arrivals: 0,
             report: ReassemblyReport::default(),
+            trace_ring: TraceRing::disabled(),
         }
+    }
+
+    /// Attaches a trace ring (lane `"resilience"`) recording one
+    /// [`TraceKind::GapSkipped`] instant per committed gap. With a
+    /// disabled tracer this is free.
+    #[must_use]
+    pub fn with_trace(mut self, tracer: &Tracer) -> Self {
+        self.trace_ring = tracer.ring("resilience");
+        self
     }
 
     fn thread_mut(&mut self, t: ThreadId) -> &mut ThreadState {
         if self.threads.len() <= t.index() {
-            self.threads.resize_with(t.index() + 1, ThreadState::default);
+            self.threads
+                .resize_with(t.index() + 1, ThreadState::default);
         }
         &mut self.threads[t.index()]
     }
@@ -355,10 +374,16 @@ impl Reassembler {
             return;
         };
         debug_assert!(next > state.committed + 1);
+        let (from, to) = (state.committed + 1, next - 1);
         self.report.gaps.push(GapRecord {
             thread: t,
-            from: state.committed + 1,
-            to: next - 1,
+            from,
+            to,
+        });
+        self.trace_ring.record(TraceKind::GapSkipped {
+            thread: t.0,
+            from,
+            to,
         });
         state.committed = next - 1;
         state.gap_age = None;
@@ -458,7 +483,10 @@ mod tests {
         assert_eq!(report.delivered, 12);
         assert_eq!(report.exactness(), Exactness::Exact);
         assert!(report.gaps.is_empty());
-        assert_eq!(report.reordered + report.duplicates + report.late_dropped, 0);
+        assert_eq!(
+            report.reordered + report.duplicates + report.late_dropped,
+            0
+        );
     }
 
     #[test]
@@ -516,10 +544,8 @@ mod tests {
         assert_eq!(report.affected_threads(), vec![ThreadId(0)]);
         assert_eq!(out.len(), 19);
         // Survivors renumber contiguously: valid lattice input.
-        let input = crate::LatticeInput::from_messages(
-            out.clone(),
-            jmpax_spec::ProgramState::new(),
-        );
+        let input =
+            crate::LatticeInput::from_messages(out.clone(), jmpax_spec::ProgramState::new());
         assert!(input.is_ok(), "renumbered stream must validate: {input:?}");
         // And the causal order among survivors is preserved.
         for i in 0..out.len() {

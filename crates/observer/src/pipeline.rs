@@ -13,6 +13,7 @@ use std::fmt;
 use jmpax_core::{Execution, Message, Relevance, SymbolTable};
 use jmpax_spec::{parse, Monitor, ParseError, ProgramState};
 use jmpax_telemetry::Registry;
+use jmpax_trace::{TraceKind, Tracer};
 
 use crate::observer::{Observer, Verdict};
 
@@ -129,6 +130,101 @@ pub fn check_execution_with_telemetry(
     conclude_with_telemetry(monitor, initial, messages, relevance, registry)
 }
 
+/// What [`check_execution_with_observability`] produces: the usual pipeline
+/// verdict plus the report of the traced level-by-level streaming pass run
+/// over the same message stream (that pass is what populates the `lattice`
+/// trace lane with per-level records).
+#[derive(Clone, Debug)]
+pub struct ObservabilityReport {
+    /// The end-to-end verdict, exactly as [`check_execution`] computes it.
+    pub pipeline: PipelineReport,
+    /// The streaming analyzer's view of the same computation.
+    pub stream: jmpax_lattice::StreamReport,
+}
+
+/// [`check_execution_with_telemetry`] plus structured tracing: every
+/// pipeline stage is recorded as a [`TraceKind::Stage`] span on the
+/// `observer` lane, Algorithm A records per-event spans and emitted
+/// messages on the `core` lane, and a level-by-level streaming pass over
+/// the instrumented messages populates the `lattice` lane (ingestions,
+/// sealed levels, prunes, property evaluations). With a disabled tracer the
+/// extra streaming pass still runs but records nothing.
+pub fn check_execution_with_observability(
+    execution: &Execution,
+    spec_src: &str,
+    symbols: &mut SymbolTable,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> Result<ObservabilityReport, PipelineError> {
+    let mut ring = tracer.ring("observer");
+
+    let spec_start = ring.span_start();
+    let formula = parse(spec_src, symbols)?;
+    let monitor = formula.monitor()?.with_telemetry(registry);
+    ring.record_span(TraceKind::Stage { name: "spec" }, spec_start);
+
+    let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
+    let instrument_start = ring.span_start();
+    let messages = {
+        let _span = registry
+            .histogram("observer.stage.instrument_ns")
+            .start_span();
+        execution.instrument_with_observability(relevance.clone(), registry, tracer)
+    };
+    ring.record_span(TraceKind::Stage { name: "instrument" }, instrument_start);
+
+    let initial = ProgramState::from_map(execution.initial.clone());
+
+    let jpax_start = ring.span_start();
+    let observed_violation = {
+        let _span = registry.histogram("observer.stage.jpax_ns").start_span();
+        crate::jpax::observed_violation(&monitor, &initial, &messages)
+    };
+    ring.record_span(TraceKind::Stage { name: "jpax" }, jpax_start);
+
+    let analysis_start = ring.span_start();
+    let mut observer = Observer::new(monitor.clone(), initial.clone());
+    observer.offer_all(messages.iter().cloned());
+    let verdict = {
+        let _span = registry
+            .histogram("observer.stage.analysis_ns")
+            .start_span();
+        observer.conclude()?
+    };
+    ring.record_span(TraceKind::Stage { name: "analysis" }, analysis_start);
+
+    let stream_start = ring.span_start();
+    let mut analyzer = jmpax_lattice::StreamingAnalyzer::with_telemetry(
+        monitor,
+        &initial,
+        execution.thread_count().max(1),
+        registry,
+    )
+    .with_trace(tracer);
+    analyzer.push_all(messages.iter().cloned());
+    let stream = analyzer.finish();
+    ring.record_span(TraceKind::Stage { name: "streaming" }, stream_start);
+
+    verdict.analysis().record(registry);
+    if verdict.is_satisfied() {
+        registry.counter("observer.verdict.satisfied").inc();
+    } else {
+        registry.counter("observer.verdict.predicted").inc();
+    }
+    if observed_violation.is_some() {
+        registry.counter("observer.verdict.observed").inc();
+    }
+    Ok(ObservabilityReport {
+        pipeline: PipelineReport {
+            verdict,
+            observed_violation,
+            messages,
+            relevance,
+        },
+        stream,
+    })
+}
+
 /// Runs the pipeline over an interpreter outcome (`jmpax-sched`).
 pub fn check_run_outcome(
     outcome_execution: &Execution,
@@ -222,9 +318,8 @@ pub fn check_frames_resilient(
     // at the end of a thread's stream leaves no later message to reveal the
     // gap) still mean information is missing — count each as one more
     // skipped gap so a damaged stream can never yield an Exact verdict.
-    let transport_lost = decoded.frames_corrupt
-        + decoded.frames_resynced
-        + u64::from(decoded.truncated);
+    let transport_lost =
+        decoded.frames_corrupt + decoded.frames_resynced + u64::from(decoded.truncated);
     let unaccounted = transport_lost.saturating_sub(reassembly.messages_lost());
     let exactness = reassembly
         .exactness()
@@ -344,6 +439,66 @@ mod tests {
         assert_eq!(report.messages.len(), 4);
         // Relevance was derived from the formula: writes of x, y, z.
         assert!(matches!(report.relevance, Relevance::WritesOf(ref s) if s.len() == 3));
+    }
+
+    #[test]
+    fn observability_pipeline_records_all_lanes() {
+        let mut syms = SymbolTable::new();
+        let ex = example2(&mut syms);
+        let tracer = jmpax_trace::Tracer::enabled();
+        let registry = Registry::enabled();
+        let report = check_execution_with_observability(
+            &ex,
+            "(x > 0) -> [y = 0, y > z)",
+            &mut syms,
+            &registry,
+            &tracer,
+        )
+        .unwrap();
+        assert!(report.pipeline.predicted());
+        assert!(report.stream.completed);
+        assert_eq!(report.stream.violations.len(), 1);
+
+        let data = tracer.collect();
+        let lanes: Vec<&str> = data.lanes.iter().map(|l| l.lane.as_str()).collect();
+        for lane in ["observer", "core", "lattice"] {
+            assert!(lanes.contains(&lane), "missing lane {lane}: {lanes:?}");
+        }
+        let stages: Vec<&str> = data
+            .lanes
+            .iter()
+            .filter(|l| l.lane == "observer")
+            .flat_map(|l| &l.events)
+            .filter_map(|r| match r.kind {
+                jmpax_trace::TraceKind::Stage { name } => Some(name),
+                _ => None,
+            })
+            .collect();
+        for stage in ["spec", "instrument", "jpax", "analysis", "streaming"] {
+            assert!(stages.contains(&stage), "missing stage {stage}: {stages:?}");
+        }
+        // The lattice lane must carry sealed levels: one per write message.
+        let sealed = data
+            .lanes
+            .iter()
+            .filter(|l| l.lane == "lattice")
+            .flat_map(|l| &l.events)
+            .filter(|r| matches!(r.kind, jmpax_trace::TraceKind::LevelSealed { .. }))
+            .count();
+        assert_eq!(sealed, 4);
+        // And the causal DAG over traced messages obeys Theorem 3.
+        let msgs = data.causal_messages();
+        for e in jmpax_trace::causal_edges(&msgs) {
+            let from = msgs
+                .iter()
+                .find(|m| (m.thread, m.seq) == (e.from.0, e.from.1))
+                .unwrap();
+            let to = msgs
+                .iter()
+                .find(|m| (m.thread, m.seq) == (e.to.0, e.to.1))
+                .unwrap();
+            assert!(from.causally_precedes(to));
+        }
     }
 
     #[test]

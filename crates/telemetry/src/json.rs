@@ -78,6 +78,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The element vector if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 /// Appends `s` to `out` as a quoted, escaped JSON string.

@@ -231,15 +231,36 @@ pub struct SpanTimer {
 
 impl SpanTimer {
     /// Stops the timer early and records, consuming the guard.
-    pub fn finish(self) {}
-}
+    ///
+    /// Recording happens exactly once: `finish` takes the start instant out
+    /// of the guard, so the `Drop` that runs when `self` goes out of scope
+    /// here finds it already consumed and records nothing.
+    pub fn finish(mut self) {
+        self.record_once();
+    }
 
-impl Drop for SpanTimer {
-    fn drop(&mut self) {
+    /// Elapsed nanoseconds so far, without stopping the timer. `None` for a
+    /// disabled (or already finished) timer.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start
+            .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Records the elapsed time if the start instant is still present.
+    /// `Option::take` makes this idempotent, which is what guarantees a
+    /// `finish` followed by the guard's own drop records a single sample.
+    fn record_once(&mut self) {
         if let Some(start) = self.start.take() {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.hist.record(ns);
         }
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.record_once();
     }
 }
 
@@ -588,6 +609,67 @@ impl Snapshot {
         out.push_str("}}");
         out
     }
+
+    /// Renders in the Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Metric names are prefixed with `jmpax_` and sanitized: every
+    /// character outside `[a-zA-Z0-9_:]` becomes `_`, so
+    /// `core.events_processed` is exposed as `jmpax_core_events_processed`.
+    /// Gauges additionally expose their high-water mark as a second
+    /// `<name>_peak` gauge. Histograms render cumulative `_bucket{le=...}`
+    /// series from the non-empty log2 buckets, plus `_sum` and `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let name = prometheus_name(&entry.name);
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge { value, peak } => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {value}");
+                    let _ = writeln!(out, "# TYPE {name}_peak gauge");
+                    let _ = writeln!(out, "{name}_peak {peak}");
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                    ..
+                } => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (bound, n) in buckets {
+                        cumulative += n;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                    let _ = writeln!(out, "{name}_sum {sum}");
+                    let _ = writeln!(out, "{name}_count {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a registry metric name onto the Prometheus namespace: prefixes
+/// `jmpax_` and replaces every character outside `[a-zA-Z0-9_:]` with `_`.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("jmpax_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -712,6 +794,85 @@ mod tests {
         }
         h.start_span().finish();
         assert_eq!(h.count(), 2);
+    }
+
+    /// Regression: an explicit `finish` must not be followed by a second
+    /// sample from the guard's own `Drop` — one span, one sample.
+    #[test]
+    fn span_timer_finish_records_exactly_once() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("ns");
+        let timer = h.start_span();
+        timer.finish();
+        assert_eq!(h.count(), 1, "finish must record exactly one sample");
+
+        // And a plain drop still records exactly once.
+        drop(h.start_span());
+        assert_eq!(h.count(), 2);
+
+        // A disabled histogram's timer records nothing either way.
+        let off = Histogram::disabled();
+        off.start_span().finish();
+        drop(off.start_span());
+        assert_eq!(off.count(), 0);
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(
+            prometheus_name("core.events_processed"),
+            "jmpax_core_events_processed"
+        );
+        assert_eq!(
+            prometheus_name("observer.stage.jpax_ns"),
+            "jmpax_observer_stage_jpax_ns"
+        );
+        assert_eq!(prometheus_name("weird-name!x"), "jmpax_weird_name_x");
+    }
+
+    #[test]
+    fn prometheus_rendering_counters_and_gauges() {
+        let reg = Registry::enabled();
+        reg.counter("core.events_processed").add(12);
+        reg.gauge("lattice.frontier_width").set(4);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE jmpax_core_events_processed counter\n"));
+        assert!(text.contains("jmpax_core_events_processed 12\n"));
+        assert!(text.contains("# TYPE jmpax_lattice_frontier_width gauge\n"));
+        assert!(text.contains("jmpax_lattice_frontier_width 4\n"));
+        assert!(text.contains("jmpax_lattice_frontier_width_peak 4\n"));
+    }
+
+    /// Histogram buckets must come out cumulative with a closing `+Inf`,
+    /// and `_sum`/`_count` must match the aggregates.
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("core.event_update_ns");
+        for v in [0u64, 1, 3, 4, 1000] {
+            h.record(v);
+        }
+        let text = reg.snapshot().to_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let series: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.starts_with("jmpax_core_event_update_ns_bucket"))
+            .copied()
+            .collect();
+        // Non-empty log2 buckets 0,1,3,7,1023 render cumulatively, then +Inf.
+        assert_eq!(
+            series,
+            vec![
+                "jmpax_core_event_update_ns_bucket{le=\"0\"} 1",
+                "jmpax_core_event_update_ns_bucket{le=\"1\"} 2",
+                "jmpax_core_event_update_ns_bucket{le=\"3\"} 3",
+                "jmpax_core_event_update_ns_bucket{le=\"7\"} 4",
+                "jmpax_core_event_update_ns_bucket{le=\"1023\"} 5",
+                "jmpax_core_event_update_ns_bucket{le=\"+Inf\"} 5",
+            ]
+        );
+        assert!(lines.contains(&"jmpax_core_event_update_ns_sum 1008"));
+        assert!(lines.contains(&"jmpax_core_event_update_ns_count 5"));
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! A minimal metrics endpoint over a std `TcpListener`.
+//!
+//! Serves a fixed set of routes — typically `/metrics` with the telemetry
+//! snapshot in Prometheus text format and `/trace` with a status JSON —
+//! to one client at a time. This is deliberately not a web server: one
+//! thread, blocking accepts, HTTP/1.0-style close-after-response
+//! semantics, just enough for `curl` and a Prometheus scrape.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// One servable route: absolute path, content type, body.
+#[derive(Clone, Debug)]
+pub struct Route {
+    /// Absolute request path, e.g. `"/metrics"`.
+    pub path: String,
+    /// `Content-Type` header value, e.g. `"text/plain; version=0.0.4"`.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl Route {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(path: &str, content_type: &str, body: String) -> Self {
+        Self {
+            path: path.to_string(),
+            content_type: content_type.to_string(),
+            body,
+        }
+    }
+}
+
+/// A bound, not-yet-serving metrics endpoint.
+pub struct MetricsServer {
+    listener: TcpListener,
+}
+
+impl MetricsServer {
+    /// Binds `127.0.0.1:port`. Port 0 picks an ephemeral port — read it
+    /// back with [`MetricsServer::local_addr`].
+    ///
+    /// # Errors
+    /// When the bind fails (e.g. the port is taken).
+    pub fn bind(port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        Ok(Self { listener })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// When the socket's address cannot be read.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves `routes` until `max_requests` requests have been answered
+    /// (`None` = forever). Unknown paths get a 404 listing the known ones.
+    /// Per-connection I/O errors are swallowed — a half-closed scrape must
+    /// not kill the endpoint.
+    pub fn serve(&self, routes: &[Route], max_requests: Option<usize>) {
+        let mut answered = 0usize;
+        for stream in self.listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let _ = handle_connection(stream, routes);
+            answered += 1;
+            if max_requests.is_some_and(|max| answered >= max) {
+                break;
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, routes: &[Route]) -> std::io::Result<()> {
+    // Read until the end of the request head (or 8 KiB, whichever first).
+    let mut buf = [0u8; 8192];
+    let mut len = 0;
+    loop {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    // Request line: METHOD SP PATH SP VERSION.
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let path = path.split('?').next().unwrap_or(path);
+
+    match routes.iter().find(|r| r.path == path) {
+        Some(route) => write_response(&mut stream, 200, "OK", &route.content_type, &route.body),
+        None => {
+            let mut body = String::from("404 not found. Known paths:\n");
+            for r in routes {
+                body.push_str(&r.path);
+                body.push('\n');
+            }
+            write_response(&mut stream, 404, "Not Found", "text/plain", &body)
+        }
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead as _, BufReader};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let code: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status code");
+        let mut rest = String::new();
+        let mut line = String::new();
+        // Skip headers.
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+        }
+        use std::io::Read as _;
+        reader.read_to_string(&mut rest).unwrap();
+        (code, rest)
+    }
+
+    #[test]
+    fn serves_routes_and_404s_unknown_paths() {
+        let server = MetricsServer::bind(0).expect("bind ephemeral");
+        let addr = server.local_addr().unwrap();
+        let routes = vec![
+            Route::new(
+                "/metrics",
+                "text/plain; version=0.0.4",
+                "jmpax_up 1\n".to_string(),
+            ),
+            Route::new("/trace", "application/json", "{\"ok\":true}".to_string()),
+        ];
+        let handle = std::thread::spawn(move || server.serve(&routes, Some(3)));
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert_eq!(body, "jmpax_up 1\n");
+        let (code, body) = get(addr, "/trace?pretty=1");
+        assert_eq!(code, 200, "query strings are stripped");
+        assert_eq!(body, "{\"ok\":true}");
+        let (code, body) = get(addr, "/nope");
+        assert_eq!(code, 404);
+        assert!(body.contains("/metrics"));
+        handle.join().unwrap();
+    }
+}

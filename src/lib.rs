@@ -22,6 +22,10 @@
 //!   single-trace baseline.
 //! * [`distsim`] — the distributed-systems interpretation of Section 3.2.
 //! * [`workloads`] — the paper's example programs and synthetic generators.
+//! * [`telemetry`] — std-only metrics (counters, gauges, histograms) with
+//!   text, JSON and Prometheus exposition.
+//! * [`trace`] — causal tracing: per-lane ring buffers, Chrome/Perfetto
+//!   export with happens-before flow events, causal DOT, lattice profiles.
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +36,8 @@ pub use jmpax_lattice as lattice;
 pub use jmpax_observer as observer;
 pub use jmpax_sched as sched;
 pub use jmpax_spec as spec;
+pub use jmpax_telemetry as telemetry;
+pub use jmpax_trace as trace;
 pub use jmpax_workloads as workloads;
 
 pub use jmpax_core::{
@@ -43,3 +49,5 @@ pub use jmpax_lattice::{
 };
 pub use jmpax_observer::{detect_races, predict_deadlocks, LiveObserver, Observer, Verdict};
 pub use jmpax_spec::{parse, Formula, Monitor, MonitorState, ProgramState};
+pub use jmpax_telemetry::{Registry, Snapshot};
+pub use jmpax_trace::{causal_edges, TraceData, TraceKind, TraceRing, Tracer};
