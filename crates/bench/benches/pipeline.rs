@@ -2,7 +2,7 @@
 //! examples and one detection sweep iteration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use jmpax_observer::check_execution;
+use jmpax_observer::{Pipeline, PipelineConfig};
 use jmpax_sched::{run_fixed, run_random};
 use jmpax_workloads::{landing, xyz};
 
@@ -12,7 +12,10 @@ fn bench_fig5(c: &mut Criterion) {
     c.bench_function("pipeline/fig5_landing", |b| {
         b.iter(|| {
             let mut syms = w.symbols.clone();
-            let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+            let report = Pipeline::new(PipelineConfig::new())
+                .check_execution(&out.execution, &w.spec, &mut syms)
+                .unwrap()
+                .report;
             report.verdict.analysis().violating_runs
         });
     });
@@ -24,7 +27,10 @@ fn bench_fig6(c: &mut Criterion) {
     c.bench_function("pipeline/fig6_xyz", |b| {
         b.iter(|| {
             let mut syms = w.symbols.clone();
-            let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+            let report = Pipeline::new(PipelineConfig::new())
+                .check_execution(&out.execution, &w.spec, &mut syms)
+                .unwrap()
+                .report;
             report.verdict.analysis().violating_runs
         });
     });
@@ -52,7 +58,10 @@ fn bench_detection_iteration(c: &mut Criterion) {
                 return 0;
             }
             let mut syms = w.symbols.clone();
-            let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+            let report = Pipeline::new(PipelineConfig::new())
+                .check_execution(&out.execution, &w.spec, &mut syms)
+                .unwrap()
+                .report;
             u128::from(report.predicted()) + report.verdict.analysis().violating_runs
         });
     });

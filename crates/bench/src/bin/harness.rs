@@ -15,7 +15,7 @@ use jmpax_bench::{
 use jmpax_core::gen::{random_execution, RandomExecutionConfig};
 use jmpax_core::{Relevance, VarId};
 use jmpax_lattice::{
-    analysis::analyze_lattice, analysis::AnalysisOptions, Lattice, LatticeInput, StreamingAnalyzer,
+    analysis::analyze_lattice, AnalysisConfig, Lattice, LatticeInput, StreamingAnalyzer,
 };
 use jmpax_observer::liveness::{find_lassos, predict_liveness_violations, Ltl};
 use jmpax_spec::ast::{Atom, CmpOp, Expr};
@@ -44,6 +44,9 @@ fn main() {
     }
     if all || which == "lattice-scaling" {
         lattice_scaling();
+    }
+    if all || which == "parallel-scaling" {
+        parallel_scaling();
     }
     if all || which == "ablation" {
         ablation();
@@ -256,7 +259,7 @@ fn deadlock() {
 
 /// Q8: one-run prediction vs exhaustive schedule enumeration.
 fn exhaustive() {
-    use jmpax_observer::check_execution;
+    use jmpax_observer::{Pipeline, PipelineConfig};
     use jmpax_sched::{run_random, verify_exhaustive, ExploreLimits};
 
     header("Q8 — single-run prediction vs exhaustive enumeration (ground truth)");
@@ -280,7 +283,10 @@ fn exhaustive() {
         );
         let out = run_random(&w.program, 0, 500);
         let mut syms = w.symbols.clone();
-        let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+        let report = Pipeline::new(PipelineConfig::new())
+            .check_execution(&out.execution, &w.spec, &mut syms)
+            .unwrap()
+            .report;
         println!(
             "{name:<12} {:>12} {:>14} {:>16} {:>18}",
             truth.total,
@@ -501,7 +507,7 @@ fn lattice_scaling() {
         let t0 = Instant::now();
         let lattice =
             Lattice::build(LatticeInput::from_messages(msgs.clone(), initial.clone()).unwrap());
-        let analysis = analyze_lattice(&lattice, &monitor, AnalysisOptions::default());
+        let analysis = analyze_lattice(&lattice, &monitor, AnalysisConfig::default());
         let full_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t0 = Instant::now();
@@ -518,6 +524,45 @@ fn lattice_scaling() {
         );
     }
     println!("(period 0 = no barrier: hypercube growth; barriers bound the frontier)");
+}
+
+/// Q10: sharded frontier expansion — wall time and speedup per worker
+/// count, with the bit-identity check against the sequential report.
+fn parallel_scaling() {
+    use jmpax_bench::parallel_scaling_sweep;
+
+    header("Q10 — parallel sharded frontier expansion (wide banded lattices)");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("host cores: {cores}");
+    if cores < 2 {
+        println!("(single-core host: the table measures coordination overhead, not speedup)");
+    }
+    println!(
+        "{:>4} {:>6} {:>7} {:>10} {:>8} {:>11} {:>8} {:>10}",
+        "thr", "rounds", "period", "states", "workers", "wall-ms", "speedup", "identical"
+    );
+    for (threads, rounds, period) in [(8, 3, 0), (6, 4, 0), (5, 20, 1)] {
+        let rows = parallel_scaling_sweep(
+            BandedConfig {
+                threads,
+                rounds,
+                period,
+            },
+            &[1, 2, 4, 8],
+        );
+        for r in &rows {
+            assert!(r.identical, "parallel report diverged: {r:?}");
+            println!(
+                "{threads:>4} {rounds:>6} {period:>7} {:>10} {:>8} {:>11.2} {:>8.2} {:>10}",
+                r.states,
+                r.workers,
+                r.wall.as_secs_f64() * 1e3,
+                r.speedup,
+                "yes"
+            );
+        }
+    }
+    println!("(levels narrower than 64 cuts/worker stay sequential; speedup comes from wide levels)");
 }
 
 /// D1/D2 ablations.

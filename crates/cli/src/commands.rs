@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use jmpax_core::{Relevance, SymbolTable};
 use jmpax_instrument::EventSink as _;
 use jmpax_lattice::{to_dot, DotOptions, Lattice, LatticeInput, StreamingAnalyzer};
-use jmpax_observer::{check_execution_with_telemetry, render_analysis};
+use jmpax_observer::{render_analysis, Pipeline, PipelineConfig};
 use jmpax_spec::{parse, ProgramState};
 use jmpax_telemetry::Registry;
 use jmpax_workloads as workloads;
@@ -23,7 +23,8 @@ Multithreaded Programs', IPDPS/PADTAD 2004)
 USAGE:
     jmpax check --spec <FORMULA> --trace <FILE>
                 [--dot <OUT>] [--streaming] [--history <N>]
-                [--frontier-cap <N>] [--telemetry <text|json>]
+                [--frontier-cap <N>] [--parallel <N>]
+                [--telemetry <text|json>]
         Check a safety property against EVERY interleaving consistent with
         the recorded trace. The trace is the text format of
         `jmpax gen` (one event per line, `init v = k` headers).
@@ -32,7 +33,9 @@ USAGE:
         violations carry a trail of recent states; --frontier-cap N
         bounds the streaming frontier to its N smallest cuts (beam
         search) — pruned cuts are counted and the verdict is reported
-        as Degraded instead of exhausting memory.
+        as Degraded instead of exhausting memory; --parallel N shards
+        frontier expansion across N workers (bit-identical verdicts;
+        wide levels only — narrow levels stay sequential).
 
     jmpax races --trace <FILE> [--locks <name,name,...>]
         Predictive data-race detection over the trace: accesses are checked
@@ -88,6 +91,16 @@ USAGE:
     jmpax gen <landing|xyz|bank|bank-locked|dining|handoff|peterson> [--seed <N>]
         Print a trace of the chosen workload under a random schedule
         (redirect to a file, then `jmpax check` it).
+
+    jmpax bench [--threads <N>] [--rounds <N>] [--period <N>]
+                [--workers <N>] [--min-speedup <F>]
+        Time the streaming analysis of a wide synthetic lattice (a banded
+        computation: N threads, barrier every <period> rounds; period 0 =
+        pure hypercube) with 1 worker and with --workers workers, assert
+        the two reports are identical, and print the speedup in a
+        machine-readable `bench:` format. --min-speedup F exits 1 when
+        the measured speedup falls below F (CI smoke: F < 1 tolerates
+        noise while catching real regressions).
 
 SPEC SYNTAX:
     atoms        x > 0, y = 1, balance >= 150, x + 2*y != z
@@ -214,6 +227,7 @@ fn run_inner(
         Some("chaos") => chaos(args, registry),
         Some("trace") => return trace_cmd(args, registry),
         Some("gen") => gen(args),
+        Some("bench") => bench(args),
         Some("help") | None => (0, USAGE.to_owned()),
         Some(other) => (2, format!("unknown command `{other}`\n\n{USAGE}")),
     };
@@ -228,7 +242,7 @@ fn account_frames(messages: &[jmpax_core::Message], registry: &Registry) {
     if !registry.is_enabled() {
         return;
     }
-    let mut sink = jmpax_instrument::FrameSink::with_telemetry(registry);
+    let mut sink = jmpax_instrument::FrameSink::builder().telemetry(registry).build();
     for m in messages {
         sink.emit(m);
     }
@@ -342,6 +356,11 @@ fn check(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, 
         Err(e) => return (2, format!("check: {e}\n")),
     };
 
+    let parallel = args
+        .get("parallel")
+        .and_then(|n| n.parse::<usize>().ok())
+        .unwrap_or(1);
+
     if args.has("streaming") {
         // Two-level streaming mode: constant memory, no counterexamples.
         let formula = match parse(spec, &mut symbols) {
@@ -371,7 +390,8 @@ fn check(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, 
             registry,
         )
         .with_history(history)
-        .with_frontier_cap(frontier_cap);
+        .with_frontier_cap(frontier_cap)
+        .with_parallelism(parallel);
         s.push_all(messages);
         let report = s.finish();
         let _ = writeln!(
@@ -398,8 +418,14 @@ fn check(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, 
         return (1, out);
     }
 
-    let report = match check_execution_with_telemetry(&execution, spec, &mut symbols, registry) {
-        Ok(r) => r,
+    let report = match Pipeline::new(
+        PipelineConfig::new()
+            .telemetry(registry)
+            .parallelism(parallel),
+    )
+    .check_execution(&execution, spec, &mut symbols)
+    {
+        Ok(outcome) => outcome.report,
         Err(e) => return (2, format!("check: {e}\n")),
     };
     account_frames(&report.messages, registry);
@@ -478,11 +504,15 @@ fn demo(args: &Args, registry: &Registry) -> (i32, String) {
         );
     }
     let mut symbols = w.symbols.clone();
-    match check_execution_with_telemetry(&run.execution, &w.spec, &mut symbols, registry) {
-        Ok(report) => {
-            account_frames(&report.messages, registry);
-            out.push_str(&render_analysis(report.verdict.analysis(), &symbols));
-            (i32::from(report.predicted()), out)
+    match Pipeline::new(PipelineConfig::new().telemetry(registry)).check_execution(
+        &run.execution,
+        &w.spec,
+        &mut symbols,
+    ) {
+        Ok(outcome) => {
+            account_frames(&outcome.report.messages, registry);
+            out.push_str(&render_analysis(outcome.report.verdict.analysis(), &symbols));
+            (i32::from(outcome.report.predicted()), out)
         }
         Err(e) => (2, format!("demo: {e}\n")),
     }
@@ -647,21 +677,20 @@ fn trace_cmd(args: &Args, registry: &Registry) -> (i32, String, Option<ServeMetr
     };
     let tracer = jmpax_trace::Tracer::enabled();
     let mut symbols = w.symbols.clone();
-    let report = match jmpax_observer::check_execution_with_observability(
-        &run.execution,
-        &w.spec,
-        &mut symbols,
-        registry,
-        &tracer,
-    ) {
-        Ok(r) => r,
+    let report = match Pipeline::new(PipelineConfig::new().telemetry(registry).tracer(&tracer))
+        .check_execution(&run.execution, &w.spec, &mut symbols)
+    {
+        Ok(outcome) => outcome.report,
         Err(e) => return (2, format!("trace: {e}\n"), None),
     };
     // Ship the messages through a traced frame sink so the `wire` lane and
     // the frame counters reflect what a live deployment would transmit.
     {
-        let mut sink = jmpax_instrument::FrameSink::with_observability(registry, &tracer);
-        for m in &report.pipeline.messages {
+        let mut sink = jmpax_instrument::FrameSink::builder()
+            .telemetry(registry)
+            .tracer(&tracer)
+            .build();
+        for m in &report.messages {
             sink.emit(m);
         }
     }
@@ -694,7 +723,7 @@ fn trace_cmd(args: &Args, registry: &Registry) -> (i32, String, Option<ServeMetr
     let _ = writeln!(
         out,
         "verdict: {}",
-        if report.pipeline.predicted() {
+        if report.predicted() {
             "violations predicted"
         } else {
             "satisfied on every run"
@@ -724,6 +753,122 @@ fn trace_cmd(args: &Args, registry: &Registry) -> (i32, String, Option<ServeMetr
         status: crate::report::trace_status_json(w.name, &data, &profile),
     });
     (0, out, serve)
+}
+
+/// `jmpax bench`: time the streaming analysis of a wide banded lattice
+/// with 1 worker and with `--workers` workers, assert the reports are
+/// identical, and print the speedup machine-readably (`bench: key=value`).
+fn bench(args: &Args) -> (i32, String) {
+    use jmpax_bench::generators::{banded_computation, BandedConfig};
+
+    let get = |key: &str, default: usize| {
+        args.get(key)
+            .and_then(|n| n.parse::<usize>().ok())
+            .unwrap_or(default)
+    };
+    let threads = get("threads", 8).max(1);
+    let rounds = get("rounds", 3).max(1);
+    let period = get("period", 0);
+    let workers = get(
+        "workers",
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+    )
+    .max(2);
+    let min_speedup = match args.get("min-speedup") {
+        None => None,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(f) if f > 0.0 => Some(f),
+            _ => {
+                return (
+                    2,
+                    format!("bench: --min-speedup expects a positive number, got `{raw}`\n"),
+                )
+            }
+        },
+    };
+
+    let (messages, initial) = banded_computation(BandedConfig {
+        threads,
+        rounds,
+        period,
+    });
+    // Intern v0..vN so the private variables and the barrier have names,
+    // then monitor a property every banded write satisfies — the point is
+    // the per-cut evaluation cost, not the verdict.
+    let mut symbols = SymbolTable::new();
+    for v in 0..=threads {
+        symbols.intern(&format!("v{v}"));
+    }
+    let formula = match parse("[*] v0 >= 0", &mut symbols) {
+        Ok(f) => f,
+        Err(e) => return (2, format!("bench: {e}\n")),
+    };
+    let monitor = match formula.monitor() {
+        Ok(m) => m,
+        Err(e) => return (2, format!("bench: {e}\n")),
+    };
+
+    let run = |parallelism: usize| {
+        let mut s = StreamingAnalyzer::new(monitor.clone(), &initial, threads)
+            .with_parallelism(parallelism);
+        let start = std::time::Instant::now();
+        s.push_all(messages.clone());
+        let report = s.finish();
+        (start.elapsed(), report)
+    };
+
+    let (wall_1, report_1) = run(1);
+    let (wall_n, report_n) = run(workers);
+
+    let mut out = String::new();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let _ = writeln!(
+        out,
+        "bench: workload=banded threads={threads} rounds={rounds} period={period} cores={cores}"
+    );
+    let _ = writeln!(
+        out,
+        "bench: states={} levels={} peak_frontier={}",
+        report_1.states_explored, report_1.levels_built, report_1.peak_frontier
+    );
+    let identical = report_1.states_explored == report_n.states_explored
+        && report_1.levels_built == report_n.levels_built
+        && report_1.peak_frontier == report_n.peak_frontier
+        && report_1.violations.len() == report_n.violations.len()
+        && report_1.exactness == report_n.exactness;
+    let _ = writeln!(out, "bench: workers=1 wall_us={}", wall_1.as_micros());
+    let _ = writeln!(
+        out,
+        "bench: workers={workers} wall_us={}",
+        wall_n.as_micros()
+    );
+    if !identical {
+        let _ = writeln!(
+            out,
+            "bench: ERROR parallel report diverged from sequential \
+             (states {} vs {}, levels {} vs {})",
+            report_1.states_explored,
+            report_n.states_explored,
+            report_1.levels_built,
+            report_n.levels_built
+        );
+        return (2, out);
+    }
+    let speedup = wall_1.as_secs_f64() / wall_n.as_secs_f64().max(1e-9);
+    let _ = writeln!(out, "bench: identical=yes speedup={speedup:.2}");
+    if cores < 2 {
+        let _ = writeln!(
+            out,
+            "bench: note=single-core host; speedup measures coordination overhead only"
+        );
+    }
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            let _ = writeln!(out, "bench: FAIL speedup {speedup:.2} < required {min}");
+            return (1, out);
+        }
+    }
+    (0, out)
 }
 
 fn gen(args: &Args) -> (i32, String) {
@@ -939,6 +1084,51 @@ T1 write b 0
         // Locks required.
         let (code, _) = run_cli(&["deadlocks"], Some(DEADLOCK_TRACE));
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn check_parallel_matches_sequential_output() {
+        let argv = ["check", "--spec", "(x > 0) -> [y = 0, y > z)"];
+        let (code_seq, out_seq) = run_cli(&argv, Some(XYZ_TRACE));
+        let (code_par, out_par) = run_cli(
+            &["check", "--spec", "(x > 0) -> [y = 0, y > z)", "--parallel", "4"],
+            Some(XYZ_TRACE),
+        );
+        assert_eq!((code_seq, out_seq), (code_par, out_par));
+
+        let (code, out) = run_cli(
+            &[
+                "check",
+                "--spec",
+                "(x > 0) -> [y = 0, y > z)",
+                "--streaming",
+                "--parallel",
+                "4",
+            ],
+            Some(XYZ_TRACE),
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("streaming analysis: 7 states"), "{out}");
+    }
+
+    #[test]
+    fn bench_reports_identical_and_speedup() {
+        let (code, out) = run_cli(
+            &[
+                "bench", "--threads", "4", "--rounds", "2", "--workers", "2",
+            ],
+            None,
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("identical=yes"), "{out}");
+        assert!(out.contains("speedup="), "{out}");
+        assert!(out.contains("workers=2"), "{out}");
+    }
+
+    #[test]
+    fn bench_rejects_bad_min_speedup() {
+        let (code, out) = run_cli(&["bench", "--min-speedup", "zero"], None);
+        assert_eq!(code, 2, "{out}");
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub use codec::{
     encode_compact_frame, encode_frame, encode_frame_v2, ResilientDecode,
 };
 pub use lock::{InstrCondvar, InstrMutex, InstrMutexGuard};
-pub use session::{InstrJoinHandle, Session, ThreadCtx};
+pub use session::{InstrJoinHandle, Session, SessionBuilder, ThreadCtx};
 pub use shared::Shared;
-pub use sink::{ChannelSink, ChaosConfig, ChaosSink, ChaosStats, EventSink, FrameSink, VecSink};
+pub use sink::{
+    ChannelSink, ChaosConfig, ChaosSink, ChaosStats, EventSink, FrameSink, FrameSinkBuilder,
+    VecSink,
+};

@@ -107,65 +107,70 @@ impl Session {
     /// [`Session::drain_messages`]).
     #[must_use]
     pub fn new(relevance: Relevance) -> Self {
-        Self::new_with_telemetry(relevance, &Registry::disabled())
+        Self::builder(relevance).build()
+    }
+
+    /// Starts configuring a session: sink, telemetry registry and tracer
+    /// all plug in through the returned [`SessionBuilder`].
+    #[must_use]
+    pub fn builder(relevance: Relevance) -> SessionBuilder {
+        SessionBuilder {
+            relevance,
+            sink: None,
+            telemetry: Registry::disabled(),
+            tracer: Tracer::disabled(),
+            logging: false,
+        }
     }
 
     /// Like [`Session::new`], but counting `instrument.events_seen`,
     /// `instrument.events_relevant` and `instrument.messages_emitted` into
     /// `registry`.
+    #[deprecated(note = "use Session::builder(relevance).telemetry(registry).build()")]
     #[must_use]
     pub fn new_with_telemetry(relevance: Relevance, registry: &Registry) -> Self {
-        let vec_sink = VecSink::new();
-        Self::build(
-            relevance,
-            Box::new(vec_sink.clone()),
-            Some(vec_sink),
-            false,
-            registry,
-            &Tracer::disabled(),
-        )
+        Self::builder(relevance).telemetry(registry).build()
     }
 
     /// A session emitting to a custom sink.
     #[must_use]
     pub fn with_sink(relevance: Relevance, sink: Box<dyn EventSink>) -> Self {
-        Self::with_sink_telemetry(relevance, sink, &Registry::disabled())
+        Self::builder(relevance).sink(sink).build()
     }
 
     /// Like [`Session::with_sink`], but reporting into `registry` (see
-    /// [`Session::new_with_telemetry`] for the metric names).
+    /// [`SessionBuilder::telemetry`] for the metric names).
+    #[deprecated(note = "use Session::builder(relevance).sink(sink).telemetry(registry).build()")]
     #[must_use]
     pub fn with_sink_telemetry(
         relevance: Relevance,
         sink: Box<dyn EventSink>,
         registry: &Registry,
     ) -> Self {
-        Self::build(relevance, sink, None, false, registry, &Tracer::disabled())
+        Self::builder(relevance).sink(sink).telemetry(registry).build()
     }
 
-    /// Like [`Session::new_with_telemetry`], but every registered thread
-    /// additionally records its processed events and emitted messages into
-    /// a per-thread trace lane (`T1`, `T2`, … — sealed into `tracer` when
-    /// the thread's context drops).
+    /// Telemetry plus per-thread trace lanes (`T1`, `T2`, … — sealed into
+    /// `tracer` when the thread's context drops).
+    #[deprecated(
+        note = "use Session::builder(relevance).telemetry(registry).tracer(tracer).build()"
+    )]
     #[must_use]
     pub fn new_with_observability(
         relevance: Relevance,
         registry: &Registry,
         tracer: &Tracer,
     ) -> Self {
-        let vec_sink = VecSink::new();
-        Self::build(
-            relevance,
-            Box::new(vec_sink.clone()),
-            Some(vec_sink),
-            false,
-            registry,
-            tracer,
-        )
+        Self::builder(relevance)
+            .telemetry(registry)
+            .tracer(tracer)
+            .build()
     }
 
-    /// [`Session::with_sink_telemetry`] plus per-thread trace lanes (see
-    /// [`Session::new_with_observability`]).
+    /// Custom sink plus telemetry plus per-thread trace lanes.
+    #[deprecated(
+        note = "use Session::builder(relevance).sink(sink).telemetry(registry).tracer(tracer).build()"
+    )]
     #[must_use]
     pub fn with_sink_observability(
         relevance: Relevance,
@@ -173,7 +178,11 @@ impl Session {
         registry: &Registry,
         tracer: &Tracer,
     ) -> Self {
-        Self::build(relevance, sink, None, false, registry, tracer)
+        Self::builder(relevance)
+            .sink(sink)
+            .telemetry(registry)
+            .tracer(tracer)
+            .build()
     }
 
     /// Like [`Session::new`] but additionally records the global
@@ -181,15 +190,7 @@ impl Session {
     /// against the sequential Algorithm A.
     #[must_use]
     pub fn new_logged(relevance: Relevance) -> Self {
-        let vec_sink = VecSink::new();
-        Self::build(
-            relevance,
-            Box::new(vec_sink.clone()),
-            Some(vec_sink),
-            true,
-            &Registry::disabled(),
-            &Tracer::disabled(),
-        )
+        Self::builder(relevance).logged().build()
     }
 
     /// The relevance policy.
@@ -321,6 +322,88 @@ impl std::fmt::Debug for Session {
     }
 }
 
+/// Configures a [`Session`] — obtained from [`Session::builder`]. Every
+/// knob is optional: the default is an untelemetered, untraced session
+/// emitting to an in-memory [`VecSink`].
+pub struct SessionBuilder {
+    relevance: Relevance,
+    sink: Option<Box<dyn EventSink>>,
+    telemetry: Registry,
+    tracer: Tracer,
+    logging: bool,
+}
+
+impl SessionBuilder {
+    /// Counts `instrument.events_seen`, `instrument.events_relevant` and
+    /// `instrument.messages_emitted` into `registry`.
+    #[must_use]
+    pub fn telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = registry.clone();
+        self
+    }
+
+    /// Records every registered thread's processed events and emitted
+    /// messages into a per-thread trace lane (`T1`, `T2`, … — sealed into
+    /// `tracer` when the thread's context drops).
+    #[must_use]
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Emits to a custom sink instead of the default in-memory [`VecSink`]
+    /// (with a custom sink, [`Session::drain_messages`] returns nothing).
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Additionally records the global linearization of every shared
+    /// access (drained with [`Session::take_log`]) — used by the
+    /// equivalence tests against the sequential Algorithm A.
+    #[must_use]
+    pub fn logged(mut self) -> Self {
+        self.logging = true;
+        self
+    }
+
+    /// Builds the session.
+    #[must_use]
+    pub fn build(self) -> Session {
+        match self.sink {
+            Some(sink) => Session::build(
+                self.relevance,
+                sink,
+                None,
+                self.logging,
+                &self.telemetry,
+                &self.tracer,
+            ),
+            None => {
+                let vec_sink = VecSink::new();
+                Session::build(
+                    self.relevance,
+                    Box::new(vec_sink.clone()),
+                    Some(vec_sink),
+                    self.logging,
+                    &self.telemetry,
+                    &self.tracer,
+                )
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("relevance", &self.relevance)
+            .field("logging", &self.logging)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Join handle of a child thread spawned with [`Session::spawn_child`].
 pub struct InstrJoinHandle {
     handle: std::thread::JoinHandle<VectorClock>,
@@ -351,7 +434,7 @@ pub struct ThreadCtx {
     pub(crate) clock: VectorClock,
     pub(crate) inner: Arc<SessionInner>,
     /// This thread's trace lane; a disabled no-op unless the session was
-    /// built with [`Session::new_with_observability`].
+    /// built with a [`SessionBuilder::tracer`].
     pub(crate) ring: TraceRing,
 }
 
@@ -435,7 +518,9 @@ mod tests {
     #[test]
     fn telemetry_counts_seen_relevant_emitted() {
         let registry = jmpax_telemetry::Registry::enabled();
-        let s = Session::new_with_telemetry(Relevance::AllWrites, &registry);
+        let s = Session::builder(Relevance::AllWrites)
+            .telemetry(&registry)
+            .build();
         let x = s.shared("x", 0i64);
         let mut ctx = s.register_thread();
         x.write(&mut ctx, 1); // read-modify-free write: relevant
@@ -453,7 +538,10 @@ mod tests {
     fn observability_session_traces_per_thread_lanes() {
         let tracer = jmpax_trace::Tracer::enabled();
         let registry = jmpax_telemetry::Registry::enabled();
-        let s = Session::new_with_observability(Relevance::AllWrites, &registry, &tracer);
+        let s = Session::builder(Relevance::AllWrites)
+            .telemetry(&registry)
+            .tracer(&tracer)
+            .build();
         let x = s.shared("x", 0i64);
         let mut t1 = s.register_thread();
         let mut t2 = s.register_thread();
@@ -561,6 +649,51 @@ mod tests {
         // Grandchild's write is between the root's two writes.
         assert!(msgs[0].causally_precedes(&msgs[1]));
         assert!(msgs[1].causally_precedes(&msgs[2]));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_delegate_to_builder() {
+        let registry = jmpax_telemetry::Registry::enabled();
+        let tracer = jmpax_trace::Tracer::enabled();
+
+        let s = Session::new_with_telemetry(Relevance::AllWrites, &registry);
+        let x = s.shared("x", 0i64);
+        let mut ctx = s.register_thread();
+        x.write(&mut ctx, 1);
+        assert_eq!(s.drain_messages().len(), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("instrument.messages_emitted"), Some(1));
+
+        let s = Session::new_with_observability(Relevance::AllWrites, &registry, &tracer);
+        let y = s.shared("y", 0i64);
+        let mut ctx = s.register_thread();
+        y.write(&mut ctx, 2);
+        drop(ctx); // seal the lane
+        assert!(tracer
+            .collect()
+            .lanes
+            .iter()
+            .any(|l| l.lane == "T1" && !l.events.is_empty()));
+
+        let sink = VecSink::new();
+        let s = Session::with_sink_telemetry(
+            Relevance::Everything,
+            Box::new(sink.clone()),
+            &Registry::disabled(),
+        );
+        s.register_thread().internal_event();
+        assert_eq!(sink.len(), 1);
+
+        let sink = VecSink::new();
+        let s = Session::with_sink_observability(
+            Relevance::Everything,
+            Box::new(sink.clone()),
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        );
+        s.register_thread().internal_event();
+        assert_eq!(sink.len(), 1);
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl EventSink for ChannelSink {
 pub struct FrameSink {
     buffer: Arc<Mutex<bytes::BytesMut>>,
     /// `instrument.frames_encoded` / `instrument.bytes_encoded`; no-ops
-    /// unless built via [`FrameSink::with_telemetry`].
+    /// unless built via [`FrameSinkBuilder::telemetry`].
     tel_frames: jmpax_telemetry::Counter,
     tel_bytes: jmpax_telemetry::Counter,
     /// Trace lane `wire`: one span per encoded frame plus the message it
@@ -99,35 +99,76 @@ impl FrameSink {
         Self::default()
     }
 
+    /// Starts configuring a sink: telemetry and tracing plug in through
+    /// the returned [`FrameSinkBuilder`].
+    #[must_use]
+    pub fn builder() -> FrameSinkBuilder {
+        FrameSinkBuilder::default()
+    }
+
     /// An empty sink counting `instrument.frames_encoded` (messages
     /// serialized) and `instrument.bytes_encoded` (wire bytes produced)
     /// into `registry`.
+    #[deprecated(note = "use FrameSink::builder().telemetry(registry).build()")]
     #[must_use]
     pub fn with_telemetry(registry: &jmpax_telemetry::Registry) -> Self {
-        Self {
-            buffer: Arc::default(),
-            tel_frames: registry.counter("instrument.frames_encoded"),
-            tel_bytes: registry.counter("instrument.bytes_encoded"),
-            ring: Arc::default(),
-        }
+        Self::builder().telemetry(registry).build()
     }
 
-    /// [`FrameSink::with_telemetry`] plus per-frame encode spans on the
-    /// `wire` trace lane (sealed into `tracer` when the last clone drops).
+    /// Telemetry plus per-frame encode spans on the `wire` trace lane
+    /// (sealed into `tracer` when the last clone drops).
+    #[deprecated(note = "use FrameSink::builder().telemetry(registry).tracer(tracer).build()")]
     #[must_use]
     pub fn with_observability(
         registry: &jmpax_telemetry::Registry,
         tracer: &jmpax_trace::Tracer,
     ) -> Self {
-        let mut sink = Self::with_telemetry(registry);
-        sink.ring = Arc::new(Mutex::new(tracer.ring("wire")));
-        sink
+        Self::builder().telemetry(registry).tracer(tracer).build()
     }
 
     /// Takes the bytes accumulated so far.
     #[must_use]
     pub fn take_bytes(&self) -> bytes::Bytes {
         std::mem::take(&mut *self.buffer.lock()).freeze()
+    }
+}
+
+/// Configures a [`FrameSink`] — obtained from [`FrameSink::builder`].
+#[derive(Debug, Default)]
+pub struct FrameSinkBuilder {
+    telemetry: jmpax_telemetry::Registry,
+    tracer: Option<jmpax_trace::Tracer>,
+}
+
+impl FrameSinkBuilder {
+    /// Counts `instrument.frames_encoded` (messages serialized) and
+    /// `instrument.bytes_encoded` (wire bytes produced) into `registry`.
+    #[must_use]
+    pub fn telemetry(mut self, registry: &jmpax_telemetry::Registry) -> Self {
+        self.telemetry = registry.clone();
+        self
+    }
+
+    /// Records per-frame encode spans on the `wire` trace lane (sealed
+    /// into `tracer` when the sink's last clone drops).
+    #[must_use]
+    pub fn tracer(mut self, tracer: &jmpax_trace::Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Builds the sink.
+    #[must_use]
+    pub fn build(self) -> FrameSink {
+        FrameSink {
+            buffer: Arc::default(),
+            tel_frames: self.telemetry.counter("instrument.frames_encoded"),
+            tel_bytes: self.telemetry.counter("instrument.bytes_encoded"),
+            ring: match self.tracer {
+                Some(tracer) => Arc::new(Mutex::new(tracer.ring("wire"))),
+                None => Arc::default(),
+            },
+        }
     }
 }
 
@@ -375,7 +416,7 @@ mod tests {
     #[test]
     fn frame_sink_observability_traces_encode_spans() {
         let tracer = jmpax_trace::Tracer::enabled();
-        let sink = FrameSink::with_observability(&jmpax_telemetry::Registry::disabled(), &tracer);
+        let sink = FrameSink::builder().tracer(&tracer).build();
         let mut writer = sink.clone();
         writer.emit(&msg(1));
         writer.emit(&msg(2));

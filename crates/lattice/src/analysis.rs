@@ -17,6 +17,7 @@ use std::collections::{HashMap, HashSet};
 use jmpax_core::{Message, ThreadId};
 use jmpax_spec::{Monitor, MonitorState, ProgramState};
 
+use crate::config::AnalysisConfig;
 use crate::cut::Cut;
 use crate::explore::{Lattice, NodeId};
 use crate::input::LatticeInput;
@@ -134,31 +135,31 @@ impl Analysis {
     }
 }
 
-/// Options for [`analyze_lattice`].
-#[derive(Clone, Copy, Debug)]
-pub struct AnalysisOptions {
-    /// Reconstruct at most this many full counterexample runs (their
-    /// violation summaries are always reported).
-    pub max_counterexamples: usize,
-}
+/// Former options type for [`analyze_lattice`]; every knob now lives on
+/// the unified [`AnalysisConfig`], which this aliases so existing struct
+/// paths keep compiling.
+#[deprecated(
+    note = "use jmpax_lattice::AnalysisConfig, which carries max_counterexamples plus the parallelism/frontier_cap/history knobs"
+)]
+pub type AnalysisOptions = AnalysisConfig;
 
-impl Default for AnalysisOptions {
-    fn default() -> Self {
-        Self {
-            max_counterexamples: 16,
-        }
-    }
-}
-
-/// Convenience: build the lattice from `input` and analyze it.
+/// Convenience: build the lattice from `input` and analyze it with the
+/// default (sequential, exact) configuration.
 #[must_use]
 pub fn analyze(input: LatticeInput, monitor: &Monitor) -> Analysis {
-    analyze_lattice(&Lattice::build(input), monitor, AnalysisOptions::default())
+    analyze_with(input, monitor, &AnalysisConfig::default())
+}
+
+/// Builds the lattice from `input` (honoring `config.parallelism` — see
+/// [`Lattice::build_with`]) and checks `monitor` against every run.
+#[must_use]
+pub fn analyze_with(input: LatticeInput, monitor: &Monitor, config: &AnalysisConfig) -> Analysis {
+    analyze_lattice(&Lattice::build_with(input, config), monitor, *config)
 }
 
 /// Checks `monitor` against every run of the materialized lattice.
 #[must_use]
-pub fn analyze_lattice(lattice: &Lattice, monitor: &Monitor, options: AnalysisOptions) -> Analysis {
+pub fn analyze_lattice(lattice: &Lattice, monitor: &Monitor, options: AnalysisConfig) -> Analysis {
     let n = lattice.node_count();
     // Alive memories per node, with run-prefix counts (for exact violating
     // run counting) and one predecessor `(node, memory)` for reconstruction.
@@ -283,7 +284,7 @@ fn reconstruct(
 pub fn analyze_multi(
     lattice: &Lattice,
     monitors: &[Monitor],
-    options: AnalysisOptions,
+    options: AnalysisConfig,
 ) -> Vec<Analysis> {
     monitors
         .iter()
@@ -395,7 +396,7 @@ mod tests {
             .map(|c| lat.nodes()[lat.node_by_cut(c).unwrap()].state.clone())
             .collect();
         assert_eq!(check_single_run(&states, &monitor), None);
-        let analysis = analyze_lattice(&lat, &monitor, AnalysisOptions::default());
+        let analysis = analyze_lattice(&lat, &monitor, AnalysisConfig::default());
         assert_eq!(analysis.violating_runs, 1);
     }
 
@@ -458,9 +459,7 @@ mod tests {
         let analysis = analyze_lattice(
             &lat,
             &monitor,
-            AnalysisOptions {
-                max_counterexamples: 0,
-            },
+            AnalysisConfig::default().with_max_counterexamples(0),
         );
         assert!(analysis
             .violations
@@ -487,7 +486,7 @@ mod tests {
         let results = analyze_multi(
             &lat,
             &[paper_monitor, always_true, always_false],
-            AnalysisOptions::default(),
+            AnalysisConfig::default(),
         );
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].violating_runs, 1);

@@ -23,8 +23,18 @@ use jmpax_spec::{Monitor, MonitorState, ProgramState};
 use jmpax_telemetry::{Counter, Gauge, Histogram, Registry};
 use jmpax_trace::{TraceKind, TraceRing, Tracer};
 
+use crate::config::AnalysisConfig;
 use crate::cut::Cut;
+use crate::parallel::{self, ExpandContext};
 use crate::reassemble::Exactness;
+
+/// Minimum frontier cuts per worker before the parallel pool engages.
+/// Narrower levels expand inline: spawning scoped threads and exchanging
+/// contribution buckets for a handful of cuts costs more than it saves,
+/// and the sequential path is bit-identical anyway. Tests (and exotic
+/// tuning) can lower the threshold via
+/// [`StreamingAnalyzer::with_shard_granularity`].
+const MIN_CUTS_PER_SHARD: usize = 64;
 
 /// A violation observed by the streaming analyzer.
 #[derive(Clone, Debug)]
@@ -102,15 +112,38 @@ impl StreamReport {
 }
 
 #[derive(Clone, Debug)]
-struct FrontierNode {
-    state: ProgramState,
+pub(crate) struct FrontierNode {
+    pub(crate) state: ProgramState,
     /// Alive monitor memories reaching this cut.
-    mems: HashSet<MonitorState>,
+    pub(crate) mems: HashSet<MonitorState>,
     /// Dead memories (for violation dedup).
-    dead: HashSet<MonitorState>,
+    pub(crate) dead: HashSet<MonitorState>,
     /// One predecessor `(cut, memory)` per alive memory, for trail
     /// reconstruction through the retained history.
-    parents: HashMap<MonitorState, (Cut, MonitorState)>,
+    pub(crate) parents: HashMap<MonitorState, (Cut, MonitorState)>,
+}
+
+/// A violation discovered during level expansion, before its trail is
+/// reconstructed. Trails walk the retained history, which only the
+/// analyzer owns, so expansion (sequential or sharded) reports seeds and
+/// the analyzer finishes them on the main thread.
+pub(crate) struct ViolationSeed {
+    pub(crate) cut: Cut,
+    pub(crate) state: ProgramState,
+    pub(crate) memory: MonitorState,
+    /// The `(cut, memory)` of the predecessor whose step failed.
+    pub(crate) pred: (Cut, MonitorState),
+}
+
+/// The merged outcome of expanding one sealed level, identical in shape
+/// whether the sequential path or the sharded worker pool produced it.
+struct LevelExpansion {
+    next: HashMap<Cut, FrontierNode>,
+    seeds: Vec<ViolationSeed>,
+    new_states: u64,
+    deduped: u64,
+    evals: u64,
+    non_writes: u64,
 }
 
 /// Online predictive analyzer with two-level storage.
@@ -157,6 +190,10 @@ pub struct StreamingAnalyzer {
     dropped_cuts: u64,
     /// Relevant non-writes stepped over instead of panicking.
     non_writes_skipped: u64,
+    /// Upper bound on frontier-expansion workers; `1` is sequential.
+    parallelism: usize,
+    /// Minimum cuts per worker before a level engages the pool.
+    shard_granularity: usize,
     /// `lattice.*` metrics; no-ops unless built via
     /// [`StreamingAnalyzer::with_telemetry`].
     tel_states: Counter,
@@ -167,9 +204,19 @@ pub struct StreamingAnalyzer {
     tel_peak: Gauge,
     tel_pruned: Counter,
     tel_non_writes: Counter,
+    /// `lattice.parallel.*` metrics, recorded only on levels the worker
+    /// pool actually expanded.
+    tel_shard_width: Histogram,
+    tel_merge: Histogram,
+    tel_imbalance: Gauge,
+    tel_parallel_levels: Counter,
+    tel_workers: Gauge,
     /// Trace ring (lane `"lattice"`) for ingested messages, level seals,
     /// prunes and property evaluations; disabled (free) by default.
     trace_ring: TraceRing,
+    /// The tracer behind `trace_ring`, kept to open per-shard lanes
+    /// (`lattice.shard<N>`) when the pool engages; disabled by default.
+    tracer: Tracer,
 }
 
 impl StreamingAnalyzer {
@@ -246,6 +293,8 @@ impl StreamingAnalyzer {
             frontier_cap: None,
             dropped_cuts: 0,
             non_writes_skipped: 0,
+            parallelism: 1,
+            shard_granularity: MIN_CUTS_PER_SHARD,
             tel_states,
             tel_deduped: registry.counter("lattice.cuts_deduped"),
             tel_levels: registry.counter("lattice.levels_built"),
@@ -254,7 +303,13 @@ impl StreamingAnalyzer {
             tel_peak,
             tel_pruned: registry.counter("lattice.frontier_pruned"),
             tel_non_writes: registry.counter("lattice.non_writes_skipped"),
+            tel_shard_width: registry.histogram("lattice.parallel.shard_width"),
+            tel_merge: registry.histogram("lattice.parallel.merge_ns"),
+            tel_imbalance: registry.gauge("lattice.parallel.imbalance_pct"),
+            tel_parallel_levels: registry.counter("lattice.parallel.levels"),
+            tel_workers: registry.gauge("lattice.parallel.workers"),
             trace_ring: TraceRing::disabled(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -266,6 +321,44 @@ impl StreamingAnalyzer {
     #[must_use]
     pub fn with_trace(mut self, tracer: &Tracer) -> Self {
         self.trace_ring = tracer.ring("lattice");
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Expands wide frontier levels across up to `workers` threads
+    /// (`0`/`1` = sequential). Sharding is by cut hash with a
+    /// deterministic merge, so every observable output — verdicts,
+    /// violation order, trails, telemetry counts, the final
+    /// [`StreamReport`] — is bit-identical to the sequential path; the
+    /// only evidence the pool ran is the `lattice.parallel.*` metric
+    /// family and the `lattice.shard<N>` trace lanes. Levels narrower
+    /// than 64 cuts per worker expand inline.
+    #[must_use]
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Lowers (or raises) the engagement threshold: a level engages the
+    /// worker pool only when it holds at least `cuts_per_shard` cuts per
+    /// worker. Primarily a testing hook — equivalence tests use it to
+    /// force narrow levels through the sharded path; the default of 64
+    /// keeps coordination overhead away from levels too narrow to profit.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_shard_granularity(mut self, cuts_per_shard: usize) -> Self {
+        self.shard_granularity = cuts_per_shard.max(1);
+        self
+    }
+
+    /// Applies every streaming knob of an [`AnalysisConfig`] at once:
+    /// history, frontier cap, and parallelism
+    /// (`max_counterexamples` only affects the full-lattice analysis).
+    #[must_use]
+    pub fn with_config(mut self, config: &AnalysisConfig) -> Self {
+        self.history = config.history;
+        self.frontier_cap = (config.frontier_cap > 0).then_some(config.frontier_cap);
+        self.parallelism = config.workers();
         self
     }
 
@@ -403,19 +496,165 @@ impl StreamingAnalyzer {
         })
     }
 
-    /// The message enabled from `cut` on thread `t`, if consistent.
+    /// The message enabled from `cut` on thread `t`, if consistent. Shared
+    /// with the sharded expansion workers, which run the same check.
     fn enabled(&self, cut: &Cut, t: usize) -> Option<&Message> {
-        let consumed = cut.get(ThreadId(t as u32)) as usize;
-        let m = self.delivered[t].get(consumed)?;
-        let tid = ThreadId(t as u32);
-        let consistent = m.clock.iter().all(|(j, v)| {
-            if j == tid {
-                v == cut.get(tid) + 1
-            } else {
-                v <= cut.get(j)
+        parallel::enabled(&self.delivered, cut, t)
+    }
+
+    /// The worker count for a level of `width` cuts: sequential below the
+    /// engagement threshold, at most `parallelism` above it.
+    fn level_workers(&self, width: usize) -> usize {
+        if self.parallelism <= 1 {
+            return 1;
+        }
+        (width / self.shard_granularity).clamp(1, self.parallelism)
+    }
+
+    /// Expands one sealed level on the calling thread. Source cuts and
+    /// monitor memories are visited in ascending order — the same total
+    /// order the parallel merge sorts contributions into — so both paths
+    /// build identical frontiers, parent maps, and seed sequences.
+    fn expand_sequential(
+        &mut self,
+        current: &HashMap<Cut, FrontierNode>,
+        level_index: u64,
+    ) -> LevelExpansion {
+        let mut out = LevelExpansion {
+            next: HashMap::new(),
+            seeds: Vec::new(),
+            new_states: 0,
+            deduped: 0,
+            evals: 0,
+            non_writes: 0,
+        };
+        let mut sources: Vec<&Cut> = current.keys().collect();
+        sources.sort();
+        for cut in sources {
+            let node = &current[cut];
+            let mut mems: Vec<MonitorState> = node.mems.iter().copied().collect();
+            mems.sort_unstable();
+            for t in 0..self.threads {
+                let Some(msg) = parallel::enabled(&self.delivered, cut, t) else {
+                    continue;
+                };
+                let update = msg.var().zip(msg.written_value());
+                if update.is_none() {
+                    // A relevant message that is not a write (exotic
+                    // relevance policy) cannot update the global state;
+                    // step over it as a stutter instead of aborting a
+                    // long-running analysis.
+                    out.non_writes += 1;
+                }
+                let succ_cut = cut.advanced(ThreadId(t as u32));
+                let entry = match out.next.entry(succ_cut.clone()) {
+                    Entry::Occupied(e) => {
+                        out.deduped += 1;
+                        e.into_mut()
+                    }
+                    Entry::Vacant(e) => {
+                        out.new_states += 1;
+                        // States are uniquely determined by the cut, so
+                        // the first visiting edge computes the node's
+                        // state once and later edges reuse it.
+                        let state = match update {
+                            Some((var, value)) => node.state.updated(var, value),
+                            None => node.state.clone(),
+                        };
+                        e.insert(FrontierNode {
+                            state,
+                            mems: HashSet::new(),
+                            dead: HashSet::new(),
+                            parents: HashMap::new(),
+                        })
+                    }
+                };
+                let FrontierNode {
+                    state,
+                    mems: succ_mems,
+                    dead,
+                    parents,
+                } = entry;
+                for &mem in &mems {
+                    let (next_mem, ok) = self.monitor.step(mem, state);
+                    out.evals += 1;
+                    if self.trace_ring.is_enabled() {
+                        self.trace_ring.record(TraceKind::PropertyEvaluated {
+                            level: level_index,
+                            violated: !ok,
+                        });
+                    }
+                    if ok {
+                        if succ_mems.insert(next_mem) {
+                            parents.insert(next_mem, (cut.clone(), mem));
+                        }
+                    } else if dead.insert(next_mem) {
+                        out.seeds.push(ViolationSeed {
+                            cut: succ_cut.clone(),
+                            state: state.clone(),
+                            memory: next_mem,
+                            pred: (cut.clone(), mem),
+                        });
+                    }
+                }
             }
-        });
-        consistent.then_some(m)
+        }
+        out
+    }
+
+    /// Expands one sealed level across `workers` scoped threads and merges
+    /// the disjoint shard results. Records the `lattice.parallel.*` metric
+    /// family; every analysis-visible output is bit-identical to
+    /// [`StreamingAnalyzer::expand_sequential`].
+    fn expand_parallel(
+        &mut self,
+        current: &HashMap<Cut, FrontierNode>,
+        level_index: u64,
+        workers: usize,
+    ) -> LevelExpansion {
+        let rings: Vec<TraceRing> = if self.tracer.is_enabled() {
+            (0..workers)
+                .map(|w| self.tracer.ring(&format!("lattice.shard{w}")))
+                .collect()
+        } else {
+            (0..workers).map(|_| TraceRing::disabled()).collect()
+        };
+        let ctx = ExpandContext {
+            threads: self.threads,
+            delivered: &self.delivered,
+            monitor: &self.monitor,
+            workers,
+            level: level_index,
+        };
+        let reports = parallel::expand_level(&ctx, current, rings);
+        self.tel_parallel_levels.inc();
+        self.tel_workers.set(workers as u64);
+        let max_assigned = reports.iter().map(|r| r.assigned).max().unwrap_or(0);
+        let min_assigned = reports.iter().map(|r| r.assigned).min().unwrap_or(0);
+        if let Some(spread) = ((max_assigned - min_assigned) * 100).checked_div(max_assigned) {
+            self.tel_imbalance.set(spread);
+        }
+        let mut out = LevelExpansion {
+            next: HashMap::new(),
+            seeds: Vec::new(),
+            new_states: 0,
+            deduped: 0,
+            evals: 0,
+            non_writes: 0,
+        };
+        for r in reports {
+            self.tel_shard_width.record(r.assigned);
+            self.tel_merge.record(r.merge_ns);
+            out.new_states += r.new_states;
+            out.deduped += r.deduped;
+            out.evals += r.evals;
+            out.non_writes += r.non_writes;
+            // Shards own disjoint slices of the successor space, so this
+            // union never collides.
+            out.next.extend(r.next);
+            out.seeds.extend(r.seeds);
+        }
+        out
     }
 
     /// Advances the frontier level by level while every frontier cut is
@@ -427,7 +666,10 @@ impl StreamingAnalyzer {
             }
             // The frontier only advances when it can advance *completely*:
             // expanding a partial level would lose cuts whose successors
-            // depend on undelivered messages.
+            // depend on undelivered messages. This guard runs before the
+            // sequential/parallel dispatch below, so a level is always
+            // sealed — every cut expandable — before any worker sees it;
+            // sharding never observes a partial level.
             if !self.frontier.keys().all(|c| self.expandable(c)) {
                 return;
             }
@@ -442,79 +684,42 @@ impl StreamingAnalyzer {
 
             let level_start = self.trace_ring.span_start();
             let level_index = u64::from(self.levels_built) + 1;
-            let states_before = self.states_explored;
-            let mut level_evals = 0u64;
             let mut level_pruned = 0u64;
             let current = std::mem::take(&mut self.frontier);
-            let mut next: HashMap<Cut, FrontierNode> = HashMap::new();
-            let mut found: Vec<StreamViolation> = Vec::new();
-            for (cut, node) in &current {
-                for t in 0..self.threads {
-                    let Some(msg) = self.enabled(cut, t) else {
-                        continue;
-                    };
-                    let update = msg.var().zip(msg.written_value());
-                    let succ_cut = cut.advanced(ThreadId(t as u32));
-                    let succ_state = match update {
-                        Some((var, value)) => node.state.updated(var, value),
-                        // A relevant message that is not a write (exotic
-                        // relevance policy) cannot update the global state;
-                        // step over it as a stutter instead of aborting a
-                        // long-running analysis.
-                        None => {
-                            self.non_writes_skipped += 1;
-                            self.tel_non_writes.inc();
-                            node.state.clone()
-                        }
-                    };
-                    let entry = match next.entry(succ_cut.clone()) {
-                        Entry::Occupied(e) => {
-                            self.tel_deduped.inc();
-                            e.into_mut()
-                        }
-                        Entry::Vacant(e) => {
-                            self.states_explored += 1;
-                            self.tel_states.inc();
-                            e.insert(FrontierNode {
-                                state: succ_state.clone(),
-                                mems: HashSet::new(),
-                                dead: HashSet::new(),
-                                parents: HashMap::new(),
-                            })
-                        }
-                    };
-                    for &mem in &node.mems {
-                        let (next_mem, ok) = self.monitor.step(mem, &succ_state);
-                        level_evals += 1;
-                        if self.trace_ring.is_enabled() {
-                            self.trace_ring.record(TraceKind::PropertyEvaluated {
-                                level: level_index,
-                                violated: !ok,
-                            });
-                        }
-                        if ok {
-                            if entry.mems.insert(next_mem) {
-                                entry.parents.insert(next_mem, (cut.clone(), mem));
-                            }
-                        } else if entry.dead.insert(next_mem) {
-                            let trail = self.trail_for(
-                                &current,
-                                (succ_cut.clone(), succ_state.clone()),
-                                Some((cut.clone(), mem)),
-                            );
-                            found.push(StreamViolation {
-                                cut: succ_cut.clone(),
-                                state: succ_state.clone(),
-                                memory: next_mem,
-                                trail,
-                            });
-                        }
-                    }
-                }
-            }
-            let level_violations = found.len() as u64;
+            let workers = self.level_workers(current.len());
+            let mut exp = if workers > 1 {
+                self.expand_parallel(&current, level_index, workers)
+            } else {
+                self.expand_sequential(&current, level_index)
+            };
+            self.states_explored += exp.new_states;
+            self.tel_states.add(exp.new_states);
+            self.tel_deduped.add(exp.deduped);
+            self.non_writes_skipped += exp.non_writes;
+            self.tel_non_writes.add(exp.non_writes);
+            // Violations surface in (cut, memory) order — the per-successor
+            // application order on both paths — so reports are identical
+            // for every worker count.
+            exp.seeds
+                .sort_by(|a, b| a.cut.cmp(&b.cut).then_with(|| a.memory.cmp(&b.memory)));
+            let level_violations = exp.seeds.len() as u64;
             self.tel_violations.add(level_violations);
-            self.violations.append(&mut found);
+            for seed in exp.seeds {
+                let trail = self.trail_for(
+                    &current,
+                    (seed.cut.clone(), seed.state.clone()),
+                    Some(seed.pred),
+                );
+                self.violations.push(StreamViolation {
+                    cut: seed.cut,
+                    state: seed.state,
+                    memory: seed.memory,
+                    trail,
+                });
+            }
+            let mut next = exp.next;
+            let level_evals = exp.evals;
+            let level_states = exp.new_states;
             // Cuts that had no successor (only possible mid-stream for the
             // top-so-far cut when some threads ended) are retained if they
             // are the overall top; otherwise they are dead ends that cannot
@@ -563,7 +768,7 @@ impl StreamingAnalyzer {
                     TraceKind::LevelSealed {
                         level: level_index,
                         width: self.frontier.len() as u64,
-                        states: self.states_explored - states_before,
+                        states: level_states,
                         pruned: level_pruned,
                         evals: level_evals,
                         violations: level_violations,
@@ -655,10 +860,10 @@ mod tests {
     fn frontier_waits_for_missing_messages() {
         let (msgs, monitor, init) = fig6_setup();
         let mut s = StreamingAnalyzer::new(monitor, &init, 2);
-        // Deliver only T1's first message; T2 has nothing yet and has not
-        // ended, so the frontier cannot even leave level 0→1 safely… it can:
-        // expanding S0,0 requires knowing T2's next message exists — it does
-        // not yet, so the frontier stays at S0,0.
+        // Deliver only T1's first message. Expanding S0,0 would need to
+        // know whether T2 contributes a successor, but T2 has delivered
+        // nothing and has not ended — the cut is not expandable, so the
+        // frontier must hold at S0,0 instead of sealing level 1 early.
         let e1 = msgs[0].clone();
         s.push(e1);
         assert_eq!(s.frontier_width(), 1);

@@ -1,0 +1,116 @@
+//! The one configuration type shared by every analysis entrypoint.
+//!
+//! Three PRs of feature work left each knob on its own constructor:
+//! counterexample budgets on [`crate::analysis::analyze_lattice`]'s old
+//! `AnalysisOptions`, beam pruning on
+//! [`crate::StreamingAnalyzer::with_frontier_cap`], trail history on
+//! [`crate::StreamingAnalyzer::with_history`]. Adding a parallelism knob
+//! the same way would have made the combinatorial API worse, so all of
+//! them now live here: [`AnalysisConfig`] configures the full-lattice
+//! analysis ([`crate::analysis::analyze_lattice`] /
+//! [`crate::Lattice::build_with`]) and the streaming analyzer
+//! ([`crate::StreamingAnalyzer::with_config`]) alike, and downstream
+//! crates (observer pipeline, CLI) thread it through unchanged.
+
+/// Knobs for lattice construction and predictive analysis, shared by the
+/// full-lattice and streaming paths. The default is the exact, sequential,
+/// two-level configuration the paper describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Reconstruct at most this many full counterexample runs (violation
+    /// summaries are always reported). Full-lattice analysis only.
+    pub max_counterexamples: usize,
+    /// Worker threads for frontier expansion. `0` and `1` both mean
+    /// sequential; `n ≥ 2` shards each level's cuts by hash across at most
+    /// `n` workers. Results are bit-identical to the sequential path for
+    /// every value — see the determinism argument in DESIGN.md §12.
+    pub parallelism: usize,
+    /// Beam width limit for the streaming frontier; `0` is unbounded.
+    /// When a level exceeds the cap it is pruned to the `cap` smallest
+    /// cuts in lexicographic order and the verdict degrades to
+    /// [`crate::Exactness::Degraded`].
+    pub frontier_cap: usize,
+    /// Retired streaming levels kept for violation trails; `0` is the
+    /// paper's pure two-level mode.
+    pub history: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            max_counterexamples: 16,
+            parallelism: 1,
+            frontier_cap: 0,
+            history: 0,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Sets the counterexample reconstruction budget.
+    #[must_use]
+    pub fn with_max_counterexamples(mut self, n: usize) -> Self {
+        self.max_counterexamples = n;
+        self
+    }
+
+    /// Sets the frontier-expansion worker count (`0`/`1` = sequential).
+    #[must_use]
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Sets the frontier beam cap (`0` = unbounded).
+    #[must_use]
+    pub fn with_frontier_cap(mut self, cap: usize) -> Self {
+        self.frontier_cap = cap;
+        self
+    }
+
+    /// Sets how many retired levels the streaming analyzer retains.
+    #[must_use]
+    pub fn with_history(mut self, levels: usize) -> Self {
+        self.history = levels;
+        self
+    }
+
+    /// The effective worker count: at least one.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.parallelism.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_exact_two_level() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.parallelism, 1);
+        assert_eq!(c.frontier_cap, 0);
+        assert_eq!(c.history, 0);
+        assert_eq!(c.max_counterexamples, 16);
+        assert_eq!(c.workers(), 1);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = AnalysisConfig::default()
+            .with_parallelism(8)
+            .with_frontier_cap(64)
+            .with_history(2)
+            .with_max_counterexamples(0);
+        assert_eq!(c.parallelism, 8);
+        assert_eq!(c.frontier_cap, 64);
+        assert_eq!(c.history, 2);
+        assert_eq!(c.max_counterexamples, 0);
+    }
+
+    #[test]
+    fn zero_parallelism_still_means_one_worker() {
+        assert_eq!(AnalysisConfig::default().with_parallelism(0).workers(), 1);
+    }
+}

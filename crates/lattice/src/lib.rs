@@ -29,14 +29,17 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod config;
 pub mod cut;
 pub mod dot;
 pub mod explore;
 pub mod input;
+mod parallel;
 pub mod reassemble;
 
-pub use analysis::{analyze, analyze_multi, Analysis, Counterexample, RunStep, Violation};
+pub use analysis::{analyze, analyze_multi, analyze_with, Analysis, Counterexample, RunStep, Violation};
 pub use builder::{StreamReport, StreamingAnalyzer};
+pub use config::AnalysisConfig;
 pub use cut::Cut;
 pub use dot::{to_dot, DotOptions};
 pub use explore::Lattice;

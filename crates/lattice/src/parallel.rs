@@ -1,0 +1,310 @@
+//! Sharded parallel expansion of one streaming-frontier level.
+//!
+//! The level-by-level loop of [`crate::StreamingAnalyzer`] is the hottest
+//! code in the pipeline: every cut of the sealed level expands into up to
+//! `threads` successors, and every successor steps every alive monitor
+//! memory. This module distributes that work over a pool of `workers`
+//! std threads in two phases connected by channels:
+//!
+//! 1. **Expand** — the sorted source cuts are split into contiguous
+//!    chunks, one per worker; each worker walks its chunk in order,
+//!    performs the consistency checks, and routes each enabled successor
+//!    (a lean borrowed [`Contribution`]) to the worker owning
+//!    `hash(successor) % workers`, batched as one bucket per target.
+//! 2. **Merge** — each worker owns a disjoint slice of the successor cut
+//!    space (a sharded seen-set, so deduplication needs no locks). It
+//!    orders the incoming buckets by chunk index and applies them; the
+//!    successor's state (computed once per node — states are uniquely
+//!    determined by the cut) and all monitor stepping happen here.
+//!
+//! # Determinism
+//!
+//! The merge order is the linchpin: the sequential path applies
+//! contributions in ascending `(source cut, thread)` order. Because
+//! expansion chunks are contiguous slices of the *sorted* source list and
+//! every bucket preserves its chunk's walk order, concatenating a shard's
+//! buckets in chunk order reproduces exactly that global order — no
+//! per-contribution sort is ever needed. Monitor memories are stepped in
+//! sorted order on both paths. Every output is therefore bit-identical to
+//! the sequential path regardless of worker count: new-node states (first
+//! contribution wins, and "first" is now a total order, not hash-map
+//! luck), alive/dead memory sets, trail parents, violation seeds, and all
+//! counters (they are sums over the same multiset of events).
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use jmpax_core::{Message, ThreadId, Value, VarId};
+use jmpax_spec::{Monitor, MonitorState};
+use jmpax_trace::{TraceKind, TraceRing};
+
+use crate::builder::{FrontierNode, ViolationSeed};
+use crate::cut::Cut;
+
+/// Everything one expansion worker needs, shared immutably across the pool.
+pub(crate) struct ExpandContext<'a> {
+    /// Declared thread count of the computation.
+    pub threads: usize,
+    /// Causally delivered messages per thread (contiguous prefixes).
+    pub delivered: &'a [Vec<Message>],
+    /// The property monitor; `step` is `&self` and internally atomic.
+    pub monitor: &'a Monitor,
+    /// Worker-pool size (also the shard count).
+    pub workers: usize,
+    /// Level index being sealed, for trace records.
+    pub level: u64,
+}
+
+/// One `(source, thread)` expansion, borrowing the source from the sealed
+/// level: only the successor cut is owned. The successor's state and the
+/// monitor steps are deferred to the merge phase, which performs state
+/// computation once per *node* rather than once per edge.
+struct Contribution<'a> {
+    src: &'a Cut,
+    node: &'a FrontierNode,
+    succ: Cut,
+    /// The write the consumed message applies; `None` for relevant
+    /// non-write messages (exotic relevance policies), which stutter.
+    update: Option<(VarId, Value)>,
+}
+
+/// What one shard hands back to the analyzer after expand + merge.
+pub(crate) struct ShardReport {
+    /// This shard's slice of the next frontier (disjoint from all others).
+    pub next: HashMap<Cut, FrontierNode>,
+    /// Violations discovered while merging, in `(cut, memory)` application
+    /// order within the shard.
+    pub seeds: Vec<ViolationSeed>,
+    /// Distinct successor cuts created by this shard.
+    pub new_states: u64,
+    /// Contributions that landed on an already-created successor.
+    pub deduped: u64,
+    /// Monitor steps performed.
+    pub evals: u64,
+    /// Relevant non-write messages stepped over as stutters.
+    pub non_writes: u64,
+    /// Source cuts assigned to this shard's expansion phase.
+    pub assigned: u64,
+    /// Wall time of the merge phase, nanoseconds.
+    pub merge_ns: u64,
+}
+
+/// The shard owning `cut`: a stable FNV-1a fold over the counts, so
+/// assignment is deterministic for a given worker count (and irrelevant
+/// to results either way — the merge order is what determinism rests on).
+/// This runs once per produced successor, so it avoids the much heavier
+/// `DefaultHasher` (SipHash) deliberately.
+fn shard_of(cut: &Cut, workers: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in cut.as_slice() {
+        h = (h ^ u64::from(c)).wrapping_mul(0x0100_0000_01b3);
+    }
+    (h % workers as u64) as usize
+}
+
+/// The message enabled from `cut` on thread `t`, if causally consistent —
+/// the same Theorem-3 check the sequential path performs.
+pub(crate) fn enabled<'a>(
+    delivered: &'a [Vec<Message>],
+    cut: &Cut,
+    t: usize,
+) -> Option<&'a Message> {
+    let tid = ThreadId(t as u32);
+    let consumed = cut.get(tid) as usize;
+    let m = delivered.get(t)?.get(consumed)?;
+    let consistent = m.clock.iter().all(|(j, v)| {
+        if j == tid {
+            v == cut.get(tid) + 1
+        } else {
+            v <= cut.get(j)
+        }
+    });
+    consistent.then_some(m)
+}
+
+/// Expands one sealed level across `ctx.workers` scoped threads and
+/// returns the per-shard results in shard order. `rings` carries one trace
+/// ring per shard (disabled rings are free); each worker records its
+/// [`TraceKind::ShardExpanded`] span and per-evaluation instants there.
+pub(crate) fn expand_level(
+    ctx: &ExpandContext<'_>,
+    current: &HashMap<Cut, FrontierNode>,
+    rings: Vec<TraceRing>,
+) -> Vec<ShardReport> {
+    let workers = ctx.workers;
+    debug_assert!(workers >= 1 && rings.len() == workers);
+    // The sequential path visits sources in sorted order; contiguous
+    // chunks of the same order let the merge phase reproduce it by
+    // concatenation (see the module docs).
+    let mut sources: Vec<(&Cut, &FrontierNode)> = current.iter().collect();
+    sources.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let chunk = sources.len().div_ceil(workers).max(1);
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..workers)
+        .map(|_| mpsc::channel::<(usize, Vec<Contribution<'_>>)>())
+        .unzip();
+
+    let mut reports = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let sources = &sources;
+        let mut handles = Vec::with_capacity(workers);
+        for (w, (rx, ring)) in receivers.into_iter().zip(rings).enumerate() {
+            // Uneven division can leave trailing workers without sources;
+            // they still own (and must merge) their successor shard.
+            let slice = sources
+                .get(w * chunk..sources.len().min((w + 1) * chunk))
+                .unwrap_or(&[]);
+            let txs = senders.clone();
+            handles.push(scope.spawn(move || shard_worker(ctx, w, slice, txs, rx, ring)));
+        }
+        // Workers hold clones; dropping the originals lets every merge
+        // phase's receive loop terminate once all expansions finish.
+        drop(senders);
+        for h in handles {
+            reports.push(h.join().expect("frontier expansion worker panicked"));
+        }
+    });
+    reports
+}
+
+/// One worker: expand the assigned chunk of source cuts, exchange
+/// contribution buckets, then merge the slice of the successor space this
+/// shard owns.
+fn shard_worker<'a>(
+    ctx: &ExpandContext<'_>,
+    chunk_index: usize,
+    sources: &[(&'a Cut, &'a FrontierNode)],
+    txs: Vec<mpsc::Sender<(usize, Vec<Contribution<'a>>)>>,
+    rx: mpsc::Receiver<(usize, Vec<Contribution<'a>>)>,
+    mut ring: TraceRing,
+) -> ShardReport {
+    let workers = ctx.workers;
+    let expand_start = ring.span_start();
+    let assigned = sources.len() as u64;
+    // Pre-size for the expected fan-out (≤ threads successors per cut,
+    // spread evenly over the shards) to avoid growth reallocations.
+    let per_bucket = sources.len() * ctx.threads / workers + 4;
+    let mut buckets: Vec<Vec<Contribution<'a>>> =
+        (0..workers).map(|_| Vec::with_capacity(per_bucket)).collect();
+    let mut produced = 0u64;
+    for &(cut, node) in sources {
+        for t in 0..ctx.threads {
+            let Some(msg) = enabled(ctx.delivered, cut, t) else {
+                continue;
+            };
+            let succ = cut.advanced(ThreadId(t as u32));
+            produced += 1;
+            buckets[shard_of(&succ, workers)].push(Contribution {
+                src: cut,
+                node,
+                succ,
+                update: msg.var().zip(msg.written_value()),
+            });
+        }
+    }
+    if ring.is_enabled() {
+        ring.record_span(
+            TraceKind::ShardExpanded {
+                level: ctx.level,
+                shard: chunk_index as u32,
+                cuts: assigned,
+                contributions: produced,
+            },
+            expand_start,
+        );
+    }
+    for (tx, bucket) in txs.iter().zip(buckets) {
+        // A shard with no receiver left has already merged an empty slice.
+        let _ = tx.send((chunk_index, bucket));
+    }
+    drop(txs);
+
+    // Merge: this shard owns every successor hashing to it, so the
+    // seen-set below is shard-local and lock-free. Buckets ordered by
+    // chunk index concatenate into the sequential application order —
+    // ascending (source cut, thread) — because chunks are contiguous
+    // slices of the sorted source list.
+    let merge_start = Instant::now();
+    let mut incoming: Vec<(usize, Vec<Contribution<'a>>)> = rx.iter().collect();
+    incoming.sort_unstable_by_key(|&(i, _)| i);
+    let mut next: HashMap<Cut, FrontierNode> = HashMap::new();
+    let mut seeds: Vec<ViolationSeed> = Vec::new();
+    let mut new_states = 0u64;
+    let mut deduped = 0u64;
+    let mut evals = 0u64;
+    let mut non_writes = 0u64;
+    let mut mems_sorted: Vec<MonitorState> = Vec::new();
+    for (_, bucket) in incoming {
+        for c in bucket {
+            if c.update.is_none() {
+                non_writes += 1;
+            }
+            let entry = match next.entry(c.succ.clone()) {
+                Entry::Occupied(e) => {
+                    deduped += 1;
+                    e.into_mut()
+                }
+                Entry::Vacant(e) => {
+                    new_states += 1;
+                    // The first (smallest-source) contribution computes
+                    // the node's state; later edges reuse it. States are
+                    // uniquely determined by the cut, so this is the same
+                    // value every other parent would compute.
+                    let state = match c.update {
+                        Some((var, value)) => c.node.state.updated(var, value),
+                        None => c.node.state.clone(),
+                    };
+                    e.insert(FrontierNode {
+                        state,
+                        mems: HashSet::new(),
+                        dead: HashSet::new(),
+                        parents: HashMap::new(),
+                    })
+                }
+            };
+            let FrontierNode {
+                state,
+                mems,
+                dead,
+                parents,
+            } = entry;
+            mems_sorted.clear();
+            mems_sorted.extend(c.node.mems.iter().copied());
+            mems_sorted.sort_unstable();
+            for &mem in &mems_sorted {
+                let (next_mem, ok) = ctx.monitor.step(mem, state);
+                evals += 1;
+                if ring.is_enabled() {
+                    ring.record(TraceKind::PropertyEvaluated {
+                        level: ctx.level,
+                        violated: !ok,
+                    });
+                }
+                if ok {
+                    if mems.insert(next_mem) {
+                        parents.insert(next_mem, (c.src.clone(), mem));
+                    }
+                } else if dead.insert(next_mem) {
+                    seeds.push(ViolationSeed {
+                        cut: c.succ.clone(),
+                        state: state.clone(),
+                        memory: next_mem,
+                        pred: (c.src.clone(), mem),
+                    });
+                }
+            }
+        }
+    }
+    let merge_ns = u64::try_from(merge_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    ShardReport {
+        next,
+        seeds,
+        new_states,
+        deduped,
+        evals,
+        non_writes,
+        assigned,
+        merge_ns,
+    }
+}

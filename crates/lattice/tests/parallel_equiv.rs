@@ -1,0 +1,275 @@
+//! Equivalence of the sharded parallel frontier expansion with the
+//! sequential path: for any workload and any worker count the streaming
+//! report (states, levels, peak frontier, violations, exactness) and the
+//! full lattice analysis (verdict, node counts, run counts) must be
+//! bit-identical — parallelism is an implementation detail, never an
+//! observable one.
+
+use jmpax_core::gen::{random_execution, RandomExecutionConfig};
+use jmpax_core::{Event, Message, MvcInstrumentor, Relevance, SymbolTable, ThreadId, VarId};
+use jmpax_lattice::{analyze_with, AnalysisConfig, Lattice, LatticeInput, StreamingAnalyzer};
+use jmpax_spec::{parse, Monitor, ProgramState};
+use proptest::prelude::*;
+
+const SPECS: &[&str] = &[
+    "v0 <= v1 \\/ v2 < 3",
+    "[*] v0 >= 0",
+    "start(v1 > 2) -> v2 != 0",
+    "[v0 = 1, v1 > v2)",
+    "v0 = 0 S v1 = 0",
+];
+
+fn monitor_for(spec: &str) -> Monitor {
+    let mut syms = SymbolTable::new();
+    for n in ["v0", "v1", "v2", "v3"] {
+        syms.intern(n);
+    }
+    parse(spec, &mut syms).unwrap().monitor().unwrap()
+}
+
+fn stream(
+    monitor: &Monitor,
+    initial: &ProgramState,
+    threads: usize,
+    msgs: &[Message],
+    config: &AnalysisConfig,
+) -> jmpax_lattice::StreamReport {
+    // Granularity 2 forces even the narrow levels of these small test
+    // workloads through the sharded path (the default of 64 would keep
+    // them inline and make the comparison vacuous).
+    let mut s = StreamingAnalyzer::new(monitor.clone(), initial, threads)
+        .with_config(config)
+        .with_shard_granularity(2);
+    s.push_all(msgs.iter().cloned());
+    s.finish()
+}
+
+/// Every observable field of the report, flattened to one comparable
+/// string — two reports render identically iff they are bit-identical.
+fn fingerprint(r: &jmpax_lattice::StreamReport) -> String {
+    format!(
+        "states={} levels={} peak={} completed={} exactness={:?} non_writes={} violations={:?}",
+        r.states_explored,
+        r.levels_built,
+        r.peak_frontier,
+        r.completed,
+        r.exactness,
+        r.non_writes_skipped,
+        r.violations,
+    )
+}
+
+/// A wide hypercube computation: `threads` threads each writing their
+/// private variable `events` times — no cross-thread causality, so the
+/// middle levels are wide enough to engage several shard workers.
+fn hypercube(threads: usize, events: usize) -> (Vec<Message>, ProgramState) {
+    let mut instr = MvcInstrumentor::new(threads, Relevance::AllWrites);
+    let mut msgs = Vec::new();
+    for round in 0..events {
+        for t in 0..threads {
+            let e = Event::write(
+                ThreadId(t as u32),
+                VarId(t as u32),
+                (round * threads + t) as i64,
+            );
+            msgs.extend(instr.process(&e));
+        }
+    }
+    let mut initial = ProgramState::new();
+    for v in 0..threads {
+        initial.set(VarId(v as u32), 0i64);
+    }
+    (msgs, initial)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random 4-thread workloads, every spec, workers 1 vs 2 vs 8: the
+    /// streaming reports and the full-lattice analyses must agree exactly.
+    #[test]
+    fn parallel_streaming_is_bit_identical_to_sequential(seed in 0u64..1000) {
+        let ex = random_execution(RandomExecutionConfig {
+            threads: 4,
+            vars: 4,
+            events: 24,
+            write_ratio: 0.8,
+            internal_ratio: 0.0,
+            seed,
+        });
+        let msgs = ex.instrument(Relevance::AllWrites);
+        let initial = ProgramState::new();
+
+        for spec in SPECS {
+            let monitor = monitor_for(spec);
+            let sequential = stream(
+                &monitor,
+                &initial,
+                4,
+                &msgs,
+                &AnalysisConfig::default(),
+            );
+            for workers in [2usize, 8] {
+                let parallel = stream(
+                    &monitor,
+                    &initial,
+                    4,
+                    &msgs,
+                    &AnalysisConfig::default().with_parallelism(workers),
+                );
+                prop_assert_eq!(
+                    fingerprint(&sequential),
+                    fingerprint(&parallel),
+                    "seed {} spec `{}` workers {}",
+                    seed,
+                    spec,
+                    workers
+                );
+            }
+
+            // The full-lattice path shares the same config knob.
+            let input = LatticeInput::from_messages(msgs.clone(), initial.clone()).unwrap();
+            let seq = analyze_with(input.clone(), &monitor, &AnalysisConfig::default());
+            let par = analyze_with(
+                input,
+                &monitor,
+                &AnalysisConfig::default().with_parallelism(8),
+            );
+            prop_assert_eq!(seq.satisfied(), par.satisfied());
+            prop_assert_eq!(seq.states, par.states);
+            prop_assert_eq!(seq.levels, par.levels);
+            prop_assert_eq!(seq.total_runs, par.total_runs);
+            prop_assert_eq!(seq.violating_runs, par.violating_runs);
+            prop_assert_eq!(seq.exactness, par.exactness);
+            prop_assert_eq!(seq.violations.len(), par.violations.len());
+        }
+    }
+}
+
+#[test]
+fn parallel_build_preserves_node_ids_and_run_counts() {
+    let (msgs, initial) = hypercube(4, 3);
+    let input = LatticeInput::from_messages(msgs, initial).unwrap();
+    let sequential = Lattice::build_with(input.clone(), &AnalysisConfig::default());
+    let parallel = Lattice::build_with(input, &AnalysisConfig::default().with_parallelism(8));
+    assert_eq!(sequential.node_count(), parallel.node_count());
+    assert_eq!(sequential.level_count(), parallel.level_count());
+    assert_eq!(sequential.count_runs(), parallel.count_runs());
+    // Node ids are assigned in visit order — the parallel build must
+    // reproduce it exactly, cut for cut.
+    for (s, p) in sequential.nodes().iter().zip(parallel.nodes()) {
+        assert_eq!(s.cut, p.cut);
+        assert_eq!(s.state, p.state);
+    }
+}
+
+/// Regression: a level must never be expanded before it is sealed, no
+/// matter how many workers are configured. Deliver only one thread's
+/// messages of a 3-thread computation — the other threads are silent but
+/// not ended, so the frontier has to hold at the initial cut on both
+/// paths instead of racing ahead on partial information.
+#[test]
+fn parallel_path_never_expands_an_unsealed_level() {
+    let mut instr = MvcInstrumentor::new(3, Relevance::AllWrites);
+    let mut t0_msgs = Vec::new();
+    let mut rest = Vec::new();
+    for round in 0..3 {
+        for t in 0..3u32 {
+            let e = Event::write(ThreadId(t), VarId(t), round + 1);
+            let m = instr.process(&e).unwrap();
+            if t == 0 {
+                t0_msgs.push(m);
+            } else {
+                rest.push(m);
+            }
+        }
+    }
+    let monitor = monitor_for("[*] v0 >= 0");
+    let initial = ProgramState::new();
+
+    let configs = [
+        AnalysisConfig::default(),
+        AnalysisConfig::default().with_parallelism(4),
+    ];
+    let mut full_prints = Vec::new();
+    for config in &configs {
+        let mut s = StreamingAnalyzer::new(monitor.clone(), &initial, 3)
+            .with_config(config)
+            .with_shard_granularity(1);
+        s.push_all(t0_msgs.iter().cloned());
+        // T1/T2 have delivered nothing and have not ended: no cut beyond
+        // S0,0,0 is expandable yet, so the frontier must still hold the
+        // single initial cut — an unsealed level was never handed to the
+        // workers.
+        assert_eq!(
+            s.frontier_width(),
+            1,
+            "frontier advanced past an unsealed level"
+        );
+        assert!(s.violations().is_empty());
+        s.push_all(rest.iter().cloned());
+        full_prints.push(fingerprint(&s.finish()));
+    }
+    assert_eq!(full_prints[0], full_prints[1]);
+}
+
+/// The `lattice.parallel.*` telemetry family reports engagement: on a
+/// wide hypercube with several workers, at least one level must actually
+/// have been sharded.
+#[test]
+fn parallel_telemetry_reports_engagement() {
+    let (msgs, initial) = hypercube(4, 3);
+    let monitor = monitor_for("[*] v0 >= 0");
+
+    let registry = jmpax_telemetry::Registry::enabled();
+    let mut s = StreamingAnalyzer::with_telemetry(monitor.clone(), &initial, 4, &registry)
+        .with_parallelism(8)
+        .with_shard_granularity(2);
+    s.push_all(msgs.clone());
+    let parallel_report = s.finish();
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("lattice.parallel.levels").unwrap_or(0) > 0,
+        "no level engaged the worker pool on a wide hypercube"
+    );
+
+    // A sequential run must not touch the parallel family at all.
+    let registry = jmpax_telemetry::Registry::enabled();
+    let mut s = StreamingAnalyzer::with_telemetry(monitor, &initial, 4, &registry);
+    s.push_all(msgs);
+    let sequential_report = s.finish();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("lattice.parallel.levels").unwrap_or(0), 0);
+
+    // And engagement is unobservable in the report itself.
+    assert_eq!(fingerprint(&sequential_report), fingerprint(&parallel_report));
+}
+
+/// Frontier-cap pruning composes with sharding: the beam search keeps
+/// the same cuts, counts the same prunes, and degrades exactness the
+/// same way at every worker count.
+#[test]
+fn frontier_cap_composes_with_parallelism() {
+    let (msgs, initial) = hypercube(4, 3);
+    let monitor = monitor_for("v0 >= 0");
+    let capped = AnalysisConfig::default().with_frontier_cap(6);
+    let sequential = stream(&monitor, &initial, 4, &msgs, &capped);
+    assert!(
+        !sequential.exactness.is_exact(),
+        "cap 6 must actually prune a hypercube"
+    );
+    for workers in [2usize, 4, 8] {
+        let parallel = stream(
+            &monitor,
+            &initial,
+            4,
+            &msgs,
+            &capped.with_parallelism(workers),
+        );
+        assert_eq!(
+            fingerprint(&sequential),
+            fingerprint(&parallel),
+            "workers {workers}"
+        );
+    }
+}

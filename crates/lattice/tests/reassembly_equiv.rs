@@ -8,7 +8,8 @@
 //! reordering and duplication alone lose nothing.
 
 use jmpax_core::{Event, Message, MvcInstrumentor, Relevance, SymbolTable, ThreadId, VarId};
-use jmpax_lattice::analysis::{analyze_lattice, Analysis, AnalysisOptions};
+use jmpax_lattice::analysis::{analyze_lattice, Analysis};
+use jmpax_lattice::AnalysisConfig;
 use jmpax_lattice::{Lattice, LatticeInput, Reassembler};
 use jmpax_spec::{parse, Monitor, ProgramState};
 use proptest::prelude::*;
@@ -51,7 +52,7 @@ fn monitor_and_initial(vars: usize) -> (Monitor, ProgramState, SymbolTable) {
 fn analyze(messages: Vec<Message>, initial: ProgramState, monitor: &Monitor) -> Analysis {
     let input = LatticeInput::from_messages(messages, initial).expect("valid input");
     let lattice = Lattice::build(input);
-    analyze_lattice(&lattice, monitor, AnalysisOptions::default())
+    analyze_lattice(&lattice, monitor, AnalysisConfig::default())
 }
 
 proptest! {

@@ -7,7 +7,8 @@ use std::collections::HashSet;
 
 use jmpax_core::gen::{random_execution, RandomExecutionConfig};
 use jmpax_core::{Relevance, SymbolTable, VarId};
-use jmpax_lattice::analysis::{analyze_lattice, AnalysisOptions};
+use jmpax_lattice::analysis::analyze_lattice;
+use jmpax_lattice::AnalysisConfig;
 use jmpax_lattice::{Cut, Lattice, LatticeInput, StreamingAnalyzer};
 use jmpax_spec::{parse, MonitorState, ProgramState};
 use rand::seq::SliceRandom;
@@ -45,7 +46,7 @@ fn streaming_matches_full_on_random_computations_and_specs() {
 
             let input = LatticeInput::from_messages(msgs.clone(), initial.clone()).unwrap();
             let lattice = Lattice::build(input);
-            let full = analyze_lattice(&lattice, &monitor, AnalysisOptions::default());
+            let full = analyze_lattice(&lattice, &monitor, AnalysisConfig::default());
             let full_points: HashSet<(Cut, MonitorState)> = full
                 .violations
                 .iter()

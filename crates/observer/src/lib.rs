@@ -35,9 +35,13 @@ pub use live::LiveObserver;
 pub use liveness::{check_lasso, find_lassos, Lasso, Ltl};
 pub use observer::{Observer, Verdict};
 pub use pipeline::{
-    check_compact_frames, check_execution, check_execution_with_observability,
-    check_execution_with_telemetry, check_frames, check_frames_resilient, check_run_outcome,
-    ObservabilityReport, PipelineError, PipelineReport, ResilienceSummary,
+    check_compact_frames, check_frames, check_frames_resilient, ObservabilityReport, Pipeline,
+    PipelineConfig, PipelineError, PipelineOutcome, PipelineReport, ResilienceSummary,
+};
+#[allow(deprecated)]
+pub use pipeline::{
+    check_execution, check_execution_with_observability, check_execution_with_telemetry,
+    check_run_outcome,
 };
 pub use races::{detect_races, Race, RaceDetector};
 pub use report::{

@@ -1,8 +1,8 @@
 //! The message-consuming observer front end.
 
 use jmpax_core::{CausalBuffer, Message};
-use jmpax_lattice::analysis::{analyze_lattice, Analysis, AnalysisOptions};
-use jmpax_lattice::{Exactness, Lattice, LatticeInput, StreamingAnalyzer};
+use jmpax_lattice::analysis::{analyze_lattice, Analysis};
+use jmpax_lattice::{AnalysisConfig, Exactness, Lattice, LatticeInput, StreamingAnalyzer};
 use jmpax_spec::{Monitor, ProgramState};
 
 /// The observer's conclusion about one multithreaded computation.
@@ -78,19 +78,26 @@ pub struct Observer {
     buffer: CausalBuffer,
     /// Messages in causal delivery order (a valid observed run order).
     delivered: Vec<Message>,
-    options: AnalysisOptions,
+    options: AnalysisConfig,
 }
 
 impl Observer {
     /// Creates an observer for `monitor` starting from `initial`.
     #[must_use]
     pub fn new(monitor: Monitor, initial: ProgramState) -> Self {
+        Self::with_options(monitor, initial, AnalysisConfig::default())
+    }
+
+    /// Creates an observer with an explicit [`AnalysisConfig`]
+    /// (counterexample budget, lattice-build parallelism).
+    #[must_use]
+    pub fn with_options(monitor: Monitor, initial: ProgramState, options: AnalysisConfig) -> Self {
         Self {
             monitor,
             initial,
             buffer: CausalBuffer::new(),
             delivered: Vec::new(),
-            options: AnalysisOptions::default(),
+            options,
         }
     }
 
@@ -135,7 +142,7 @@ impl Observer {
     pub fn conclude(&self) -> Result<Verdict, jmpax_lattice::InputError> {
         let input =
             LatticeInput::from_messages(self.delivered.iter().cloned(), self.initial.clone())?;
-        let lattice = Lattice::build(input);
+        let lattice = Lattice::build_with(input, &self.options);
         let analysis = analyze_lattice(&lattice, &self.monitor, self.options);
 
         // The delivery order is one causally consistent run — check it the

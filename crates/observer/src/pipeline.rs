@@ -2,18 +2,26 @@
 //!
 //! The instrumentation module "parses the user specification, extracts the
 //! set of shared variables it refers to, i.e., the relevant variables, and
-//! then instruments the multithreaded program" — [`check_execution`] does
-//! exactly this for a recorded execution: parse the property, derive the
-//! relevance policy from its variables, run Algorithm A, ship the messages
-//! to the observer, and return both the predictive verdict and the
-//! JPaX-style observed-run verdict.
+//! then instruments the multithreaded program" — [`Pipeline`] does exactly
+//! this for a recorded execution: parse the property, derive the relevance
+//! policy from its variables, run Algorithm A, ship the messages to the
+//! observer, and return both the predictive verdict and the JPaX-style
+//! observed-run verdict.
+//!
+//! [`Pipeline::new`]`(`[`PipelineConfig`]`)` is the single entrypoint; the
+//! config carries the optional telemetry [`Registry`], the optional
+//! [`Tracer`], and the [`AnalysisConfig`] knobs (parallelism, frontier
+//! cap, counterexample budget). The former `check_execution` /
+//! `check_execution_with_telemetry` / `check_execution_with_observability`
+//! trio survives as deprecated wrappers that delegate here.
 
 use std::fmt;
 
 use jmpax_core::{Execution, Message, Relevance, SymbolTable};
+use jmpax_lattice::{AnalysisConfig, StreamReport, StreamingAnalyzer};
 use jmpax_spec::{parse, Monitor, ParseError, ProgramState};
 use jmpax_telemetry::Registry;
-use jmpax_trace::{TraceKind, Tracer};
+use jmpax_trace::{TraceKind, TraceRing, Tracer};
 
 use crate::observer::{Observer, Verdict};
 
@@ -92,42 +100,229 @@ impl PipelineReport {
     }
 }
 
+/// Configuration for [`Pipeline`]: observability sinks plus every analysis
+/// knob, in one place. The default is the plain, sequential, untelemetered
+/// pipeline the original `check_execution` ran.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineConfig {
+    telemetry: Registry,
+    tracer: Option<Tracer>,
+    analysis: AnalysisConfig,
+}
+
+impl PipelineConfig {
+    /// Starts from the defaults (disabled telemetry, no tracer, sequential
+    /// exact analysis).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reports pipeline telemetry into `registry`: per-stage wall-clock
+    /// histograms (`observer.stage.*_ns`), verdict counters
+    /// (`observer.verdict.*`), and every metric the instrumentor, monitor
+    /// and lattice analysis publish — including `lattice.parallel.*` when
+    /// parallelism is enabled. A disabled registry is free.
+    #[must_use]
+    pub fn telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = registry.clone();
+        self
+    }
+
+    /// Records structured traces into `tracer`: pipeline stages as
+    /// [`TraceKind::Stage`] spans on the `observer` lane, Algorithm A on
+    /// the `core` lane, and a level-by-level streaming pass on the
+    /// `lattice` lane (plus `lattice.shard<N>` lanes when the parallel
+    /// pool engages). Configuring a tracer — even a disabled one — also
+    /// makes [`Pipeline::check_execution`] run that streaming pass and
+    /// return its [`StreamReport`].
+    #[must_use]
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Worker threads for lattice frontier expansion (`0`/`1` =
+    /// sequential). Verdicts are bit-identical for every value.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.analysis.parallelism = workers;
+        self
+    }
+
+    /// Beam cap for the streaming frontier (`0` = unbounded); exceeding it
+    /// degrades [`jmpax_lattice::Exactness`] exactly as
+    /// `StreamingAnalyzer::with_frontier_cap` does.
+    #[must_use]
+    pub fn frontier_cap(mut self, cap: usize) -> Self {
+        self.analysis.frontier_cap = cap;
+        self
+    }
+
+    /// Replaces the full [`AnalysisConfig`] (counterexample budget,
+    /// parallelism, frontier cap, trail history) at once.
+    #[must_use]
+    pub fn analysis(mut self, config: AnalysisConfig) -> Self {
+        self.analysis = config;
+        self
+    }
+}
+
+/// What [`Pipeline::check_execution`] produces.
+#[derive(Clone, Debug)]
+pub struct PipelineOutcome {
+    /// The end-to-end verdict.
+    pub report: PipelineReport,
+    /// The streaming analyzer's view of the same computation — `Some`
+    /// exactly when a tracer was configured (the streaming pass is what
+    /// populates the `lattice` trace lanes).
+    pub stream: Option<StreamReport>,
+}
+
+/// The one full-pipeline entrypoint: spec → relevance → Algorithm A →
+/// observer → verdict, configured once via [`PipelineConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with `config`.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the full pipeline over a recorded multithreaded execution.
+    ///
+    /// `spec_src` is parsed against `symbols` (which must already map the
+    /// execution's variable names, e.g. the table used to build the
+    /// program).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Spec`] / [`PipelineError::Monitor`] for an invalid
+    /// specification, [`PipelineError::Input`] for a malformed message
+    /// stream (impossible for streams Algorithm A produces).
+    pub fn check_execution(
+        &self,
+        execution: &Execution,
+        spec_src: &str,
+        symbols: &mut SymbolTable,
+    ) -> Result<PipelineOutcome, PipelineError> {
+        let registry = &self.config.telemetry;
+        let mut ring = self
+            .config
+            .tracer
+            .as_ref()
+            .map_or_else(TraceRing::disabled, |t| t.ring("observer"));
+
+        let spec_start = ring.span_start();
+        let formula = parse(spec_src, symbols)?;
+        let monitor = formula.monitor()?.with_telemetry(registry);
+        ring.record_span(TraceKind::Stage { name: "spec" }, spec_start);
+
+        let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
+        let instrument_start = ring.span_start();
+        let messages = {
+            let _span = registry
+                .histogram("observer.stage.instrument_ns")
+                .start_span();
+            match &self.config.tracer {
+                Some(tracer) => {
+                    execution.instrument_with_observability(relevance.clone(), registry, tracer)
+                }
+                None => execution.instrument_with_telemetry(relevance.clone(), registry),
+            }
+        };
+        ring.record_span(TraceKind::Stage { name: "instrument" }, instrument_start);
+
+        let initial = ProgramState::from_map(execution.initial.clone());
+
+        let jpax_start = ring.span_start();
+        let observed_violation = {
+            let _span = registry.histogram("observer.stage.jpax_ns").start_span();
+            crate::jpax::observed_violation(&monitor, &initial, &messages)
+        };
+        ring.record_span(TraceKind::Stage { name: "jpax" }, jpax_start);
+
+        let analysis_start = ring.span_start();
+        let mut observer =
+            Observer::with_options(monitor.clone(), initial.clone(), self.config.analysis);
+        observer.offer_all(messages.iter().cloned());
+        let verdict = {
+            let _span = registry
+                .histogram("observer.stage.analysis_ns")
+                .start_span();
+            observer.conclude()?
+        };
+        ring.record_span(TraceKind::Stage { name: "analysis" }, analysis_start);
+
+        let stream = match &self.config.tracer {
+            Some(tracer) => {
+                let stream_start = ring.span_start();
+                let mut analyzer = StreamingAnalyzer::with_telemetry(
+                    monitor,
+                    &initial,
+                    execution.thread_count().max(1),
+                    registry,
+                )
+                .with_config(&self.config.analysis)
+                .with_trace(tracer);
+                analyzer.push_all(messages.iter().cloned());
+                let report = analyzer.finish();
+                ring.record_span(TraceKind::Stage { name: "streaming" }, stream_start);
+                Some(report)
+            }
+            None => None,
+        };
+
+        verdict.analysis().record(registry);
+        if verdict.is_satisfied() {
+            registry.counter("observer.verdict.satisfied").inc();
+        } else {
+            registry.counter("observer.verdict.predicted").inc();
+        }
+        if observed_violation.is_some() {
+            registry.counter("observer.verdict.observed").inc();
+        }
+        Ok(PipelineOutcome {
+            report: PipelineReport {
+                verdict,
+                observed_violation,
+                messages,
+                relevance,
+            },
+            stream,
+        })
+    }
+}
+
 /// Runs the full pipeline over a recorded multithreaded execution.
-///
-/// `spec_src` is parsed against `symbols` (which must already map the
-/// execution's variable names, e.g. the table used to build the program).
+#[deprecated(note = "use Pipeline::new(PipelineConfig::new()).check_execution(..)")]
 pub fn check_execution(
     execution: &Execution,
     spec_src: &str,
     symbols: &mut SymbolTable,
 ) -> Result<PipelineReport, PipelineError> {
-    check_execution_with_telemetry(execution, spec_src, symbols, &Registry::disabled())
+    Pipeline::new(PipelineConfig::new())
+        .check_execution(execution, spec_src, symbols)
+        .map(|o| o.report)
 }
 
-/// [`check_execution`] with pipeline telemetry reported into `registry`:
-/// per-stage wall-clock histograms (`observer.stage.instrument_ns`,
-/// `observer.stage.jpax_ns`, `observer.stage.analysis_ns`), verdict
-/// counters (`observer.verdict.satisfied` / `.predicted` / `.observed`),
-/// and every metric the underlying instrumentor, monitor and lattice
-/// analysis publish. With a disabled registry this is exactly
-/// [`check_execution`] — no clocks are read and no atomics touched.
+/// `check_execution` with pipeline telemetry reported into `registry`.
+#[deprecated(
+    note = "use Pipeline::new(PipelineConfig::new().telemetry(registry)).check_execution(..)"
+)]
 pub fn check_execution_with_telemetry(
     execution: &Execution,
     spec_src: &str,
     symbols: &mut SymbolTable,
     registry: &Registry,
 ) -> Result<PipelineReport, PipelineError> {
-    let formula = parse(spec_src, symbols)?;
-    let monitor = formula.monitor()?.with_telemetry(registry);
-    let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
-    let messages = {
-        let _span = registry
-            .histogram("observer.stage.instrument_ns")
-            .start_span();
-        execution.instrument_with_telemetry(relevance.clone(), registry)
-    };
-    let initial = ProgramState::from_map(execution.initial.clone());
-    conclude_with_telemetry(monitor, initial, messages, relevance, registry)
+    Pipeline::new(PipelineConfig::new().telemetry(registry))
+        .check_execution(execution, spec_src, symbols)
+        .map(|o| o.report)
 }
 
 /// What [`check_execution_with_observability`] produces: the usual pipeline
@@ -136,19 +331,18 @@ pub fn check_execution_with_telemetry(
 /// trace lane with per-level records).
 #[derive(Clone, Debug)]
 pub struct ObservabilityReport {
-    /// The end-to-end verdict, exactly as [`check_execution`] computes it.
+    /// The end-to-end verdict, exactly as [`Pipeline::check_execution`]
+    /// computes it.
     pub pipeline: PipelineReport,
     /// The streaming analyzer's view of the same computation.
-    pub stream: jmpax_lattice::StreamReport,
+    pub stream: StreamReport,
 }
 
-/// [`check_execution_with_telemetry`] plus structured tracing: every
-/// pipeline stage is recorded as a [`TraceKind::Stage`] span on the
-/// `observer` lane, Algorithm A records per-event spans and emitted
-/// messages on the `core` lane, and a level-by-level streaming pass over
-/// the instrumented messages populates the `lattice` lane (ingestions,
-/// sealed levels, prunes, property evaluations). With a disabled tracer the
-/// extra streaming pass still runs but records nothing.
+/// `check_execution_with_telemetry` plus structured tracing and the traced
+/// streaming pass.
+#[deprecated(
+    note = "use Pipeline::new(PipelineConfig::new().telemetry(registry).tracer(tracer)).check_execution(..)"
+)]
 pub fn check_execution_with_observability(
     execution: &Execution,
     spec_src: &str,
@@ -156,82 +350,26 @@ pub fn check_execution_with_observability(
     registry: &Registry,
     tracer: &Tracer,
 ) -> Result<ObservabilityReport, PipelineError> {
-    let mut ring = tracer.ring("observer");
-
-    let spec_start = ring.span_start();
-    let formula = parse(spec_src, symbols)?;
-    let monitor = formula.monitor()?.with_telemetry(registry);
-    ring.record_span(TraceKind::Stage { name: "spec" }, spec_start);
-
-    let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
-    let instrument_start = ring.span_start();
-    let messages = {
-        let _span = registry
-            .histogram("observer.stage.instrument_ns")
-            .start_span();
-        execution.instrument_with_observability(relevance.clone(), registry, tracer)
-    };
-    ring.record_span(TraceKind::Stage { name: "instrument" }, instrument_start);
-
-    let initial = ProgramState::from_map(execution.initial.clone());
-
-    let jpax_start = ring.span_start();
-    let observed_violation = {
-        let _span = registry.histogram("observer.stage.jpax_ns").start_span();
-        crate::jpax::observed_violation(&monitor, &initial, &messages)
-    };
-    ring.record_span(TraceKind::Stage { name: "jpax" }, jpax_start);
-
-    let analysis_start = ring.span_start();
-    let mut observer = Observer::new(monitor.clone(), initial.clone());
-    observer.offer_all(messages.iter().cloned());
-    let verdict = {
-        let _span = registry
-            .histogram("observer.stage.analysis_ns")
-            .start_span();
-        observer.conclude()?
-    };
-    ring.record_span(TraceKind::Stage { name: "analysis" }, analysis_start);
-
-    let stream_start = ring.span_start();
-    let mut analyzer = jmpax_lattice::StreamingAnalyzer::with_telemetry(
-        monitor,
-        &initial,
-        execution.thread_count().max(1),
-        registry,
-    )
-    .with_trace(tracer);
-    analyzer.push_all(messages.iter().cloned());
-    let stream = analyzer.finish();
-    ring.record_span(TraceKind::Stage { name: "streaming" }, stream_start);
-
-    verdict.analysis().record(registry);
-    if verdict.is_satisfied() {
-        registry.counter("observer.verdict.satisfied").inc();
-    } else {
-        registry.counter("observer.verdict.predicted").inc();
-    }
-    if observed_violation.is_some() {
-        registry.counter("observer.verdict.observed").inc();
-    }
+    let outcome = Pipeline::new(PipelineConfig::new().telemetry(registry).tracer(tracer))
+        .check_execution(execution, spec_src, symbols)?;
     Ok(ObservabilityReport {
-        pipeline: PipelineReport {
-            verdict,
-            observed_violation,
-            messages,
-            relevance,
-        },
-        stream,
+        pipeline: outcome.report,
+        stream: outcome
+            .stream
+            .expect("a configured tracer always runs the streaming pass"),
     })
 }
 
 /// Runs the pipeline over an interpreter outcome (`jmpax-sched`).
+#[deprecated(note = "use Pipeline::new(PipelineConfig::new()).check_execution(..)")]
 pub fn check_run_outcome(
     outcome_execution: &Execution,
     spec_src: &str,
     symbols: &mut SymbolTable,
 ) -> Result<PipelineReport, PipelineError> {
-    check_execution(outcome_execution, spec_src, symbols)
+    Pipeline::new(PipelineConfig::new())
+        .check_execution(outcome_execution, spec_src, symbols)
+        .map(|o| o.report)
 }
 
 /// Runs the observer side only, over an encoded frame stream (the bytes a
@@ -430,7 +568,11 @@ mod tests {
     fn full_pipeline_on_example2() {
         let mut syms = SymbolTable::new();
         let ex = example2(&mut syms);
-        let report = check_execution(&ex, "(x > 0) -> [y = 0, y > z)", &mut syms).unwrap();
+        let outcome = Pipeline::new(PipelineConfig::new())
+            .check_execution(&ex, "(x > 0) -> [y = 0, y > z)", &mut syms)
+            .unwrap();
+        assert!(outcome.stream.is_none(), "no tracer, no streaming pass");
+        let report = outcome.report;
         assert!(report.predicted());
         assert!(!report.observed(), "observed run is successful");
         assert!(report.verdict.is_prediction());
@@ -447,17 +589,13 @@ mod tests {
         let ex = example2(&mut syms);
         let tracer = jmpax_trace::Tracer::enabled();
         let registry = Registry::enabled();
-        let report = check_execution_with_observability(
-            &ex,
-            "(x > 0) -> [y = 0, y > z)",
-            &mut syms,
-            &registry,
-            &tracer,
-        )
-        .unwrap();
-        assert!(report.pipeline.predicted());
-        assert!(report.stream.completed);
-        assert_eq!(report.stream.violations.len(), 1);
+        let outcome = Pipeline::new(PipelineConfig::new().telemetry(&registry).tracer(&tracer))
+            .check_execution(&ex, "(x > 0) -> [y = 0, y > z)", &mut syms)
+            .unwrap();
+        let stream = outcome.stream.expect("tracer configured");
+        assert!(outcome.report.predicted());
+        assert!(stream.completed);
+        assert_eq!(stream.violations.len(), 1);
 
         let data = tracer.collect();
         let lanes: Vec<&str> = data.lanes.iter().map(|l| l.lane.as_str()).collect();
@@ -506,9 +644,73 @@ mod tests {
         let mut syms = SymbolTable::new();
         let ex = Execution::new();
         assert!(matches!(
-            check_execution(&ex, "x >", &mut syms),
+            Pipeline::new(PipelineConfig::new()).check_execution(&ex, "x >", &mut syms),
             Err(PipelineError::Spec(_))
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entrypoints_delegate_to_pipeline() {
+        let mut syms = SymbolTable::new();
+        let ex = example2(&mut syms);
+        let spec = "(x > 0) -> [y = 0, y > z)";
+        let via_fn = check_execution(&ex, spec, &mut syms).unwrap();
+        let mut syms2 = SymbolTable::new();
+        let ex2 = example2(&mut syms2);
+        let via_pipeline = Pipeline::new(PipelineConfig::new())
+            .check_execution(&ex2, spec, &mut syms2)
+            .unwrap()
+            .report;
+        assert_eq!(
+            via_fn.verdict.analysis().violating_runs,
+            via_pipeline.verdict.analysis().violating_runs
+        );
+        assert_eq!(via_fn.messages, via_pipeline.messages);
+
+        let registry = Registry::disabled();
+        let tracer = jmpax_trace::Tracer::default();
+        let mut syms3 = SymbolTable::new();
+        let ex3 = example2(&mut syms3);
+        let obs = check_execution_with_observability(&ex3, spec, &mut syms3, &registry, &tracer)
+            .unwrap();
+        assert_eq!(obs.pipeline.verdict.analysis().violating_runs, 1);
+        assert_eq!(obs.stream.violations.len(), 1);
+
+        let mut syms4 = SymbolTable::new();
+        let ex4 = example2(&mut syms4);
+        let tel = check_execution_with_telemetry(&ex4, spec, &mut syms4, &registry).unwrap();
+        assert_eq!(tel.verdict.analysis().violating_runs, 1);
+
+        let mut syms5 = SymbolTable::new();
+        let ex5 = example2(&mut syms5);
+        let ro = check_run_outcome(&ex5, spec, &mut syms5).unwrap();
+        assert_eq!(ro.verdict.analysis().violating_runs, 1);
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential_bit_for_bit() {
+        let mut syms = SymbolTable::new();
+        let ex = example2(&mut syms);
+        let spec = "(x > 0) -> [y = 0, y > z)";
+        let seq = Pipeline::new(PipelineConfig::new())
+            .check_execution(&ex, spec, &mut syms)
+            .unwrap()
+            .report;
+        let mut syms2 = SymbolTable::new();
+        let ex2 = example2(&mut syms2);
+        let par = Pipeline::new(PipelineConfig::new().parallelism(8))
+            .check_execution(&ex2, spec, &mut syms2)
+            .unwrap()
+            .report;
+        assert_eq!(seq.verdict.analysis().total_runs, par.verdict.analysis().total_runs);
+        assert_eq!(
+            seq.verdict.analysis().violating_runs,
+            par.verdict.analysis().violating_runs
+        );
+        assert_eq!(seq.verdict.analysis().states, par.verdict.analysis().states);
+        assert_eq!(seq.messages, par.messages);
+        assert_eq!(seq.observed_violation, par.observed_violation);
     }
 
     #[test]

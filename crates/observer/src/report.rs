@@ -178,9 +178,10 @@ mod tests {
         ex.read(t2, x);
         ex.write(t2, x, 1);
 
-        let report =
-            crate::pipeline::check_execution(&ex, "(x > 0) -> [y = 0, y > z)", &mut syms).unwrap();
-        let text = render_analysis(report.verdict.analysis(), &syms);
+        let outcome = crate::pipeline::Pipeline::new(crate::pipeline::PipelineConfig::new())
+            .check_execution(&ex, "(x > 0) -> [y = 0, y > z)", &mut syms)
+            .unwrap();
+        let text = render_analysis(outcome.report.verdict.analysis(), &syms);
         assert!(text.contains("7 states"), "{text}");
         assert!(text.contains("3 total, 1 violating"), "{text}");
         assert!(text.contains("violation at cut S2,2"), "{text}");
@@ -237,8 +238,10 @@ mod tests {
         let x = syms.intern("x");
         let mut ex = Execution::new().with_initial(x, 0);
         ex.write(ThreadId(0), x, 1);
-        let report = crate::pipeline::check_execution(&ex, "x >= 0", &mut syms).unwrap();
-        let text = render_analysis(report.verdict.analysis(), &syms);
+        let outcome = crate::pipeline::Pipeline::new(crate::pipeline::PipelineConfig::new())
+            .check_execution(&ex, "x >= 0", &mut syms)
+            .unwrap();
+        let text = render_analysis(outcome.report.verdict.analysis(), &syms);
         assert!(text.contains("satisfied on every run"), "{text}");
     }
 }

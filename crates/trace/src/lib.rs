@@ -123,6 +123,20 @@ pub enum TraceKind {
         /// Stage name, e.g. `"instrument"`, `"jpax"`, `"analysis"`.
         name: &'static str,
     },
+    /// One shard of a parallel frontier expansion finished its slice of a
+    /// level (span). Recorded on the shard's own lane
+    /// (`lattice.shard<N>`), so Perfetto renders the worker pool's
+    /// concurrency and imbalance directly.
+    ShardExpanded {
+        /// Level index `r` being sealed.
+        level: u64,
+        /// Zero-based shard index within the worker pool.
+        shard: u32,
+        /// Frontier cuts assigned to this shard.
+        cuts: u64,
+        /// Successor contributions the shard produced before the exchange.
+        contributions: u64,
+    },
     /// The reassembler gave up on a sequence gap (instant).
     GapSkipped {
         /// Thread whose stream had the gap.

@@ -6,7 +6,7 @@
 //! cargo run --example bank_audit
 //! ```
 
-use jmpax::observer::check_execution;
+use jmpax::observer::{Pipeline, PipelineConfig};
 use jmpax::sched::run_random;
 use jmpax::workloads::bank;
 
@@ -24,7 +24,10 @@ fn main() {
             }
             finished += 1;
             let mut syms = w.symbols.clone();
-            let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+            let report = Pipeline::new(PipelineConfig::new())
+                .check_execution(&out.execution, &w.spec, &mut syms)
+                .unwrap()
+                .report;
             observed += usize::from(report.observed());
             predicted += usize::from(report.predicted());
         }

@@ -12,7 +12,7 @@
 //! cargo run --example flight_controller
 //! ```
 
-use jmpax::observer::{check_execution, render_analysis};
+use jmpax::observer::{render_analysis, Pipeline, PipelineConfig};
 use jmpax::sched::{find_schedule_for_writes, run_fixed, TargetWrite};
 use jmpax::workloads::landing;
 use jmpax::{ThreadId, Value};
@@ -29,7 +29,10 @@ fn main() {
 
     // 2. The observer analyzes the computation extracted by Algorithm A.
     let mut syms = w.symbols.clone();
-    let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+    let report = Pipeline::new(PipelineConfig::new())
+        .check_execution(&out.execution, &w.spec, &mut syms)
+        .unwrap()
+        .report;
     println!(
         "single-trace (JPaX-style) verdict: {}",
         if report.observed() {

@@ -7,7 +7,7 @@
 //! ```
 
 use jmpax::lattice::{to_dot, DotOptions, Lattice, LatticeInput};
-use jmpax::observer::check_execution;
+use jmpax::observer::{Pipeline, PipelineConfig};
 use jmpax::sched::run_fixed;
 use jmpax::spec::ProgramState;
 use jmpax::workloads::{landing, xyz};
@@ -23,7 +23,10 @@ fn export(
 
     // Analyze to find the violating cuts to highlight.
     let mut syms = workload.symbols.clone();
-    let report = check_execution(&out.execution, &workload.spec, &mut syms).unwrap();
+    let report = Pipeline::new(PipelineConfig::new())
+        .check_execution(&out.execution, &workload.spec, &mut syms)
+        .unwrap()
+        .report;
     let highlights = report
         .verdict
         .analysis()

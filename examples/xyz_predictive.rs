@@ -6,7 +6,7 @@
 //! ```
 
 use jmpax::lattice::{Lattice, LatticeInput};
-use jmpax::observer::{check_execution, render_counterexample};
+use jmpax::observer::{render_counterexample, Pipeline, PipelineConfig};
 use jmpax::sched::run_fixed;
 use jmpax::spec::ProgramState;
 use jmpax::workloads::xyz;
@@ -64,7 +64,10 @@ fn main() {
 
     // The predictive verdict with the violating run.
     let mut syms = w.symbols.clone();
-    let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+    let report = Pipeline::new(PipelineConfig::new())
+        .check_execution(&out.execution, &w.spec, &mut syms)
+        .unwrap()
+        .report;
     let analysis = report.verdict.analysis();
     println!(
         "observed run successful: {} — violating runs in the lattice: {}",

@@ -11,7 +11,7 @@
 //! two examples the predictive detection rate must be overwhelmingly
 //! higher.
 
-use jmpax::observer::check_execution;
+use jmpax::observer::{Pipeline, PipelineConfig};
 use jmpax::sched::run_random;
 use jmpax::workloads::{bank, landing, xyz, Workload};
 
@@ -34,7 +34,10 @@ fn sweep(w: &Workload, seeds: u64, max_steps: usize) -> Rates {
         }
         rates.runs += 1;
         let mut syms = w.symbols.clone();
-        let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+        let report = Pipeline::new(PipelineConfig::new())
+            .check_execution(&out.execution, &w.spec, &mut syms)
+            .unwrap()
+            .report;
         if report.observed() {
             rates.observed += 1;
         }

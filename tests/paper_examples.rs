@@ -11,7 +11,7 @@
 //! controlled schedule, the recorded execution is instrumented with
 //! Algorithm A, and the observer analyzes the resulting lattice.
 
-use jmpax::observer::check_execution;
+use jmpax::observer::{Pipeline, PipelineConfig};
 use jmpax::sched::run_fixed;
 use jmpax::workloads::{landing, xyz};
 use jmpax::{Relevance, ThreadId};
@@ -23,7 +23,10 @@ fn example1_fig5_six_states_three_runs_two_violations() {
     assert!(out.finished, "the controller must terminate");
 
     let mut syms = w.symbols.clone();
-    let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+    let report = Pipeline::new(PipelineConfig::new())
+        .check_execution(&out.execution, &w.spec, &mut syms)
+        .unwrap()
+        .report;
 
     // The observed execution is successful...
     assert!(!report.observed(), "observed run must satisfy the property");
@@ -43,7 +46,10 @@ fn example1_counterexamples_cover_both_bad_scenarios() {
     let w = landing::workload();
     let out = run_fixed(&w.program, landing::observed_success_schedule(), 300);
     let mut syms = w.symbols.clone();
-    let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+    let report = Pipeline::new(PipelineConfig::new())
+        .check_execution(&out.execution, &w.spec, &mut syms)
+        .unwrap()
+        .report;
     let analysis = report.verdict.analysis();
 
     // The paper's two bad scenarios ("radio drops before approval" and
@@ -69,7 +75,10 @@ fn example2_fig6_seven_states_three_runs_one_violation() {
     assert!(out.finished);
 
     let mut syms = w.symbols.clone();
-    let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+    let report = Pipeline::new(PipelineConfig::new())
+        .check_execution(&out.execution, &w.spec, &mut syms)
+        .unwrap()
+        .report;
 
     assert!(!report.observed(), "the paper's observed run is successful");
     let analysis = report.verdict.analysis();

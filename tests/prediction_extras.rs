@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use jmpax::observer::{check_execution, detect_races, predict_deadlocks};
+use jmpax::observer::{detect_races, predict_deadlocks, Pipeline, PipelineConfig};
 use jmpax::sched::{run_random, verify_exhaustive, ExploreLimits};
 use jmpax::workloads::{bank, dining, xyz};
 use jmpax::VarId;
@@ -32,7 +32,10 @@ fn bank_prediction_matches_exhaustive_ground_truth() {
             let out = run_random(&w.program, seed, 200);
             assert!(out.finished);
             let mut syms = w.symbols.clone();
-            let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+            let report = Pipeline::new(PipelineConfig::new())
+                .check_execution(&out.execution, &w.spec, &mut syms)
+                .unwrap()
+                .report;
             assert_eq!(
                 report.predicted(),
                 expect_violation,
@@ -68,7 +71,10 @@ fn xyz_exhaustive_has_violations_and_prediction_agrees() {
 
     let out = jmpax::sched::run_fixed(&w.program, xyz::observed_success_schedule(), 100);
     let mut syms = w.symbols.clone();
-    let report = check_execution(&out.execution, &w.spec, &mut syms).unwrap();
+    let report = Pipeline::new(PipelineConfig::new())
+        .check_execution(&out.execution, &w.spec, &mut syms)
+        .unwrap()
+        .report;
     assert!(report.predicted());
 }
 
