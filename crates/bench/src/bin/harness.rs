@@ -4,6 +4,8 @@
 //! ```sh
 //! cargo run -p jmpax-bench --bin harness --release            # everything
 //! cargo run -p jmpax-bench --bin harness --release -- fig5    # one experiment
+//! cargo run -p jmpax-bench --bin harness --release -- baseline \
+//!     > BENCH_baseline.json                                   # perf baseline
 //! ```
 
 use std::time::Instant;
@@ -23,6 +25,12 @@ use jmpax_workloads::{bank, landing, peterson, xyz};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    // `baseline` emits machine-readable JSON on stdout, so it never runs
+    // as part of `all` (whose output is the human-readable figure dump).
+    if which == "baseline" {
+        baseline();
+        return;
+    }
     let all = which == "all";
     if all || which == "fig2" {
         fig2();
@@ -72,6 +80,39 @@ fn main() {
     if all || which == "codec" {
         codec();
     }
+}
+
+/// Emits a [`jmpax_bench::BenchReport`] sweep as JSON on stdout: several
+/// banded workloads, each at 1 and 2 frontier workers, minimum wall time
+/// over 3 repeats. `harness baseline > BENCH_baseline.json` regenerates
+/// the committed performance baseline.
+fn baseline() {
+    let configs = [
+        BandedConfig {
+            threads: 8,
+            rounds: 3,
+            period: 0,
+        },
+        BandedConfig {
+            threads: 6,
+            rounds: 4,
+            period: 0,
+        },
+        BandedConfig {
+            threads: 5,
+            rounds: 20,
+            period: 1,
+        },
+    ];
+    let mut merged: Option<jmpax_bench::BenchReport> = None;
+    for config in configs {
+        let report = jmpax_bench::measure(config, &[1, 2], 3);
+        match &mut merged {
+            None => merged = Some(report),
+            Some(m) => m.runs.extend(report.runs),
+        }
+    }
+    println!("{}", merged.expect("at least one config").to_json());
 }
 
 /// Wire-format sizes: plain fixed-width frames vs the compact varint

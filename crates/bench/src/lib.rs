@@ -11,6 +11,7 @@
 pub mod ablation;
 pub mod experiments;
 pub mod generators;
+pub mod perf;
 
 pub use ablation::{
     compare_symmetric, symmetric_instrument, SymmetricInstrumentor, SymmetricStats,
@@ -19,4 +20,8 @@ pub use experiments::{
     detection_sweep, fig3_equivalence, fig5_experiment, fig6_experiment, parallel_scaling_sweep,
     DetectionRates, LatticeExperiment, ParallelScalingRow,
 };
-pub use generators::{banded_computation, BandedConfig};
+pub use generators::{banded_computation, banded_computation_telemetered, BandedConfig};
+pub use perf::{
+    compare, measure, BenchReport, BenchRun, Comparison, HostInfo, RunDelta, SchemaError,
+    StageStat, Workload,
+};

@@ -14,7 +14,7 @@ pub struct Args {
 
 /// Flags that never take a value (so `--streaming file.trace` leaves
 /// `file.trace` positional).
-pub const BOOL_FLAGS: &[&str] = &["streaming", "help"];
+pub const BOOL_FLAGS: &[&str] = &["streaming", "help", "json"];
 
 impl Args {
     /// Parses an iterator of raw arguments (without the program name).

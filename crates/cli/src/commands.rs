@@ -93,14 +93,24 @@ USAGE:
         (redirect to a file, then `jmpax check` it).
 
     jmpax bench [--threads <N>] [--rounds <N>] [--period <N>]
-                [--workers <N>] [--min-speedup <F>]
-        Time the streaming analysis of a wide synthetic lattice (a banded
-        computation: N threads, barrier every <period> rounds; period 0 =
-        pure hypercube) with 1 worker and with --workers workers, assert
-        the two reports are identical, and print the speedup in a
-        machine-readable `bench:` format. --min-speedup F exits 1 when
-        the measured speedup falls below F (CI smoke: F < 1 tolerates
-        noise while catching real regressions).
+                [--workers <N>] [--repeat <N>] [--min-speedup <F>]
+                [--json] [--baseline <FILE>] [--tolerance <PCT>]
+        Measure the streaming analysis of a wide synthetic lattice (a
+        banded computation: N threads, barrier every <period> rounds;
+        period 0 = pure hypercube) through the full observer path — v2
+        frame decode, causal reassembly, lattice analysis — with 1 worker
+        and with --workers workers, keeping the minimum wall time over
+        --repeat repeats (default 3). Asserts the two reports are
+        identical and prints the speedup plus per-stage p50/p95/p99
+        latencies in a machine-readable `bench:` format. --min-speedup F
+        exits 1 when the measured speedup falls below F (CI smoke: F < 1
+        tolerates noise while catching real regressions). --json instead
+        emits a schema-stable BenchReport JSON document (commit one as
+        BENCH_baseline.json). --baseline FILE re-measures and compares:
+        exit 1 when a matched run is slower than the baseline by more
+        than --tolerance percent (default 25), exit 2 on a malformed
+        baseline; parallel runs are not gated when the baseline host had
+        a different core count.
 
 SPEC SYNTAX:
     atoms        x > 0, y = 1, balance >= 150, x + 2*y != z
@@ -755,11 +765,15 @@ fn trace_cmd(args: &Args, registry: &Registry) -> (i32, String, Option<ServeMetr
     (0, out, serve)
 }
 
-/// `jmpax bench`: time the streaming analysis of a wide banded lattice
-/// with 1 worker and with `--workers` workers, assert the reports are
-/// identical, and print the speedup machine-readably (`bench: key=value`).
+/// `jmpax bench`: measure the streaming analysis of a wide banded lattice
+/// with 1 worker and with `--workers` workers through the full observer
+/// path (decode → reassemble → analyze), assert the reports are identical,
+/// and print the speedup machine-readably (`bench: key=value`). `--json`
+/// instead emits the [`jmpax_bench::BenchReport`] JSON document (stage
+/// p50/p95/p99 latencies included); `--baseline <file>` compares against a
+/// committed report and exits 1 on regression beyond `--tolerance <pct>`.
 fn bench(args: &Args) -> (i32, String) {
-    use jmpax_bench::generators::{banded_computation, BandedConfig};
+    use jmpax_bench::generators::BandedConfig;
 
     let get = |key: &str, default: usize| {
         args.get(key)
@@ -769,6 +783,7 @@ fn bench(args: &Args) -> (i32, String) {
     let threads = get("threads", 8).max(1);
     let rounds = get("rounds", 3).max(1);
     let period = get("period", 0);
+    let repeat = get("repeat", 3).max(1);
     let workers = get(
         "workers",
         std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
@@ -786,75 +801,85 @@ fn bench(args: &Args) -> (i32, String) {
             }
         },
     };
+    let tolerance = match args.get("tolerance") {
+        None => 25.0,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(f) if f >= 0.0 => f,
+            _ => {
+                return (
+                    2,
+                    format!("bench: --tolerance expects a non-negative percentage, got `{raw}`\n"),
+                )
+            }
+        },
+    };
+    // Read the baseline before measuring: a malformed file must fail fast.
+    let baseline = match args.get("baseline") {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => return (2, format!("bench: cannot read baseline `{path}`: {e}\n")),
+            Ok(text) => match jmpax_bench::BenchReport::from_json(&text) {
+                Err(e) => return (2, format!("bench: malformed baseline `{path}`: {e}\n")),
+                Ok(report) => Some((path.to_string(), report)),
+            },
+        },
+    };
 
-    let (messages, initial) = banded_computation(BandedConfig {
-        threads,
-        rounds,
-        period,
-    });
-    // Intern v0..vN so the private variables and the barrier have names,
-    // then monitor a property every banded write satisfies — the point is
-    // the per-cut evaluation cost, not the verdict.
-    let mut symbols = SymbolTable::new();
-    for v in 0..=threads {
-        symbols.intern(&format!("v{v}"));
+    let report = jmpax_bench::measure(
+        BandedConfig {
+            threads,
+            rounds,
+            period,
+        },
+        &[1, workers],
+        repeat,
+    );
+    let identical = report.runs.iter().all(|r| r.identical);
+    let run_1 = &report.runs[0];
+    let run_n = &report.runs[1];
+
+    if args.get("json").is_some() {
+        // Only the JSON document on stdout, so
+        // `jmpax bench --json > BENCH_baseline.json` commits cleanly.
+        let code = if identical { 0 } else { 2 };
+        return (code, format!("{}\n", report.to_json()));
     }
-    let formula = match parse("[*] v0 >= 0", &mut symbols) {
-        Ok(f) => f,
-        Err(e) => return (2, format!("bench: {e}\n")),
-    };
-    let monitor = match formula.monitor() {
-        Ok(m) => m,
-        Err(e) => return (2, format!("bench: {e}\n")),
-    };
-
-    let run = |parallelism: usize| {
-        let mut s = StreamingAnalyzer::new(monitor.clone(), &initial, threads)
-            .with_parallelism(parallelism);
-        let start = std::time::Instant::now();
-        s.push_all(messages.clone());
-        let report = s.finish();
-        (start.elapsed(), report)
-    };
-
-    let (wall_1, report_1) = run(1);
-    let (wall_n, report_n) = run(workers);
 
     let mut out = String::new();
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = report.host.cores;
     let _ = writeln!(
         out,
-        "bench: workload=banded threads={threads} rounds={rounds} period={period} cores={cores}"
+        "bench: workload=banded threads={threads} rounds={rounds} period={period} \
+         cores={cores} repeat={repeat}"
     );
     let _ = writeln!(
         out,
         "bench: states={} levels={} peak_frontier={}",
-        report_1.states_explored, report_1.levels_built, report_1.peak_frontier
+        run_1.states, run_1.levels, run_1.peak_frontier
     );
-    let identical = report_1.states_explored == report_n.states_explored
-        && report_1.levels_built == report_n.levels_built
-        && report_1.peak_frontier == report_n.peak_frontier
-        && report_1.violations.len() == report_n.violations.len()
-        && report_1.exactness == report_n.exactness;
-    let _ = writeln!(out, "bench: workers=1 wall_us={}", wall_1.as_micros());
+    let _ = writeln!(out, "bench: workers=1 wall_us={}", run_1.wall_ns / 1_000);
     let _ = writeln!(
         out,
         "bench: workers={workers} wall_us={}",
-        wall_n.as_micros()
+        run_n.wall_ns / 1_000
     );
+    for stage in &run_1.stages {
+        let _ = writeln!(
+            out,
+            "bench: stage={} count={} p50_ns={} p95_ns={} p99_ns={}",
+            stage.name, stage.count, stage.p50_ns, stage.p95_ns, stage.p99_ns
+        );
+    }
     if !identical {
         let _ = writeln!(
             out,
             "bench: ERROR parallel report diverged from sequential \
              (states {} vs {}, levels {} vs {})",
-            report_1.states_explored,
-            report_n.states_explored,
-            report_1.levels_built,
-            report_n.levels_built
+            run_1.states, run_n.states, run_1.levels, run_n.levels
         );
         return (2, out);
     }
-    let speedup = wall_1.as_secs_f64() / wall_n.as_secs_f64().max(1e-9);
+    let speedup = run_1.wall_ns as f64 / run_n.wall_ns.max(1) as f64;
     let _ = writeln!(out, "bench: identical=yes speedup={speedup:.2}");
     if cores < 2 {
         let _ = writeln!(
@@ -865,6 +890,52 @@ fn bench(args: &Args) -> (i32, String) {
     if let Some(min) = min_speedup {
         if speedup < min {
             let _ = writeln!(out, "bench: FAIL speedup {speedup:.2} < required {min}");
+            return (1, out);
+        }
+    }
+
+    if let Some((path, base)) = baseline {
+        let cmp = jmpax_bench::compare(&report, &base, tolerance);
+        let _ = writeln!(
+            out,
+            "bench: compare baseline={path} tolerance={tolerance}% \
+             base_cores={} cur_cores={cores}",
+            base.host.cores
+        );
+        for d in &cmp.deltas {
+            let status = if d.regressed {
+                "REGRESSED"
+            } else if d.gated {
+                "ok"
+            } else {
+                "skipped-core-mismatch"
+            };
+            let _ = writeln!(
+                out,
+                "bench: delta threads={} rounds={} period={} workers={} \
+                 base_us={} cur_us={} ratio={:.2} status={status}",
+                d.workload.threads,
+                d.workload.rounds,
+                d.workload.period,
+                d.workers,
+                d.baseline_wall_ns / 1_000,
+                d.current_wall_ns / 1_000,
+                d.ratio
+            );
+        }
+        let _ = writeln!(
+            out,
+            "bench: compare regressions={} skipped={} unmatched={}",
+            cmp.regressions(),
+            cmp.skipped_core_mismatch,
+            cmp.missing_in_baseline
+        );
+        if cmp.regressions() > 0 {
+            let _ = writeln!(
+                out,
+                "bench: FAIL {} run(s) slower than baseline by more than {tolerance}%",
+                cmp.regressions()
+            );
             return (1, out);
         }
     }
@@ -1129,6 +1200,96 @@ T1 write b 0
     fn bench_rejects_bad_min_speedup() {
         let (code, out) = run_cli(&["bench", "--min-speedup", "zero"], None);
         assert_eq!(code, 2, "{out}");
+    }
+
+    /// Writes `contents` to a unique file under the target temp dir and
+    /// returns its path.
+    fn write_bench_fixture(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("jmpax-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).expect("write fixture");
+        path
+    }
+
+    const SMALL_BENCH: &[&str] = &[
+        "bench", "--threads", "4", "--rounds", "2", "--workers", "2", "--repeat", "1",
+    ];
+
+    #[test]
+    fn bench_json_emits_parseable_report() {
+        let mut argv = SMALL_BENCH.to_vec();
+        argv.push("--json");
+        let (code, out) = run_cli(&argv, None);
+        assert_eq!(code, 0, "{out}");
+        let report = jmpax_bench::BenchReport::from_json(&out).expect("valid report");
+        assert_eq!(report.schema, "jmpax-bench-report/v1");
+        assert_eq!(report.runs.len(), 2, "one serial run, one parallel run");
+        assert!(
+            report.runs.iter().all(|r| !r.stages.is_empty()),
+            "every run carries stage percentiles: {out}"
+        );
+    }
+
+    #[test]
+    fn bench_baseline_within_tolerance_exits_zero() {
+        let mut argv = SMALL_BENCH.to_vec();
+        argv.push("--json");
+        let (code, json) = run_cli(&argv, None);
+        assert_eq!(code, 0, "{json}");
+        let path = write_bench_fixture("baseline-ok.json", &json);
+
+        let mut argv = SMALL_BENCH.to_vec();
+        let p = path.to_string_lossy().into_owned();
+        argv.extend(["--baseline", &p, "--tolerance", "900"]);
+        let (code, out) = run_cli(&argv, None);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("compare regressions=0"), "{out}");
+    }
+
+    #[test]
+    fn bench_baseline_regression_exits_one() {
+        let mut argv = SMALL_BENCH.to_vec();
+        argv.push("--json");
+        let (code, json) = run_cli(&argv, None);
+        assert_eq!(code, 0, "{json}");
+        // Halve every wall time so the fresh run looks >2x slower than the
+        // baseline, which must trip the gate at any reasonable tolerance.
+        let mut report = jmpax_bench::BenchReport::from_json(&json).expect("valid report");
+        for run in &mut report.runs {
+            run.wall_ns = (run.wall_ns / 2).max(1);
+        }
+        let path = write_bench_fixture("baseline-halved.json", &report.to_json());
+
+        let mut argv = SMALL_BENCH.to_vec();
+        let p = path.to_string_lossy().into_owned();
+        argv.extend(["--baseline", &p, "--tolerance", "25"]);
+        let (code, out) = run_cli(&argv, None);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("status=REGRESSED"), "{out}");
+        assert!(out.contains("bench: FAIL"), "{out}");
+    }
+
+    #[test]
+    fn bench_malformed_baseline_exits_two() {
+        let path = write_bench_fixture("baseline-bad.json", "{\"schema\":\"nope\"}");
+        let mut argv = SMALL_BENCH.to_vec();
+        let p = path.to_string_lossy().into_owned();
+        argv.extend(["--baseline", &p]);
+        let (code, out) = run_cli(&argv, None);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("malformed baseline"), "{out}");
+    }
+
+    #[test]
+    fn bench_missing_baseline_exits_two() {
+        let (code, out) = run_cli(
+            &["bench", "--baseline", "/nonexistent/jmpax-baseline.json"],
+            None,
+        );
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("cannot read baseline"), "{out}");
     }
 
     #[test]

@@ -204,6 +204,11 @@ pub struct StreamingAnalyzer {
     tel_peak: Gauge,
     tel_pruned: Counter,
     tel_non_writes: Counter,
+    /// Per-level stage latencies: frontier expansion
+    /// (`lattice.stage.expand_ns`) and the post-expansion seal — violation
+    /// trails, pruning, retiring the level (`lattice.stage.seal_ns`).
+    tel_expand: Histogram,
+    tel_seal: Histogram,
     /// `lattice.parallel.*` metrics, recorded only on levels the worker
     /// pool actually expanded.
     tel_shard_width: Histogram,
@@ -232,7 +237,9 @@ impl StreamingAnalyzer {
     /// merged into an already-created node of the next level),
     /// `lattice.levels_built`, `lattice.violations`,
     /// `lattice.frontier_width` (histogram, one sample per completed
-    /// level), and `lattice.peak_frontier` (gauge).
+    /// level), `lattice.peak_frontier` (gauge), and per-level stage
+    /// latency histograms `lattice.stage.expand_ns` /
+    /// `lattice.stage.seal_ns`.
     #[must_use]
     pub fn with_telemetry(
         monitor: Monitor,
@@ -303,6 +310,8 @@ impl StreamingAnalyzer {
             tel_peak,
             tel_pruned: registry.counter("lattice.frontier_pruned"),
             tel_non_writes: registry.counter("lattice.non_writes_skipped"),
+            tel_expand: registry.histogram("lattice.stage.expand_ns"),
+            tel_seal: registry.histogram("lattice.stage.seal_ns"),
             tel_shard_width: registry.histogram("lattice.parallel.shard_width"),
             tel_merge: registry.histogram("lattice.parallel.merge_ns"),
             tel_imbalance: registry.gauge("lattice.parallel.imbalance_pct"),
@@ -687,11 +696,14 @@ impl StreamingAnalyzer {
             let mut level_pruned = 0u64;
             let current = std::mem::take(&mut self.frontier);
             let workers = self.level_workers(current.len());
+            let expand_span = self.tel_expand.start_span();
             let mut exp = if workers > 1 {
                 self.expand_parallel(&current, level_index, workers)
             } else {
                 self.expand_sequential(&current, level_index)
             };
+            expand_span.finish();
+            let seal_span = self.tel_seal.start_span();
             self.states_explored += exp.new_states;
             self.tel_states.add(exp.new_states);
             self.tel_deduped.add(exp.deduped);
@@ -776,6 +788,7 @@ impl StreamingAnalyzer {
                     level_start,
                 );
             }
+            seal_span.finish();
         }
     }
 }

@@ -424,8 +424,9 @@ impl ResilienceSummary {
 ///
 /// Telemetry (when `registry` is enabled): `resilience.frames_corrupt`,
 /// `resilience.frames_resynced`, `resilience.msgs_reordered`,
-/// `resilience.msgs_duplicate`, `resilience.gaps_skipped`, plus everything
-/// the monitor and analysis publish.
+/// `resilience.msgs_duplicate`, `resilience.gaps_skipped`, stage latency
+/// histograms `observer.stage.decode_ns` / `observer.stage.reassemble_ns`,
+/// plus everything the monitor and analysis publish.
 ///
 /// # Errors
 ///
@@ -439,7 +440,9 @@ pub fn check_frames_resilient(
     stall_budget: u64,
     registry: &Registry,
 ) -> Result<(PipelineReport, ResilienceSummary), PipelineError> {
+    let decode_span = registry.histogram("observer.stage.decode_ns").start_span();
     let decoded = jmpax_instrument::decode_frames_resilient(frames);
+    decode_span.finish();
     registry
         .counter("resilience.frames_corrupt")
         .add(decoded.frames_corrupt);
@@ -447,9 +450,13 @@ pub fn check_frames_resilient(
         .counter("resilience.frames_resynced")
         .add(decoded.frames_resynced);
 
+    let reassemble_span = registry
+        .histogram("observer.stage.reassemble_ns")
+        .start_span();
     let mut reassembler = jmpax_lattice::Reassembler::with_stall_budget(stall_budget);
     reassembler.push_all(decoded.messages);
     let (messages, reassembly) = reassembler.finish();
+    reassemble_span.finish();
     reassembly.record(registry);
 
     // Transport losses the reassembler could not notice (a corrupted frame

@@ -121,6 +121,10 @@ pub struct Monitor {
     /// unless attached via [`Monitor::with_telemetry`]. Clones share the
     /// counter, so every cut evaluated across the lattice is counted.
     evals: jmpax_telemetry::Counter,
+    /// Per-evaluation latency histogram (`spec.stage.eval_ns`); disabled
+    /// unless attached via [`Monitor::with_telemetry`]. Shared across
+    /// clones like `evals`, so parallel lattice workers pool samples.
+    eval_ns: jmpax_telemetry::Histogram,
 }
 
 impl Monitor {
@@ -137,15 +141,18 @@ impl Monitor {
             root,
             bits,
             evals: jmpax_telemetry::Counter::disabled(),
+            eval_ns: jmpax_telemetry::Histogram::disabled(),
         })
     }
 
     /// Attaches this monitor to `registry`, counting every formula
     /// evaluation (each [`initial`](Self::initial) or [`step`](Self::step)
-    /// call) as `spec.formula_evals`.
+    /// call) as `spec.formula_evals` and recording its latency into the
+    /// `spec.stage.eval_ns` histogram.
     #[must_use]
     pub fn with_telemetry(mut self, registry: &jmpax_telemetry::Registry) -> Self {
         self.evals = registry.counter("spec.formula_evals");
+        self.eval_ns = registry.histogram("spec.stage.eval_ns");
         self
     }
 
@@ -237,6 +244,7 @@ impl Monitor {
 
     fn run(&self, prev: Option<MonitorState>, state: &ProgramState) -> (MonitorState, bool) {
         self.evals.inc();
+        let _span = self.eval_ns.start_span();
         let mut now = vec![false; self.nodes.len()];
         let mut next = MonitorState::default();
         for (id, node) in self.nodes.iter().enumerate() {

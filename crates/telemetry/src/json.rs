@@ -61,6 +61,15 @@ impl Value {
         }
     }
 
+    /// The boolean if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string contents if it is one.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

@@ -165,6 +165,43 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of the bucket whose upper bound is `bound`.
+fn bucket_lower_bound(bound: u64) -> u64 {
+    if bound == 0 {
+        0
+    } else if bound == u64::MAX {
+        1u64 << 63
+    } else {
+        bound / 2 + 1
+    }
+}
+
+/// Estimates the `q`-quantile (`0.0..=1.0`) of a log2-bucketed histogram
+/// given its sparse `(inclusive upper bound, sample count)` buckets and
+/// aggregates. The rank-`ceil(q*count)` sample is located by a cumulative
+/// walk, linearly interpolated inside its bucket, and clamped to the
+/// observed `[min, max]` so estimates never leave the sampled range.
+/// Returns 0 for an empty histogram.
+#[must_use]
+pub fn histogram_quantile(buckets: &[(u64, u64)], count: u64, min: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for &(bound, n) in buckets {
+        if cumulative + n >= rank {
+            let lower = bucket_lower_bound(bound);
+            let frac = (rank - cumulative) as f64 / n as f64;
+            let est = lower as f64 + (bound - lower) as f64 * frac;
+            return (est as u64).clamp(min, max);
+        }
+        cumulative += n;
+    }
+    max
+}
+
 /// A distribution of `u64` samples in power-of-two buckets.
 #[derive(Clone, Default)]
 pub struct Histogram(Option<Arc<HistogramCell>>);
@@ -473,6 +510,24 @@ pub enum MetricValue {
     },
 }
 
+impl MetricValue {
+    /// Estimated `q`-quantile for a non-empty histogram; `None` for other
+    /// metric kinds or when no samples have been recorded.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        match self {
+            MetricValue::Histogram {
+                count,
+                min,
+                max,
+                buckets,
+                ..
+            } if *count > 0 => Some(histogram_quantile(buckets, *count, *min, *max, q)),
+            _ => None,
+        }
+    }
+}
+
 /// One named metric in a snapshot.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricSnapshot {
@@ -542,16 +597,20 @@ impl Snapshot {
                     sum,
                     min,
                     max,
-                    ..
+                    buckets,
                 } => {
                     let mean = if *count == 0 {
                         0.0
                     } else {
                         *sum as f64 / *count as f64
                     };
+                    let p50 = histogram_quantile(buckets, *count, *min, *max, 0.50);
+                    let p95 = histogram_quantile(buckets, *count, *min, *max, 0.95);
+                    let p99 = histogram_quantile(buckets, *count, *min, *max, 0.99);
                     let _ = writeln!(
                         out,
-                        "histogram  count={count} mean={mean:.1} min={min} max={max}"
+                        "histogram  count={count} mean={mean:.1} \
+                         p50={p50} p95={p95} p99={p99} min={min} max={max}"
                     );
                 }
             }
@@ -591,10 +650,14 @@ impl Snapshot {
                     } else {
                         *sum as f64 / *count as f64
                     };
+                    let p50 = histogram_quantile(buckets, *count, *min, *max, 0.50);
+                    let p95 = histogram_quantile(buckets, *count, *min, *max, 0.95);
+                    let p99 = histogram_quantile(buckets, *count, *min, *max, 0.99);
                     let _ = write!(
                         out,
                         "{{\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\
-                         \"min\":{min},\"max\":{max},\"mean\":{mean:.3},\"buckets\":["
+                         \"min\":{min},\"max\":{max},\"mean\":{mean:.3},\
+                         \"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"buckets\":["
                     );
                     for (j, (bound, n)) in buckets.iter().enumerate() {
                         if j > 0 {
@@ -615,31 +678,39 @@ impl Snapshot {
     /// Metric names are prefixed with `jmpax_` and sanitized: every
     /// character outside `[a-zA-Z0-9_:]` becomes `_`, so
     /// `core.events_processed` is exposed as `jmpax_core_events_processed`.
-    /// Gauges additionally expose their high-water mark as a second
-    /// `<name>_peak` gauge. Histograms render cumulative `_bucket{le=...}`
-    /// series from the non-empty log2 buckets, plus `_sum` and `_count`.
+    /// Every series carries `# HELP`/`# TYPE` metadata so scrapers ingest
+    /// it correctly. Gauges additionally expose their high-water mark as a
+    /// second `<name>_peak` gauge. Histograms render cumulative
+    /// `_bucket{le=...}` series from the non-empty log2 buckets, plus
+    /// `_sum`/`_count` and estimated `_p50`/`_p95`/`_p99` gauges.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for entry in &self.entries {
             let name = prometheus_name(&entry.name);
+            let orig = &entry.name;
             match &entry.value {
                 MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# HELP {name} jmpax counter {orig}");
                     let _ = writeln!(out, "# TYPE {name} counter");
                     let _ = writeln!(out, "{name} {v}");
                 }
                 MetricValue::Gauge { value, peak } => {
+                    let _ = writeln!(out, "# HELP {name} jmpax gauge {orig}");
                     let _ = writeln!(out, "# TYPE {name} gauge");
                     let _ = writeln!(out, "{name} {value}");
+                    let _ = writeln!(out, "# HELP {name}_peak high-water mark of {orig}");
                     let _ = writeln!(out, "# TYPE {name}_peak gauge");
                     let _ = writeln!(out, "{name}_peak {peak}");
                 }
                 MetricValue::Histogram {
                     count,
                     sum,
+                    min,
+                    max,
                     buckets,
-                    ..
                 } => {
+                    let _ = writeln!(out, "# HELP {name} jmpax log2 histogram {orig}");
                     let _ = writeln!(out, "# TYPE {name} histogram");
                     let mut cumulative = 0u64;
                     for (bound, n) in buckets {
@@ -649,6 +720,12 @@ impl Snapshot {
                     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
                     let _ = writeln!(out, "{name}_sum {sum}");
                     let _ = writeln!(out, "{name}_count {count}");
+                    for (q, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                        let est = histogram_quantile(buckets, *count, *min, *max, q);
+                        let _ = writeln!(out, "# HELP {name}_{label} estimated {label} of {orig}");
+                        let _ = writeln!(out, "# TYPE {name}_{label} gauge");
+                        let _ = writeln!(out, "{name}_{label} {est}");
+                    }
                 }
             }
         }
@@ -907,6 +984,104 @@ mod tests {
         let col = lines[0].find("gauge").unwrap();
         assert_eq!(lines[1].find("counter").unwrap(), col);
         assert_eq!(lines[2].find("histogram").unwrap(), col);
+    }
+
+    #[test]
+    fn quantile_estimates_stay_within_observed_range() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("h");
+        // 100 samples at 100 ns, 5 at ~10_000 ns: p50 must sit in the low
+        // cluster and p99 in the high one, all clamped to [min, max].
+        for _ in 0..100 {
+            h.record(100);
+        }
+        for _ in 0..5 {
+            h.record(10_000);
+        }
+        let snap = reg.snapshot();
+        let value = snap.get("h").unwrap();
+        let p50 = value.quantile(0.50).unwrap();
+        let p99 = value.quantile(0.99).unwrap();
+        // Bucket for 100 is [64, 127]; the estimate is clamped to min=100.
+        assert!((100..=127).contains(&p50), "p50={p50}");
+        // Bucket for 10_000 is [8192, 16383], clamped to max=10_000.
+        assert!((8192..=10_000).contains(&p99), "p99={p99}");
+        assert!(p50 <= p99, "quantiles must be monotone");
+        // Degenerate cases.
+        assert_eq!(value.quantile(0.0).unwrap(), 100, "q=0 is the min bucket");
+        assert!(MetricValue::Counter(3).quantile(0.5).is_none());
+        let empty = MetricValue::Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![],
+        };
+        assert!(empty.quantile(0.5).is_none());
+        assert_eq!(histogram_quantile(&[], 0, 0, 0, 0.5), 0);
+    }
+
+    #[test]
+    fn single_valued_histogram_quantiles_are_exact() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("h");
+        for _ in 0..7 {
+            h.record(1_000);
+        }
+        let value = reg.snapshot();
+        let value = value.get("h").unwrap();
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(value.quantile(q), Some(1_000), "q={q}");
+        }
+    }
+
+    #[test]
+    fn renderers_surface_quantiles() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("stage.ns");
+        for _ in 0..10 {
+            h.record(512);
+        }
+        let text = reg.snapshot().to_text();
+        assert!(text.contains("p50=512 p95=512 p99=512"), "text: {text}");
+        let json = reg.snapshot().to_json();
+        let parsed = json::parse(&json).unwrap();
+        let m = parsed.get("metrics").and_then(|m| m.get("stage.ns")).unwrap();
+        assert_eq!(m.get("p50").and_then(json::Value::as_u64), Some(512));
+        assert_eq!(m.get("p99").and_then(json::Value::as_u64), Some(512));
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("jmpax_stage_ns_p50 512\n"), "prom: {prom}");
+        assert!(prom.contains("jmpax_stage_ns_p95 512\n"));
+        assert!(prom.contains("jmpax_stage_ns_p99 512\n"));
+    }
+
+    /// Scrapers need `# HELP`/`# TYPE` metadata on every exposed series.
+    #[test]
+    fn prometheus_emits_help_and_type_for_every_series() {
+        let reg = Registry::enabled();
+        reg.counter("core.events_processed").add(1);
+        reg.gauge("lattice.frontier_width").set(2);
+        reg.histogram("observer.stage.analysis_ns").record(3);
+        let text = reg.snapshot().to_prometheus();
+        for series in [
+            "jmpax_core_events_processed",
+            "jmpax_lattice_frontier_width",
+            "jmpax_lattice_frontier_width_peak",
+            "jmpax_observer_stage_analysis_ns",
+            "jmpax_observer_stage_analysis_ns_p50",
+            "jmpax_observer_stage_analysis_ns_p95",
+            "jmpax_observer_stage_analysis_ns_p99",
+        ] {
+            assert!(
+                text.contains(&format!("# HELP {series} ")),
+                "missing HELP for {series}:\n{text}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {series} ")),
+                "missing TYPE for {series}:\n{text}"
+            );
+        }
+        assert!(text.contains("# TYPE jmpax_observer_stage_analysis_ns histogram\n"));
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //!
 //! Serves a fixed set of routes — typically `/metrics` with the telemetry
 //! snapshot in Prometheus text format and `/trace` with a status JSON —
-//! to one client at a time. This is deliberately not a web server: one
+//! to one client at a time, plus a built-in `/healthz` liveness probe
+//! reporting uptime. This is deliberately not a web server: one
 //! thread, blocking accepts, HTTP/1.0-style close-after-response
 //! semantics, just enough for `curl` and a Prometheus scrape.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Instant;
 
 /// One servable route: absolute path, content type, body.
 #[derive(Clone, Debug)]
@@ -35,6 +37,7 @@ impl Route {
 /// A bound, not-yet-serving metrics endpoint.
 pub struct MetricsServer {
     listener: TcpListener,
+    started: Instant,
 }
 
 impl MetricsServer {
@@ -45,7 +48,10 @@ impl MetricsServer {
     /// When the bind fails (e.g. the port is taken).
     pub fn bind(port: u16) -> std::io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
-        Ok(Self { listener })
+        Ok(Self {
+            listener,
+            started: Instant::now(),
+        })
     }
 
     /// The bound address.
@@ -57,14 +63,16 @@ impl MetricsServer {
     }
 
     /// Serves `routes` until `max_requests` requests have been answered
-    /// (`None` = forever). Unknown paths get a 404 listing the known ones.
-    /// Per-connection I/O errors are swallowed — a half-closed scrape must
-    /// not kill the endpoint.
+    /// (`None` = forever). `/healthz` is always available and answers
+    /// `200` with the endpoint uptime, so liveness probes work even when
+    /// no routes were registered. Unknown paths get a 404 listing the
+    /// known ones. Per-connection I/O errors are swallowed — a
+    /// half-closed scrape must not kill the endpoint.
     pub fn serve(&self, routes: &[Route], max_requests: Option<usize>) {
         let mut answered = 0usize;
         for stream in self.listener.incoming() {
             let Ok(stream) = stream else { continue };
-            let _ = handle_connection(stream, routes);
+            let _ = handle_connection(stream, routes, self.started);
             answered += 1;
             if max_requests.is_some_and(|max| answered >= max) {
                 break;
@@ -73,7 +81,11 @@ impl MetricsServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, routes: &[Route]) -> std::io::Result<()> {
+fn handle_connection(
+    mut stream: TcpStream,
+    routes: &[Route],
+    started: Instant,
+) -> std::io::Result<()> {
     // Read until the end of the request head (or 8 KiB, whichever first).
     let mut buf = [0u8; 8192];
     let mut len = 0;
@@ -95,6 +107,12 @@ fn handle_connection(mut stream: TcpStream, routes: &[Route]) -> std::io::Result
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("/");
     let path = path.split('?').next().unwrap_or(path);
+
+    // Built-in liveness probe; a registered `/healthz` route wins.
+    if path == "/healthz" && !routes.iter().any(|r| r.path == "/healthz") {
+        let body = format!("ok uptime_s={}\n", started.elapsed().as_secs());
+        return write_response(&mut stream, 200, "OK", "text/plain", &body);
+    }
 
     match routes.iter().find(|r| r.path == path) {
         Some(route) => write_response(&mut stream, 200, "OK", &route.content_type, &route.body),
@@ -179,6 +197,33 @@ mod tests {
         let (code, body) = get(addr, "/nope");
         assert_eq!(code, 404);
         assert!(body.contains("/metrics"));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn healthz_answers_without_a_registered_route() {
+        let server = MetricsServer::bind(0).expect("bind ephemeral");
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve(&[], Some(1)));
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        assert!(body.starts_with("ok uptime_s="), "{body}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn registered_healthz_route_overrides_builtin() {
+        let server = MetricsServer::bind(0).expect("bind ephemeral");
+        let addr = server.local_addr().unwrap();
+        let routes = vec![Route::new(
+            "/healthz",
+            "application/json",
+            "{\"status\":\"custom\"}".to_string(),
+        )];
+        let handle = std::thread::spawn(move || server.serve(&routes, Some(1)));
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"status\":\"custom\"}");
         handle.join().unwrap();
     }
 }
