@@ -64,6 +64,38 @@ USAGE:
         was lost and Degraded otherwise. Exits 0 when the analysis
         completes, regardless of the verdict.
 
+    jmpax serve --spec <FORMULA> [--port <N>] [--metrics-port <N>]
+                [--sessions <N>] [--max-concurrent <N>] [--queue <N>]
+                [--frontier-cap <N>] [--stall-budget <N>]
+                [--read-timeout-ms <N>] [--idle-timeout-ms <N>]
+                [--handshake-timeout-ms <N>] [--shed <drop|block>] [--json]
+        Run the multi-tenant observer daemon: accept concurrent framed
+        event streams over TCP on 127.0.0.1 (--port 0 picks an ephemeral
+        port, announced on stderr before serving) and analyze each
+        session in its own pipeline behind a bounded queue of --queue
+        chunks (--shed block = real TCP backpressure; drop = shed the
+        chunk, count it, degrade the verdict). Each tenant gets a
+        one-line JSON verdict on its own socket — Exact, Degraded or
+        Error; a lossy, slow, idle or hostile tenant degrades only
+        itself, never the process. Idle tenants are evicted after
+        --idle-timeout-ms; tenant-requested frontier caps are clamped to
+        --frontier-cap. --metrics-port serves live Prometheus metrics
+        (/metrics, /healthz) while the daemon runs. --sessions N shuts
+        down after N session verdicts (default: serve until killed) and
+        prints a shutdown report; --json makes it machine-readable.
+
+    jmpax load <landing|xyz|bank|bank-locked|dining|handoff|peterson>
+                --connect <HOST:PORT> [--sessions <N>] [--seed <N>]
+                [--drop <RATE>] [--dup <RATE>] [--corrupt <RATE>]
+                [--reorder-window <N>] [--frontier-cap <N>]
+                [--tenant <PREFIX>]
+        Drive a serve daemon: run the workload once, then replay its
+        framed messages over N concurrent TCP sessions, each through an
+        independently seeded fault injector (the per-session seed is
+        derived from --seed, so any session replays identically on its
+        own), printing every tenant's verdict line. Exits 0 iff every
+        session received a verdict.
+
     --telemetry <text|json> (check, demo)
         Collect pipeline metrics — instrumentation counters, MVC join and
         per-event timing histograms, lattice level/frontier statistics,
@@ -208,8 +240,9 @@ pub fn run_with_telemetry(args: &Args, trace_source: Option<&str>) -> RunOutput 
         }
     };
     // `trace` always collects metrics: its endpoint and status document
-    // need them even without `--telemetry`.
-    let registry = if mode.is_some() || args.command() == Some("trace") {
+    // need them even without `--telemetry`. `serve` does too: its
+    // `/metrics` endpoint must reflect the daemon live.
+    let registry = if mode.is_some() || matches!(args.command(), Some("trace" | "serve")) {
         Registry::enabled()
     } else {
         Registry::disabled()
@@ -235,6 +268,8 @@ fn run_inner(
         Some("deadlocks") => deadlocks(args, trace_source),
         Some("demo") => demo(args, registry),
         Some("chaos") => chaos(args, registry),
+        Some("serve") => serve(args, registry),
+        Some("load") => load(args),
         Some("trace") => return trace_cmd(args, registry),
         Some("gen") => gen(args),
         Some("bench") => bench(args),
@@ -535,14 +570,48 @@ fn fault_rate(args: &Args, key: &str) -> Result<f64, String> {
     };
     match raw.parse::<f64>() {
         Ok(r) if (0.0..=1.0).contains(&r) => Ok(r),
-        _ => Err(format!(
-            "chaos: --{key} expects a rate in [0, 1], got `{raw}`"
-        )),
+        _ => Err(format!("--{key} expects a rate in [0, 1], got `{raw}`")),
+    }
+}
+
+/// Builds a [`jmpax_instrument::ChaosConfig`] from the shared
+/// `--seed/--drop/--dup/--corrupt/--reorder-window` options (used by both
+/// `chaos` and `load`).
+fn chaos_config(args: &Args) -> Result<jmpax_instrument::ChaosConfig, String> {
+    Ok(jmpax_instrument::ChaosConfig {
+        seed: args
+            .get("seed")
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0),
+        drop_rate: fault_rate(args, "drop")?,
+        dup_rate: fault_rate(args, "dup")?,
+        corrupt_rate: fault_rate(args, "corrupt")?,
+        reorder_window: args
+            .get("reorder-window")
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(0),
+    })
+}
+
+/// Parses an optional typed option, reporting the command and the expected
+/// shape on failure.
+fn parsed<T: std::str::FromStr>(
+    args: &Args,
+    cmd: &str,
+    key: &str,
+    what: &str,
+) -> Result<Option<T>, String> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{cmd}: --{key} expects {what}, got `{raw}`\n")),
     }
 }
 
 fn chaos(args: &Args, registry: &Registry) -> (i32, String) {
-    use jmpax_instrument::{ChaosConfig, ChaosSink};
+    use jmpax_instrument::ChaosSink;
 
     let Some(name) = args.positional.get(1) else {
         return (
@@ -553,29 +622,11 @@ fn chaos(args: &Args, registry: &Registry) -> (i32, String) {
     let Some(w) = workload_by_name(name) else {
         return (2, format!("chaos: unknown workload `{name}`\n"));
     };
-    let seed = args
-        .get("seed")
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(0);
-    let config = ChaosConfig {
-        seed,
-        drop_rate: match fault_rate(args, "drop") {
-            Ok(r) => r,
-            Err(e) => return (2, format!("{e}\n")),
-        },
-        dup_rate: match fault_rate(args, "dup") {
-            Ok(r) => r,
-            Err(e) => return (2, format!("{e}\n")),
-        },
-        corrupt_rate: match fault_rate(args, "corrupt") {
-            Ok(r) => r,
-            Err(e) => return (2, format!("{e}\n")),
-        },
-        reorder_window: args
-            .get("reorder-window")
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or(0),
+    let config = match chaos_config(args) {
+        Ok(c) => c,
+        Err(e) => return (2, format!("chaos: {e}\n")),
     };
+    let seed = config.seed;
     let stall_budget = args
         .get("stall-budget")
         .and_then(|s| s.parse::<u64>().ok())
@@ -636,6 +687,227 @@ fn chaos(args: &Args, registry: &Registry) -> (i32, String) {
         );
     }
     (0, out)
+}
+
+/// `jmpax serve`: bind the multi-tenant observer daemon, optionally expose
+/// live metrics, block until `--sessions` verdicts (or forever), and render
+/// the shutdown report.
+///
+/// The bound addresses are announced on **stderr before serving** — that
+/// is the contract scripts (and the CI chaos-load job) rely on to discover
+/// ephemeral ports, and the only reason this function is not pure.
+fn serve(args: &Args, registry: &Registry) -> (i32, String) {
+    use jmpax_observer::{ServeConfig, Server, ShedPolicy};
+    use std::time::Duration;
+
+    let Some(spec) = args.get("spec").filter(|s| !s.is_empty()) else {
+        return (2, "serve: missing --spec <FORMULA>\n".to_owned());
+    };
+    macro_rules! opt {
+        ($ty:ty, $key:literal, $what:literal) => {
+            match parsed::<$ty>(args, "serve", $key, $what) {
+                Ok(v) => v,
+                Err(e) => return (2, e),
+            }
+        };
+    }
+    let port = opt!(u16, "port", "a port").unwrap_or(0);
+    let metrics_port = opt!(u16, "metrics-port", "a port");
+    let target = opt!(usize, "sessions", "a session count");
+    let shed = match args.get("shed") {
+        None | Some("block") => ShedPolicy::Block,
+        Some("drop") => ShedPolicy::DropNewest,
+        Some(other) => {
+            return (
+                2,
+                format!("serve: --shed expects `drop` or `block`, got `{other}`\n"),
+            )
+        }
+    };
+
+    let mut config = ServeConfig::new(spec);
+    config.telemetry = registry.clone();
+    config.shed = shed;
+    if let Some(n) = opt!(usize, "max-concurrent", "a session count") {
+        config.max_sessions = n.max(1);
+    }
+    if let Some(n) = opt!(usize, "queue", "a chunk count") {
+        config.queue_depth = n.max(1);
+    }
+    if let Some(n) = opt!(u64, "stall-budget", "a message count") {
+        config.stall_budget = n;
+    }
+    if let Some(ms) = opt!(u64, "read-timeout-ms", "milliseconds") {
+        config.read_timeout = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = opt!(u64, "idle-timeout-ms", "milliseconds") {
+        config.idle_timeout = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = opt!(u64, "handshake-timeout-ms", "milliseconds") {
+        config.handshake_timeout = Duration::from_millis(ms.max(1));
+    }
+    if let Some(cap) = opt!(usize, "frontier-cap", "a state count") {
+        config.analysis = config.analysis.with_frontier_cap(cap);
+    }
+
+    let server = match Server::bind(port, config) {
+        Ok(s) => s,
+        Err(e) => return (2, format!("serve: {e}\n")),
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => return (2, format!("serve: {e}\n")),
+    };
+    eprintln!("jmpax serve: listening on {addr}");
+
+    if let Some(mport) = metrics_port {
+        let metrics = match jmpax_trace::serve::MetricsServer::bind(mport) {
+            Ok(m) => m,
+            Err(e) => return (2, format!("serve: cannot bind metrics port {mport}: {e}\n")),
+        };
+        if let Ok(maddr) = metrics.local_addr() {
+            eprintln!("jmpax serve: metrics on http://{maddr}/metrics (and /healthz)");
+        }
+        let live = registry.clone();
+        // The endpoint lives exactly as long as the process: the thread is
+        // detached and dies with it. Routes are rebuilt per request so
+        // `/metrics` reflects the registry *now*.
+        std::thread::spawn(move || {
+            metrics.serve_with(
+                || {
+                    vec![jmpax_trace::serve::Route::new(
+                        "/metrics",
+                        "text/plain; version=0.0.4",
+                        live.snapshot().to_prometheus(),
+                    )]
+                },
+                None,
+            );
+        });
+    }
+
+    let summary = server.run(target);
+    let out = if args.get("json").is_some() {
+        format!("{}\n", report::serve_report_json(&summary))
+    } else {
+        report::serve_summary_text(&summary)
+    };
+    (i32::from(summary.errors() > 0), out)
+}
+
+/// `jmpax load`: replay one workload's framed messages over many
+/// concurrent, independently-seeded lossy TCP sessions against a running
+/// `jmpax serve` daemon.
+fn load(args: &Args) -> (i32, String) {
+    use jmpax_instrument::tcp::{send_raw_session, SessionHello};
+    use jmpax_instrument::ChaosSink;
+
+    let Some(name) = args.positional.get(1) else {
+        return (
+            2,
+            "load: expected a workload name (landing|xyz|bank|dining)\n".to_owned(),
+        );
+    };
+    let Some(w) = workload_by_name(name) else {
+        return (2, format!("load: unknown workload `{name}`\n"));
+    };
+    let Some(addr) = args.get("connect").filter(|s| !s.is_empty()) else {
+        return (2, "load: missing --connect <HOST:PORT>\n".to_owned());
+    };
+    let sessions = match parsed::<usize>(args, "load", "sessions", "a session count") {
+        Ok(n) => n.unwrap_or(1).max(1),
+        Err(e) => return (2, e),
+    };
+    let frontier_cap = match parsed::<u32>(args, "load", "frontier-cap", "a state count") {
+        Ok(n) => n.unwrap_or(0),
+        Err(e) => return (2, e),
+    };
+    let root = match chaos_config(args) {
+        Ok(c) => c,
+        Err(e) => return (2, format!("load: {e}\n")),
+    };
+    let prefix = args.get("tenant").filter(|s| !s.is_empty()).unwrap_or(name);
+
+    let run = jmpax_sched::run_random(&w.program, 0, 1000);
+    let mut spec_symbols = w.symbols.clone();
+    let formula = match parse(&w.spec, &mut spec_symbols) {
+        Ok(f) => f,
+        Err(e) => return (2, format!("load: {e}\n")),
+    };
+    let relevance = Relevance::WritesOf(formula.variables().into_iter().collect());
+    let messages = run.execution.instrument(relevance);
+    // Declare every workload variable in `VarId` order so the daemon
+    // reconstructs this client's symbol table exactly from the handshake.
+    let vars: Vec<(String, jmpax_core::Value)> = w
+        .symbols
+        .iter()
+        .map(|(id, n)| {
+            let value = run
+                .execution
+                .initial
+                .get(&id)
+                .copied()
+                .unwrap_or(jmpax_core::Value::Int(0));
+            (n.to_string(), value)
+        })
+        .collect();
+    let threads = run.execution.thread_count() as u32;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {} -> {addr}", w.name);
+    let _ = writeln!(
+        out,
+        "load: sessions={sessions} seed={} drop={} dup={} corrupt={} reorder-window={}",
+        root.seed, root.drop_rate, root.dup_rate, root.corrupt_rate, root.reorder_window
+    );
+
+    let handles: Vec<_> = (0..sessions as u64)
+        .map(|session| {
+            let addr = addr.to_string();
+            let messages = messages.clone();
+            let vars = vars.clone();
+            let tenant = format!("{prefix}-{session}");
+            let chaos = root.for_session(session);
+            std::thread::spawn(move || {
+                let mut sink = ChaosSink::new(chaos);
+                for m in &messages {
+                    sink.emit(m);
+                }
+                let bytes = sink.take_bytes();
+                let hello = SessionHello {
+                    tenant,
+                    threads,
+                    frontier_cap,
+                    vars,
+                };
+                send_raw_session(addr.as_str(), &hello, &bytes)
+            })
+        })
+        .collect();
+
+    let mut verdicts = 0usize;
+    let mut failures = 0usize;
+    for (session, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(line)) => {
+                verdicts += 1;
+                let _ = writeln!(out, "session {session}: {}", line.trim_end());
+            }
+            Ok(Err(e)) => {
+                failures += 1;
+                let _ = writeln!(out, "session {session}: transport error: {e}");
+            }
+            Err(_) => {
+                failures += 1;
+                let _ = writeln!(out, "session {session}: loader thread panicked");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "load: {verdicts}/{sessions} verdicts received, {failures} failed"
+    );
+    (i32::from(verdicts != sessions), out)
 }
 
 fn trace_cmd(args: &Args, registry: &Registry) -> (i32, String, Option<ServeMetrics>) {
@@ -1290,6 +1562,91 @@ T1 write b 0
         );
         assert_eq!(code, 2, "{out}");
         assert!(out.contains("cannot read baseline"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments_before_binding() {
+        let (code, out) = run_cli(&["serve"], None);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("missing --spec"), "{out}");
+
+        let (code, out) = run_cli(&["serve", "--spec", "x > 0", "--shed", "nope"], None);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--shed expects"), "{out}");
+
+        let (code, out) = run_cli(&["serve", "--spec", "x > 0", "--port", "ninety"], None);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--port expects"), "{out}");
+
+        // A bad spec fails at bind time, before any tenant connects.
+        let (code, out) = run_cli(
+            &["serve", "--spec", "x >", "--port", "0", "--sessions", "0"],
+            None,
+        );
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("parse error"), "{out}");
+    }
+
+    #[test]
+    fn load_rejects_bad_arguments() {
+        let (code, out) = run_cli(&["load"], None);
+        assert_eq!(code, 2, "{out}");
+
+        let (code, out) = run_cli(&["load", "nope", "--connect", "127.0.0.1:1"], None);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("unknown workload"), "{out}");
+
+        let (code, out) = run_cli(&["load", "xyz"], None);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("missing --connect"), "{out}");
+
+        let (code, out) = run_cli(
+            &["load", "xyz", "--connect", "127.0.0.1:1", "--drop", "2.0"],
+            None,
+        );
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--drop expects a rate"), "{out}");
+    }
+
+    #[test]
+    fn serve_and_load_round_trip_in_process() {
+        use jmpax_observer::{ServeConfig, Server};
+
+        // A daemon from the library API, a loader through the CLI: the
+        // CLI's handshake construction must interoperate byte-for-byte.
+        let server = Server::bind(0, ServeConfig::new("(x > 0) -> [y = 0, y > z)")).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn();
+
+        let (code, out) = run_cli(
+            &[
+                "load",
+                "xyz",
+                "--connect",
+                &addr.to_string(),
+                "--sessions",
+                "3",
+                "--seed",
+                "9",
+                "--corrupt",
+                "0.05",
+                "--reorder-window",
+                "2",
+            ],
+            None,
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("load: 3/3 verdicts received, 0 failed"), "{out}");
+        assert!(out.contains("\"verdict\":"), "{out}");
+
+        let summary = handle.stop();
+        assert_eq!(summary.outcomes.len(), 3);
+        assert_eq!(summary.errors(), 0, "{out}");
+        // Per-session seeding: tenants are distinct.
+        let mut tenants: Vec<_> = summary.outcomes.iter().map(|o| o.tenant.clone()).collect();
+        tenants.sort();
+        tenants.dedup();
+        assert_eq!(tenants.len(), 3);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 
 use jmpax_instrument::ChaosStats;
 use jmpax_lattice::Exactness;
-use jmpax_observer::ResilienceSummary;
+use jmpax_observer::{ResilienceSummary, ServeSummary};
 use jmpax_telemetry::json::write_string;
 use jmpax_telemetry::Snapshot;
 use jmpax_trace::profile::LevelProfile;
@@ -63,6 +63,52 @@ pub fn chaos_summary(
         r.messages_lost()
     );
     let _ = writeln!(out, "verdict: {exactness}");
+    out
+}
+
+/// The `jmpax serve --json` shutdown report: one object under a top-level
+/// `"serve"` key, embedding each tenant's verdict exactly as it was
+/// written to that tenant's socket ([`jmpax_observer::TenantOutcome::to_json`]).
+/// Consumed by the CI chaos-load gate — its shape is load-bearing.
+#[must_use]
+pub fn serve_report_json(summary: &ServeSummary) -> String {
+    let mut out = String::with_capacity(128 + summary.outcomes.len() * 128);
+    let _ = write!(
+        out,
+        "{{\"serve\":{{\"sessions\":{},\"exact\":{},\"degraded\":{},\"errors\":{},\"rejected\":{},\"outcomes\":[",
+        summary.outcomes.len(),
+        summary.exact(),
+        summary.degraded(),
+        summary.errors(),
+        summary.rejected
+    );
+    for (i, outcome) in summary.outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&outcome.to_json());
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// The human-readable `jmpax serve` shutdown report: a totals line plus
+/// one verdict line per session, in completion order.
+#[must_use]
+pub fn serve_summary_text(summary: &ServeSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} sessions ({} exact, {} degraded, {} errors), {} rejected",
+        summary.outcomes.len(),
+        summary.exact(),
+        summary.degraded(),
+        summary.errors(),
+        summary.rejected
+    );
+    for outcome in &summary.outcomes {
+        let _ = writeln!(out, "  {}", outcome.to_json());
+    }
     out
 }
 
@@ -128,6 +174,62 @@ mod tests {
             lanes[0].get("lane").and_then(|l| l.as_str()),
             Some("lane \"odd\"")
         );
+    }
+
+    #[test]
+    fn serve_report_json_shape_and_escaping() {
+        use jmpax_observer::{TenantOutcome, TenantVerdict};
+        let summary = ServeSummary {
+            outcomes: vec![
+                TenantOutcome {
+                    tenant: "ok-tenant".to_string(),
+                    session: 0,
+                    verdict: TenantVerdict::Exact,
+                    satisfied: true,
+                    violations: 0,
+                    frames_ok: 12,
+                    messages: 12,
+                    evicted: false,
+                    shed_chunks: 0,
+                },
+                TenantOutcome {
+                    tenant: "weird \"name\"".to_string(),
+                    session: 1,
+                    verdict: TenantVerdict::Error("worker died".to_string()),
+                    satisfied: false,
+                    violations: 0,
+                    frames_ok: 3,
+                    messages: 0,
+                    evicted: true,
+                    shed_chunks: 2,
+                },
+            ],
+            rejected: 4,
+        };
+        let json = serve_report_json(&summary);
+        let v = jmpax_telemetry::json::parse(&json).expect("valid JSON");
+        let serve = v.get("serve").expect("serve key");
+        assert_eq!(serve.get("sessions").and_then(|n| n.as_u64()), Some(2));
+        assert_eq!(serve.get("exact").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(serve.get("errors").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(serve.get("rejected").and_then(|n| n.as_u64()), Some(4));
+        let outcomes = serve.get("outcomes").and_then(|o| o.as_array()).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(
+            outcomes[1].get("tenant").and_then(|t| t.as_str()),
+            Some("weird \"name\"")
+        );
+        assert_eq!(
+            outcomes[1].get("error").and_then(|e| e.as_str()),
+            Some("worker died")
+        );
+
+        let text = serve_summary_text(&summary);
+        assert!(
+            text.contains("2 sessions (1 exact, 0 degraded, 1 errors), 4 rejected"),
+            "{text}"
+        );
+        assert!(text.contains("\"verdict\":\"Exact\""), "{text}");
     }
 
     #[test]

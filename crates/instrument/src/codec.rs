@@ -325,6 +325,140 @@ pub fn decode_frames_resilient(bytes: &Bytes) -> ResilientDecode {
     out
 }
 
+/// Could `buf[at..]` still become a credible v2 header once more bytes
+/// arrive? Checks only the bytes actually present — a strict prefix of a
+/// credible header answers `true`, anything already contradicting the
+/// header layout answers `false`.
+fn credible_prefix(buf: &[u8], at: usize) -> bool {
+    if buf.len() - at >= V2_HEADER_LEN {
+        return credible_header(buf, at);
+    }
+    // Short tails are judged on the magic byte alone — exactly the rule
+    // `decode_frames_resilient` applies to a cut-off stream, so the
+    // incremental accounting lands on the same counters.
+    buf[at] == MAGIC
+}
+
+/// Incremental version of [`decode_frames_resilient`] for live transports:
+/// feed byte chunks as they arrive with [`ResilientFrameDecoder::push`] and
+/// get back every message completed by that chunk; call
+/// [`ResilientFrameDecoder::finish`] at end-of-stream for the fault
+/// accounting. Over any chunking of a byte stream the decoded messages and
+/// counters are identical to one whole-buffer
+/// [`decode_frames_resilient`] pass — the long-running `jmpax serve`
+/// daemon relies on this to analyze tenants online without buffering their
+/// whole session.
+#[derive(Clone, Debug, Default)]
+pub struct ResilientFrameDecoder {
+    /// Unconsumed tail: either empty or a credible prefix of the next
+    /// frame, waiting for more bytes.
+    buf: Vec<u8>,
+    frames_ok: u64,
+    frames_corrupt: u64,
+    frames_resynced: u64,
+    bytes_skipped: u64,
+    /// True while inside a garbage run; the next complete credible frame
+    /// closes it and counts one resync.
+    scanning: bool,
+}
+
+impl ResilientFrameDecoder {
+    /// A decoder at the start of a stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one received chunk and returns every message whose frame is
+    /// now complete. Corruption and garbage are skipped exactly as
+    /// [`decode_frames_resilient`] does; a partial frame at the end of the
+    /// accumulated input is retained for the next push.
+    pub fn push(&mut self, chunk: &[u8]) -> Vec<Message> {
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < self.buf.len() {
+            if credible_header(&self.buf, pos) {
+                let len = u32::from_le_bytes([
+                    self.buf[pos + 2],
+                    self.buf[pos + 3],
+                    self.buf[pos + 4],
+                    self.buf[pos + 5],
+                ]) as usize;
+                let expected = u32::from_le_bytes([
+                    self.buf[pos + 6],
+                    self.buf[pos + 7],
+                    self.buf[pos + 8],
+                    self.buf[pos + 9],
+                ]);
+                let body_at = pos + V2_HEADER_LEN;
+                if self.buf.len() - body_at < len {
+                    break; // wait for the rest of the payload
+                }
+                if self.scanning {
+                    self.scanning = false;
+                    self.frames_resynced += 1;
+                }
+                let payload = &self.buf[body_at..body_at + len];
+                let decoded = if crc32(payload) == expected {
+                    let mut owned = BytesMut::with_capacity(len);
+                    owned.extend_from_slice(payload);
+                    decode_payload(&mut owned.freeze()).ok()
+                } else {
+                    None
+                };
+                match decoded {
+                    Some(m) => {
+                        out.push(m);
+                        self.frames_ok += 1;
+                    }
+                    None => self.frames_corrupt += 1,
+                }
+                pos = body_at + len;
+            } else if credible_prefix(&self.buf, pos) {
+                break; // may complete once more bytes arrive
+            } else {
+                self.scanning = true;
+                self.bytes_skipped += 1;
+                pos += 1;
+            }
+        }
+        self.buf.drain(..pos);
+        out
+    }
+
+    /// Bytes retained while waiting for a frame to complete — bounded by
+    /// one header plus [`MAX_FRAME_LEN`].
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Ends the stream and returns the fault accounting (the `messages`
+    /// field is empty — messages were already handed out by `push`). Any
+    /// retained partial frame becomes a cut-off tail: `truncated` when it
+    /// was a credible (prefix of a) header outside a garbage run, plain
+    /// skipped bytes otherwise — matching what [`decode_frames_resilient`]
+    /// reports on the concatenated stream.
+    #[must_use]
+    pub fn finish(mut self) -> ResilientDecode {
+        let residue = self.buf.len();
+        let mut truncated = false;
+        if residue > 0 {
+            self.bytes_skipped += residue as u64;
+            truncated = credible_header(&self.buf, 0) || !self.scanning;
+        }
+        ResilientDecode {
+            messages: Vec::new(),
+            frames_ok: self.frames_ok,
+            frames_corrupt: self.frames_corrupt,
+            frames_resynced: self.frames_resynced,
+            bytes_skipped: self.bytes_skipped,
+            truncated,
+        }
+    }
+}
+
 /// Decodes every complete frame in `bytes`.
 pub fn decode_frames(bytes: &Bytes) -> Result<Vec<Message>, CodecError> {
     let mut buf = bytes.clone();
@@ -894,5 +1028,156 @@ mod v2_tests {
         let r = decode_frames_resilient(&buf.freeze());
         assert_eq!(r.frames_ok, 0);
         assert!(r.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn resilient_steps_past_decoy_magic_in_garbage() {
+        // Garbage between two frames that itself contains MAGIC bytes with
+        // a wrong version — the scanner must not lock onto them.
+        let msgs = sample_messages();
+        let mut buf = BytesMut::new();
+        encode_frame_v2(&msgs[0], &mut buf);
+        buf.extend_from_slice(&[MAGIC, 0x07, MAGIC, 0xFF, 0x00, MAGIC, 0x01, 0x02, 0x03, 0x04]);
+        encode_frame_v2(&msgs[1], &mut buf);
+        let r = decode_frames_resilient(&buf.freeze());
+        assert_eq!(r.frames_ok, 2);
+        assert_eq!(r.frames_resynced, 1);
+        assert_eq!(r.bytes_skipped, 10);
+        assert_eq!(r.messages, msgs[..2].to_vec());
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn resilient_truncation_inside_garbage_is_not_a_cut_frame() {
+        // A stream that ends mid-garbage (no credible header in sight) is
+        // skipped bytes, not a truncated frame.
+        let msgs = sample_messages();
+        let mut buf = BytesMut::new();
+        encode_frame_v2(&msgs[0], &mut buf);
+        buf.extend_from_slice(&[0x00, 0x11, 0x22, 0x33]);
+        let r = decode_frames_resilient(&buf.freeze());
+        assert_eq!(r.frames_ok, 1);
+        assert_eq!(r.bytes_skipped, 4);
+        assert!(!r.truncated, "garbage tail is not a cut-off frame");
+
+        // ...but a garbage run that ends on a MAGIC byte still reads as a
+        // possible cut-off header only when outside the run. Here the run
+        // swallows it.
+        let mut buf = BytesMut::new();
+        encode_frame_v2(&msgs[0], &mut buf);
+        buf.extend_from_slice(&[0x99, 0x98, MAGIC, VERSION]);
+        let r = decode_frames_resilient(&buf.freeze());
+        assert_eq!(r.frames_ok, 1);
+        assert_eq!(r.bytes_skipped, 4);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn resilient_garbage_prefix_before_first_frame() {
+        let msgs = sample_messages();
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[0xFE, 0xFD, 0xFC]);
+        encode_frame_v2(&msgs[0], &mut buf);
+        let r = decode_frames_resilient(&buf.freeze());
+        assert_eq!(r.frames_ok, 1);
+        assert_eq!(r.frames_resynced, 1);
+        assert_eq!(r.bytes_skipped, 3);
+        assert_eq!(r.messages, msgs[..1].to_vec());
+    }
+
+    /// Feeds `stream` through [`ResilientFrameDecoder`] at several chunk
+    /// granularities (including byte-at-a-time) and asserts the decoded
+    /// messages and every counter match a single whole-buffer
+    /// [`decode_frames_resilient`] pass.
+    fn assert_incremental_parity(stream: &[u8]) {
+        let mut whole_buf = BytesMut::with_capacity(stream.len());
+        whole_buf.extend_from_slice(stream);
+        let whole = decode_frames_resilient(&whole_buf.freeze());
+        for chunk in [1usize, 2, 3, 5, 8, 13, stream.len().max(1)] {
+            let mut dec = ResilientFrameDecoder::new();
+            let mut msgs = Vec::new();
+            for part in stream.chunks(chunk) {
+                msgs.extend(dec.push(part));
+                assert!(
+                    dec.buffered() <= V2_HEADER_LEN + MAX_FRAME_LEN,
+                    "retained tail stays bounded"
+                );
+            }
+            let tally = dec.finish();
+            assert_eq!(msgs, whole.messages, "messages diverge at chunk={chunk}");
+            assert_eq!(tally.frames_ok, whole.frames_ok, "frames_ok, chunk={chunk}");
+            assert_eq!(
+                tally.frames_corrupt, whole.frames_corrupt,
+                "frames_corrupt, chunk={chunk}"
+            );
+            assert_eq!(
+                tally.frames_resynced, whole.frames_resynced,
+                "frames_resynced, chunk={chunk}"
+            );
+            assert_eq!(
+                tally.bytes_skipped, whole.bytes_skipped,
+                "bytes_skipped, chunk={chunk}"
+            );
+            assert_eq!(tally.truncated, whole.truncated, "truncated, chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_whole_buffer_on_clean_stream() {
+        let msgs = sample_messages();
+        assert_incremental_parity(&encode_all(&msgs));
+    }
+
+    #[test]
+    fn incremental_matches_whole_buffer_on_damaged_streams() {
+        let msgs = sample_messages();
+        // Interleaved garbage with decoy MAGIC bytes.
+        let mut interleaved = BytesMut::new();
+        encode_frame_v2(&msgs[0], &mut interleaved);
+        interleaved.extend_from_slice(&[MAGIC, 0x00, 0xAB, MAGIC, 0xCD]);
+        encode_frame_v2(&msgs[1], &mut interleaved);
+        interleaved.extend_from_slice(&[0x42; 7]);
+        encode_frame_v2(&msgs[2], &mut interleaved);
+        assert_incremental_parity(&interleaved);
+
+        // A frame with a flipped payload bit (corrupt-in-place).
+        let mut corrupt = encode_all(&msgs[..4]);
+        corrupt[V2_HEADER_LEN + 3] ^= 0x08;
+        assert_incremental_parity(&corrupt);
+
+        // Truncated mid-payload and mid-header.
+        let clean = encode_all(&msgs[..3]);
+        assert_incremental_parity(&clean[..clean.len() - 2]);
+        let first_len =
+            V2_HEADER_LEN + u32::from_le_bytes([clean[2], clean[3], clean[4], clean[5]]) as usize;
+        for cut in 1..V2_HEADER_LEN {
+            assert_incremental_parity(&clean[..first_len + cut]);
+        }
+
+        // Garbage-only, and garbage ending on a decoy MAGIC byte.
+        assert_incremental_parity(&[0x10, 0x20, 0x30, 0x40]);
+        assert_incremental_parity(&[0x10, 0x20, MAGIC]);
+        assert_incremental_parity(&[MAGIC, 0xFF]);
+    }
+
+    #[test]
+    fn incremental_emits_messages_as_frames_complete() {
+        let msgs = sample_messages();
+        let frame = {
+            let mut b = BytesMut::new();
+            encode_frame_v2(&msgs[0], &mut b);
+            b
+        };
+        let mut dec = ResilientFrameDecoder::new();
+        // Everything but the last byte: nothing decodes, bytes retained.
+        assert!(dec.push(&frame[..frame.len() - 1]).is_empty());
+        assert_eq!(dec.buffered(), frame.len() - 1);
+        // The final byte completes the frame.
+        let out = dec.push(&frame[frame.len() - 1..]);
+        assert_eq!(out, msgs[..1].to_vec());
+        assert_eq!(dec.buffered(), 0);
+        let tally = dec.finish();
+        assert_eq!(tally.frames_ok, 1);
+        assert!(tally.is_clean());
     }
 }

@@ -56,10 +56,11 @@ pub mod lock;
 pub mod session;
 pub mod shared;
 pub mod sink;
+pub mod tcp;
 
 pub use codec::{
     decode_compact_frames, decode_frames, decode_frames_resilient, decode_frames_v2,
-    encode_compact_frame, encode_frame, encode_frame_v2, ResilientDecode,
+    encode_compact_frame, encode_frame, encode_frame_v2, ResilientDecode, ResilientFrameDecoder,
 };
 pub use lock::{InstrCondvar, InstrMutex, InstrMutexGuard};
 pub use session::{InstrJoinHandle, Session, SessionBuilder, ThreadCtx};
@@ -68,3 +69,4 @@ pub use sink::{
     ChannelSink, ChaosConfig, ChaosSink, ChaosStats, EventSink, FrameSink, FrameSinkBuilder,
     VecSink,
 };
+pub use tcp::{send_raw_session, SessionHello, TcpFrameSink};

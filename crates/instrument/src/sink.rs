@@ -221,6 +221,29 @@ impl Default for ChaosConfig {
     }
 }
 
+impl ChaosConfig {
+    /// The same fault model with a child seed derived from this config's
+    /// `seed` and a `session` id (splitmix64 over both), so a multi-stream
+    /// chaos run replays stream-by-stream: session *k* sees the same faults
+    /// regardless of how many sibling sessions run or in what order.
+    #[must_use]
+    pub fn for_session(&self, session: u64) -> Self {
+        Self {
+            seed: splitmix64(self.seed ^ splitmix64(session)),
+            ..*self
+        }
+    }
+}
+
+/// The splitmix64 finalizer — a cheap, well-distributed u64→u64 mix used
+/// to derive independent per-session PRNG seeds from one root seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// What a [`ChaosSink`] actually did to the stream — the ground truth the
 /// resilience layer's recovered counts are checked against.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -511,6 +534,45 @@ mod tests {
         );
         assert!(r.frames_corrupt + r.frames_resynced >= stats.corrupted / 2);
         assert!(r.frames_ok + r.frames_corrupt + r.frames_resynced <= 200);
+    }
+
+    #[test]
+    fn chaos_session_seeds_are_distinct_and_stable() {
+        let root = ChaosConfig {
+            seed: 42,
+            drop_rate: 0.2,
+            dup_rate: 0.1,
+            corrupt_rate: 0.1,
+            reorder_window: 4,
+        };
+        // Derivation is pure: same root + session id, same child config.
+        assert_eq!(root.for_session(3).seed, root.for_session(3).seed);
+        // Distinct sessions get distinct seeds (and distinct fault runs).
+        let mut seeds: Vec<u64> = (0..64).map(|s| root.for_session(s).seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64, "64 sessions must yield 64 seeds");
+        // Fault rates carry over unchanged.
+        let child = root.for_session(9);
+        assert_eq!(child.drop_rate, root.drop_rate);
+        assert_eq!(child.reorder_window, root.reorder_window);
+
+        // A session replays byte-identically no matter which siblings ran.
+        let run_session = |s: u64| {
+            let sink = ChaosSink::new(root.for_session(s));
+            let mut writer = sink.clone();
+            for i in 1..=50 {
+                writer.emit(&msg(i));
+            }
+            (sink.take_bytes(), sink.stats())
+        };
+        let (solo_bytes, solo_stats) = run_session(5);
+        for other in [0, 1, 2] {
+            let _ = run_session(other);
+        }
+        let (again_bytes, again_stats) = run_session(5);
+        assert_eq!(&solo_bytes[..], &again_bytes[..]);
+        assert_eq!(solo_stats, again_stats);
     }
 
     #[test]

@@ -75,6 +75,21 @@ impl AnalysisConfig {
         self
     }
 
+    /// Negotiates a tenant-requested frontier cap against this config's
+    /// own cap, treating it as a ceiling (`0` = unbounded on either side):
+    /// a tenant may tighten the beam below the server's cap but never
+    /// widen past it. Used by `jmpax serve` to honor per-tenant caps
+    /// without letting one tenant buy unbounded memory.
+    #[must_use]
+    pub fn with_requested_frontier_cap(self, requested: usize) -> Self {
+        let cap = match (self.frontier_cap, requested) {
+            (0, r) => r,
+            (c, 0) => c,
+            (c, r) => c.min(r),
+        };
+        self.with_frontier_cap(cap)
+    }
+
     /// The effective worker count: at least one.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -112,5 +127,17 @@ mod tests {
     #[test]
     fn zero_parallelism_still_means_one_worker() {
         assert_eq!(AnalysisConfig::default().with_parallelism(0).workers(), 1);
+    }
+
+    #[test]
+    fn requested_frontier_cap_is_a_ceiling() {
+        let base = |cap| AnalysisConfig::default().with_frontier_cap(cap);
+        // Unbounded server accepts any request.
+        assert_eq!(base(0).with_requested_frontier_cap(0).frontier_cap, 0);
+        assert_eq!(base(0).with_requested_frontier_cap(32).frontier_cap, 32);
+        // Tenants may tighten but never widen.
+        assert_eq!(base(64).with_requested_frontier_cap(0).frontier_cap, 64);
+        assert_eq!(base(64).with_requested_frontier_cap(16).frontier_cap, 16);
+        assert_eq!(base(64).with_requested_frontier_cap(512).frontier_cap, 64);
     }
 }

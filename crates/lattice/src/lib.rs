@@ -44,4 +44,4 @@ pub use cut::Cut;
 pub use dot::{to_dot, DotOptions};
 pub use explore::Lattice;
 pub use input::{InputError, LatticeInput};
-pub use reassemble::{Exactness, GapRecord, Reassembler, ReassemblyReport};
+pub use reassemble::{Exactness, GapRecord, Reassembler, ReassemblyReport, DEFAULT_STALL_BUDGET};

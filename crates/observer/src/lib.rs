@@ -28,6 +28,7 @@ pub mod observer;
 pub mod pipeline;
 pub mod races;
 pub mod report;
+pub mod serve;
 
 pub use deadlock::{predict_deadlocks, DeadlockCycle, DeadlockDetector, LockEdge};
 pub use jpax::observed_violation;
@@ -44,6 +45,9 @@ pub use pipeline::{
     check_run_outcome,
 };
 pub use races::{detect_races, Race, RaceDetector};
+pub use serve::{
+    ServeConfig, ServeSummary, Server, ServerHandle, ShedPolicy, TenantOutcome, TenantVerdict,
+};
 pub use report::{
     render_analysis, render_counterexample, render_deadlocks, render_races, render_violation,
 };

@@ -296,6 +296,42 @@ impl Pipeline {
             stream,
         })
     }
+
+    /// Runs the constant-memory streaming analysis over already-decoded
+    /// messages — the observer half only, for callers that received the
+    /// stream over a transport (e.g. a `jmpax serve` tenant session)
+    /// rather than instrumenting an [`Execution`] themselves.
+    ///
+    /// `threads` is the clock width of the stream (the tenant declares it
+    /// in its handshake); the configured [`AnalysisConfig`] — parallelism,
+    /// frontier cap, history — and telemetry registry apply as in
+    /// [`Pipeline::check_execution`]. The report's
+    /// [`jmpax_lattice::Exactness`] reflects frontier-cap pruning only;
+    /// transport-level losses are the caller's to
+    /// [`jmpax_lattice::Exactness::combine`] in.
+    pub fn check_stream(
+        &self,
+        monitor: Monitor,
+        initial: &ProgramState,
+        threads: usize,
+        messages: impl IntoIterator<Item = Message>,
+    ) -> StreamReport {
+        let registry = &self.config.telemetry;
+        let mut analyzer =
+            StreamingAnalyzer::with_telemetry(monitor, initial, threads.max(1), registry)
+                .with_config(&self.config.analysis);
+        if let Some(tracer) = &self.config.tracer {
+            analyzer = analyzer.with_trace(tracer);
+        }
+        analyzer.push_all(messages);
+        let report = analyzer.finish();
+        if report.satisfied() {
+            registry.counter("observer.verdict.satisfied").inc();
+        } else {
+            registry.counter("observer.verdict.predicted").inc();
+        }
+        report
+    }
 }
 
 /// Runs the full pipeline over a recorded multithreaded execution.

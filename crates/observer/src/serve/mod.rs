@@ -1,0 +1,227 @@
+//! `jmpax serve`: a multi-tenant observer daemon.
+//!
+//! The paper decouples the instrumented program from its observer with a
+//! socket (Fig. 4); this module is what stands on the observer end of that
+//! socket when there are *many* programs: one long-running process
+//! accepting concurrent framed event streams over TCP, routing each
+//! session to its own [`crate::Pipeline`] behind a bounded queue, and
+//! emitting a per-tenant verdict as each session ends.
+//!
+//! ## Fault isolation (the design headline)
+//!
+//! A misbehaving tenant degrades *its own* verdict, never the process:
+//!
+//! * **Corrupt bytes** — the incremental resync scanner
+//!   ([`jmpax_instrument::ResilientFrameDecoder`]) steps over garbage and
+//!   the Theorem-3 [`jmpax_lattice::Reassembler`] skips unfillable gaps;
+//!   the tenant's verdict degrades to
+//!   [`jmpax_lattice::Exactness::Degraded`].
+//! * **Slow tenants** — every session's chunks go through a bounded
+//!   queue. Under [`ShedPolicy::Block`] a full queue exerts real TCP
+//!   backpressure (the reader stops reading); under
+//!   [`ShedPolicy::DropNewest`] the chunk is shed, counted, and the
+//!   verdict degrades.
+//! * **Idle tenants** — a session that stays silent for
+//!   [`ServeConfig::idle_timeout`] is evicted; whatever arrived is still
+//!   analyzed and reported (degraded).
+//! * **Hostile handshakes** — bounded lengths everywhere
+//!   ([`jmpax_instrument::tcp`]), a handshake deadline, and a concurrent
+//!   session cap with explicit rejection.
+//! * **Worker crashes** — a panicking analysis thread is contained; the
+//!   tenant gets an `Error` verdict and the daemon keeps serving.
+//!
+//! Every failure mode increments a `serve.*` counter in the configured
+//! telemetry [`Registry`], so `/metrics` tells the whole story live.
+
+mod server;
+mod tenant;
+
+use std::time::Duration;
+
+use jmpax_lattice::{AnalysisConfig, Exactness};
+use jmpax_telemetry::Registry;
+
+pub use server::{Server, ServerHandle};
+
+/// What to do when a tenant's bounded queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Drop the newly-arrived chunk, count it (`serve.chunks_shed`), and
+    /// degrade the tenant's verdict. The socket keeps draining, so one
+    /// slow *analysis* never stalls the network path.
+    DropNewest,
+    /// Block the session's reader until the worker catches up — genuine
+    /// TCP backpressure pushed to the client. Other tenants are
+    /// unaffected (each session has its own reader thread).
+    Block,
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The ptLTL specification every tenant is checked against. Parsed
+    /// per tenant, against the symbol table its handshake declares.
+    pub spec: String,
+    /// Analysis knobs applied to every tenant. Its `frontier_cap` acts as
+    /// the server-side ceiling for tenant-requested caps
+    /// ([`AnalysisConfig::with_requested_frontier_cap`]).
+    pub analysis: AnalysisConfig,
+    /// Reassembly stall budget (messages a gap may stall before being
+    /// skipped).
+    pub stall_budget: u64,
+    /// Most sessions served concurrently; further connects are rejected
+    /// with an error verdict (`serve.sessions_rejected`).
+    pub max_sessions: usize,
+    /// Bounded queue depth (chunks) between a session's reader and its
+    /// analysis worker.
+    pub queue_depth: usize,
+    /// Per-read socket timeout; also the granularity at which idleness
+    /// and shutdown are noticed.
+    pub read_timeout: Duration,
+    /// Silence longer than this evicts the tenant
+    /// (`serve.tenants_evicted`), analyzing what arrived.
+    pub idle_timeout: Duration,
+    /// Deadline for the whole handshake.
+    pub handshake_timeout: Duration,
+    /// Full-queue policy.
+    pub shed: ShedPolicy,
+    /// Telemetry sink for every `serve.*` metric. A disabled registry is
+    /// free.
+    pub telemetry: Registry,
+}
+
+impl ServeConfig {
+    /// A config with production-ish defaults for `spec`.
+    #[must_use]
+    pub fn new(spec: &str) -> Self {
+        Self {
+            spec: spec.to_string(),
+            analysis: AnalysisConfig::default(),
+            stall_budget: jmpax_lattice::DEFAULT_STALL_BUDGET,
+            max_sessions: 256,
+            queue_depth: 64,
+            read_timeout: Duration::from_millis(50),
+            idle_timeout: Duration::from_secs(30),
+            handshake_timeout: Duration::from_secs(5),
+            shed: ShedPolicy::Block,
+            telemetry: Registry::disabled(),
+        }
+    }
+}
+
+/// How a tenant's session ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TenantVerdict {
+    /// Every consistent run was checked; nothing was lost anywhere.
+    Exact,
+    /// The property was checked over what survived: transport damage,
+    /// shed chunks, eviction, or frontier pruning cost information.
+    Degraded(Exactness),
+    /// The session never produced an analyzable stream (handshake
+    /// violation, worker crash).
+    Error(String),
+}
+
+impl TenantVerdict {
+    /// Stable label for reports and JSON.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantVerdict::Exact => "Exact",
+            TenantVerdict::Degraded(_) => "Degraded",
+            TenantVerdict::Error(_) => "Error",
+        }
+    }
+}
+
+/// One tenant's final accounting — the JSON line the client receives and
+/// one row of the daemon's shutdown report.
+#[derive(Clone, Debug)]
+pub struct TenantOutcome {
+    /// Tenant name from the handshake.
+    pub tenant: String,
+    /// Daemon-assigned session number (accept order).
+    pub session: u64,
+    /// Exact / Degraded / Error.
+    pub verdict: TenantVerdict,
+    /// True when no violation was found (only meaningful outside
+    /// `Error`).
+    pub satisfied: bool,
+    /// Violations found across all consistent runs of this tenant's
+    /// stream.
+    pub violations: usize,
+    /// Frames decoded intact.
+    pub frames_ok: u64,
+    /// Messages analyzed after reassembly.
+    pub messages: u64,
+    /// The tenant was evicted for idleness.
+    pub evicted: bool,
+    /// Chunks shed by [`ShedPolicy::DropNewest`].
+    pub shed_chunks: u64,
+}
+
+impl TenantOutcome {
+    /// The one-line JSON verdict written back to the client (no trailing
+    /// newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"tenant\":");
+        jmpax_telemetry::json::write_string(&mut out, &self.tenant);
+        out.push_str(&format!(
+            ",\"session\":{},\"verdict\":\"{}\"",
+            self.session,
+            self.verdict.label()
+        ));
+        if let TenantVerdict::Error(reason) = &self.verdict {
+            out.push_str(",\"error\":");
+            jmpax_telemetry::json::write_string(&mut out, reason);
+        }
+        out.push_str(&format!(
+            ",\"satisfied\":{},\"violations\":{},\"frames_ok\":{},\"messages\":{}",
+            self.satisfied, self.violations, self.frames_ok, self.messages
+        ));
+        if self.evicted {
+            out.push_str(",\"evicted\":true");
+        }
+        if self.shed_chunks > 0 {
+            out.push_str(&format!(",\"shed_chunks\":{}", self.shed_chunks));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Everything a serving run produced, returned when the daemon stops.
+#[derive(Clone, Debug, Default)]
+pub struct ServeSummary {
+    /// Per-tenant outcomes in completion order.
+    pub outcomes: Vec<TenantOutcome>,
+    /// Connections rejected before becoming sessions (over capacity or
+    /// failed handshake).
+    pub rejected: u64,
+}
+
+impl ServeSummary {
+    /// Outcomes with an `Exact` verdict.
+    #[must_use]
+    pub fn exact(&self) -> usize {
+        self.count(|v| matches!(v, TenantVerdict::Exact))
+    }
+
+    /// Outcomes with a `Degraded` verdict.
+    #[must_use]
+    pub fn degraded(&self) -> usize {
+        self.count(|v| matches!(v, TenantVerdict::Degraded(_)))
+    }
+
+    /// Outcomes with an `Error` verdict.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.count(|v| matches!(v, TenantVerdict::Error(_)))
+    }
+
+    fn count(&self, pred: impl Fn(&TenantVerdict) -> bool) -> usize {
+        self.outcomes.iter().filter(|o| pred(&o.verdict)).count()
+    }
+}

@@ -1,0 +1,201 @@
+//! The daemon's accept loop and lifecycle.
+//!
+//! One non-blocking listener thread admits connections, enforces the
+//! concurrent-session cap, and hands each admitted socket to its own
+//! session (reader + worker threads, see [`super::tenant`]). Outcomes
+//! flow back over a channel; [`Server::run`] collects them until a target
+//! count is reached or [`ServerHandle::stop`] is called, then joins every
+//! session before returning the [`ServeSummary`] — a clean shutdown by
+//! construction.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use jmpax_core::SymbolTable;
+use jmpax_spec::parse;
+
+use super::tenant::{reject, run_session};
+use super::{ServeConfig, ServeSummary, TenantOutcome};
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    config: Arc<ServeConfig>,
+    /// Names of the variables the spec refers to — every tenant handshake
+    /// must declare them.
+    spec_var_names: Arc<Vec<String>>,
+    stopping: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` (0 picks an ephemeral port) and validates
+    /// the configured spec.
+    ///
+    /// # Errors
+    /// [`std::io::ErrorKind::InvalidInput`] when the spec does not parse
+    /// or monitor synthesis fails, or the underlying bind error.
+    pub fn bind(port: u16, config: ServeConfig) -> std::io::Result<Self> {
+        // Fail at bind time, not on the first tenant: parse the spec
+        // against a scratch table to surface syntax errors and collect
+        // the variable names every handshake must cover.
+        let mut scratch = SymbolTable::new();
+        let formula = parse(&config.spec, &mut scratch)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        formula
+            .monitor()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let spec_var_names: Vec<String> = formula
+            .variables()
+            .into_iter()
+            .map(|id| scratch.name_or_default(id))
+            .collect();
+
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            config: Arc::new(config),
+            spec_var_names: Arc::new(spec_var_names),
+            stopping: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// When the socket's address cannot be read.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `target` session outcomes have been collected (`None`
+    /// = until [`ServerHandle::stop`]), then joins every in-flight
+    /// session and returns the summary.
+    pub fn run(self, target: Option<usize>) -> ServeSummary {
+        let tel = &self.config.telemetry;
+        let active = Arc::new(AtomicUsize::new(0));
+        let active_gauge = tel.gauge("serve.sessions_active");
+        let rejected = Arc::new(AtomicU64::new(0));
+        let (outcome_tx, outcome_rx) = mpsc::channel::<TenantOutcome>();
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut summary = ServeSummary::default();
+        let mut next_session = 0u64;
+
+        let done = |summary: &ServeSummary| target.is_some_and(|t| summary.outcomes.len() >= t);
+        loop {
+            if self.stopping.load(Ordering::Relaxed) || done(&summary) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    let session = next_session;
+                    next_session += 1;
+                    if active.load(Ordering::Relaxed) >= self.config.max_sessions {
+                        tel.counter("serve.sessions_rejected").inc();
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        // The socket came from a non-blocking accept;
+                        // restore blocking so the rejection line is
+                        // actually written.
+                        let _ = stream.set_nonblocking(false);
+                        reject(&mut stream, session, "server at capacity");
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::Relaxed);
+                    active_gauge.set(active.load(Ordering::Relaxed) as u64);
+                    let _ = stream.set_nonblocking(false);
+                    let config = Arc::clone(&self.config);
+                    let spec_var_names = Arc::clone(&self.spec_var_names);
+                    let stopping = Arc::clone(&self.stopping);
+                    let outcome_tx = outcome_tx.clone();
+                    let active = Arc::clone(&active);
+                    let active_gauge = active_gauge.clone();
+                    let rejected = Arc::clone(&rejected);
+                    let rejected_counter = tel.counter("serve.sessions_rejected");
+                    sessions.push(std::thread::spawn(move || {
+                        let outcome =
+                            run_session(stream, session, &config, &spec_var_names, &stopping);
+                        match outcome {
+                            Some(outcome) => {
+                                let _ = outcome_tx.send(outcome);
+                            }
+                            None => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                rejected_counter.inc();
+                            }
+                        }
+                        active.fetch_sub(1, Ordering::Relaxed);
+                        active_gauge.set(active.load(Ordering::Relaxed) as u64);
+                    }));
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+            while let Ok(outcome) = outcome_rx.try_recv() {
+                tel.counter("serve.sessions_completed").inc();
+                summary.outcomes.push(outcome);
+            }
+            // Reap finished session threads so a long-running daemon does
+            // not accumulate handles.
+            sessions.retain(|h| !h.is_finished());
+        }
+
+        // Shutdown: stop admitting, let in-flight sessions finish (their
+        // readers notice `stopping` within one read timeout), then drain
+        // the last outcomes.
+        self.stopping.store(true, Ordering::Relaxed);
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        drop(outcome_tx);
+        while let Ok(outcome) = outcome_rx.try_recv() {
+            tel.counter("serve.sessions_completed").inc();
+            summary.outcomes.push(outcome);
+        }
+        summary.rejected = rejected.load(Ordering::Relaxed);
+        summary
+    }
+
+    /// Runs the daemon on a background thread, returning a handle to stop
+    /// it and collect the summary. For tests and embedding; the CLI calls
+    /// [`Server::run`] directly.
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self
+            .local_addr()
+            .expect("a bound listener has an address");
+        let stopping = Arc::clone(&self.stopping);
+        let thread = std::thread::spawn(move || self.run(None));
+        ServerHandle {
+            addr,
+            stopping,
+            thread,
+        }
+    }
+}
+
+/// A running daemon started with [`Server::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<ServeSummary>,
+}
+
+impl ServerHandle {
+    /// Where the daemon is listening.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and blocks until every session has completed,
+    /// returning the summary.
+    #[must_use]
+    pub fn stop(self) -> ServeSummary {
+        self.stopping.store(true, Ordering::Relaxed);
+        self.thread.join().expect("serve loop must not panic")
+    }
+}

@@ -1,0 +1,338 @@
+//! One tenant session: a reader thread that owns the socket and a worker
+//! thread that owns the analysis, joined by a bounded queue.
+//!
+//! The split is the isolation boundary. The reader only does I/O — it can
+//! always notice timeouts, shutdown, and eviction no matter how expensive
+//! this tenant's lattice turns out to be. The worker only does analysis —
+//! it never touches the socket, so a wedged client cannot stall it, and a
+//! panicking analysis is contained by the thread boundary (the reader
+//! reports an `Error` verdict and the daemon keeps serving).
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use jmpax_core::SymbolTable;
+use jmpax_instrument::tcp::SessionHello;
+use jmpax_instrument::ResilientFrameDecoder;
+use jmpax_lattice::{Exactness, Reassembler};
+use jmpax_spec::{parse, Monitor, ProgramState};
+
+use super::{ServeConfig, ShedPolicy, TenantOutcome, TenantVerdict};
+use crate::pipeline::{Pipeline, PipelineConfig};
+
+/// What flows through a session's bounded queue. Eviction is the
+/// reader's knowledge — it folds the flag into the verdict itself, so the
+/// end-of-stream marker carries nothing.
+enum WorkItem {
+    /// Raw bytes read from the socket.
+    Chunk(Vec<u8>),
+    /// End of stream.
+    Eof,
+}
+
+/// What the worker hands back to the reader.
+struct WorkerResult {
+    exactness: Exactness,
+    satisfied: bool,
+    violations: usize,
+    frames_ok: u64,
+    messages: u64,
+}
+
+/// Serves one accepted connection end-to-end and returns the outcome that
+/// was (best-effort) written back to the client. `None` means the
+/// connection never completed a handshake — it was rejected, not served.
+pub(super) fn run_session(
+    mut stream: TcpStream,
+    session: u64,
+    config: &Arc<ServeConfig>,
+    spec_var_names: &Arc<Vec<String>>,
+    stopping: &Arc<AtomicBool>,
+) -> Option<TenantOutcome> {
+    let tel = &config.telemetry;
+
+    // --- Handshake, under its own deadline. -----------------------------
+    let _ = stream.set_read_timeout(Some(config.handshake_timeout));
+    let hello = match SessionHello::decode(&mut stream) {
+        Ok(h) => h,
+        Err(err) => {
+            tel.counter("serve.handshake_errors").inc();
+            reject(&mut stream, session, &format!("bad handshake: {err}"));
+            return None;
+        }
+    };
+    let declared: Vec<&str> = hello.vars.iter().map(|(n, _)| n.as_str()).collect();
+    if let Some(missing) = spec_var_names
+        .iter()
+        .find(|n| !declared.contains(&n.as_str()))
+    {
+        tel.counter("serve.handshake_errors").inc();
+        reject(
+            &mut stream,
+            session,
+            &format!("handshake does not declare spec variable {missing:?}"),
+        );
+        return None;
+    }
+
+    // --- Per-tenant monitor, initial state, and analysis config. --------
+    // Interning the declared variables in handshake order reconstructs the
+    // client's `VarId` assignment, so its encoded events resolve to the
+    // right variables here.
+    let mut symbols = SymbolTable::new();
+    let mut initial_map = BTreeMap::new();
+    for (name, value) in &hello.vars {
+        let id = symbols.intern(name);
+        initial_map.insert(id, *value);
+    }
+    // The spec was validated at bind time; failures here would mean the
+    // tenant's declarations broke parsing in a way the coverage check
+    // missed — still the tenant's problem, not the daemon's.
+    let monitor = match parse(&config.spec, &mut symbols) {
+        Ok(formula) => match formula.monitor() {
+            Ok(monitor) => monitor.with_telemetry(tel),
+            Err(err) => {
+                tel.counter("serve.handshake_errors").inc();
+                reject(&mut stream, session, &format!("spec rejected: {err}"));
+                return None;
+            }
+        },
+        Err(err) => {
+            tel.counter("serve.handshake_errors").inc();
+            reject(&mut stream, session, &format!("spec rejected: {err}"));
+            return None;
+        }
+    };
+    let initial = ProgramState::from_map(initial_map);
+    let analysis = config
+        .analysis
+        .with_requested_frontier_cap(hello.frontier_cap as usize);
+
+    tel.counter("serve.sessions_accepted").inc();
+    let depth = Arc::new(AtomicU64::new(0));
+    let depth_gauge = tel.gauge(&format!(
+        "serve.tenant.{}.queue_depth",
+        sanitize(&hello.tenant)
+    ));
+
+    // --- Worker thread: owns the whole analysis. ------------------------
+    let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(config.queue_depth.max(1));
+    let worker = {
+        let config = Arc::clone(config);
+        let initial = initial.clone();
+        let depth = Arc::clone(&depth);
+        let threads = hello.threads as usize;
+        std::thread::spawn(move || run_worker(&config, analysis, monitor, &initial, threads, &rx, &depth))
+    };
+
+    // --- Reader loop: socket → bounded queue. ---------------------------
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut evicted = false;
+    let mut shed_chunks = 0u64;
+    let mut idle = Duration::ZERO;
+    let mut worker_dead = false;
+    let mut chunk = [0u8; 8192];
+    loop {
+        use std::io::Read as _;
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // clean end of stream
+            Ok(n) => {
+                idle = Duration::ZERO;
+                tel.counter("serve.bytes_ingested").add(n as u64);
+                let item = WorkItem::Chunk(chunk[..n].to_vec());
+                // The counter is raised *before* the send: the worker
+                // decrements after `recv`, and crediting afterwards would
+                // race it below zero. Paths where the item never enters
+                // the queue take the credit back.
+                let claimed = depth.fetch_add(1, Ordering::Relaxed) + 1;
+                match config.shed {
+                    ShedPolicy::Block => {
+                        if tx.send(item).is_err() {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            worker_dead = true;
+                            break;
+                        }
+                        depth_gauge.set(claimed);
+                    }
+                    ShedPolicy::DropNewest => match tx.try_send(item) {
+                        Ok(()) => {
+                            depth_gauge.set(claimed);
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            shed_chunks += 1;
+                            tel.counter("serve.chunks_shed").inc();
+                            tel.counter("serve.bytes_shed").add(n as u64);
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            worker_dead = true;
+                            break;
+                        }
+                    },
+                }
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                tel.counter("serve.read_timeouts").inc();
+                idle += config.read_timeout;
+                if idle >= config.idle_timeout {
+                    tel.counter("serve.tenants_evicted").inc();
+                    evicted = true;
+                    break;
+                }
+                if stopping.load(Ordering::Relaxed) {
+                    // Daemon shutdown: analyze what arrived, marked as an
+                    // eviction so the verdict cannot claim exactness.
+                    tel.counter("serve.tenants_evicted").inc();
+                    evicted = true;
+                    break;
+                }
+            }
+            Err(_) => break, // connection reset etc.: analyze what arrived
+        }
+    }
+    if !worker_dead {
+        // A blocking send here is fine: Eof is always worth waiting for.
+        worker_dead = tx.send(WorkItem::Eof).is_err();
+    }
+    drop(tx);
+
+    // --- Verdict assembly. ----------------------------------------------
+    let outcome = match worker.join() {
+        Ok(result) if !worker_dead => {
+            let mut exactness = result.exactness;
+            if shed_chunks > 0 {
+                exactness = exactness.combine(Exactness::degraded(0, shed_chunks));
+            }
+            if evicted {
+                exactness = exactness.combine(Exactness::degraded(0, 1));
+            }
+            let verdict = if exactness.is_exact() {
+                tel.counter("serve.verdicts_exact").inc();
+                TenantVerdict::Exact
+            } else {
+                tel.counter("serve.verdicts_degraded").inc();
+                TenantVerdict::Degraded(exactness)
+            };
+            TenantOutcome {
+                tenant: hello.tenant,
+                session,
+                verdict,
+                satisfied: result.satisfied,
+                violations: result.violations,
+                frames_ok: result.frames_ok,
+                messages: result.messages,
+                evicted,
+                shed_chunks,
+            }
+        }
+        _ => {
+            tel.counter("serve.worker_panics").inc();
+            tel.counter("serve.verdicts_error").inc();
+            TenantOutcome {
+                tenant: hello.tenant,
+                session,
+                verdict: TenantVerdict::Error("analysis worker died".to_string()),
+                satisfied: false,
+                violations: 0,
+                frames_ok: 0,
+                messages: 0,
+                evicted,
+                shed_chunks,
+            }
+        }
+    };
+    depth_gauge.set(0);
+    let _ = writeln!(stream, "{}", outcome.to_json());
+    let _ = stream.flush();
+    Some(outcome)
+}
+
+/// The analysis half: decode resiliently, reassemble causally, run the
+/// streaming lattice check, and fold every loss into one [`Exactness`].
+fn run_worker(
+    config: &ServeConfig,
+    analysis: jmpax_lattice::AnalysisConfig,
+    monitor: Monitor,
+    initial: &ProgramState,
+    threads: usize,
+    rx: &Receiver<WorkItem>,
+    depth: &AtomicU64,
+) -> WorkerResult {
+    let tel = &config.telemetry;
+    let mut decoder = ResilientFrameDecoder::new();
+    let mut reassembler = Reassembler::with_stall_budget(config.stall_budget);
+    while let Ok(item) = rx.recv() {
+        match item {
+            WorkItem::Chunk(bytes) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                let messages = decoder.push(&bytes);
+                tel.counter("serve.frames_ingested").add(messages.len() as u64);
+                reassembler.push_all(messages);
+            }
+            WorkItem::Eof => break,
+        }
+    }
+    let decoded = decoder.finish();
+    tel.counter("serve.frames_corrupt").add(decoded.frames_corrupt);
+    tel.counter("serve.frames_resynced").add(decoded.frames_resynced);
+    let (messages, reassembly) = reassembler.finish();
+    reassembly.record(tel);
+
+    let pipeline = Pipeline::new(PipelineConfig::new().telemetry(tel).analysis(analysis));
+    let message_count = messages.len() as u64;
+    let stream = pipeline.check_stream(monitor, initial, threads, messages);
+
+    // Same accounting as `check_frames_resilient`: transport losses the
+    // reassembler could not observe still forbid an Exact verdict.
+    let transport_lost =
+        decoded.frames_corrupt + decoded.frames_resynced + u64::from(decoded.truncated);
+    let unaccounted = transport_lost.saturating_sub(reassembly.messages_lost());
+    let exactness = stream
+        .exactness
+        .combine(reassembly.exactness())
+        .combine(Exactness::degraded(0, unaccounted));
+    WorkerResult {
+        exactness,
+        satisfied: stream.satisfied(),
+        violations: stream.violations.len(),
+        frames_ok: decoded.frames_ok,
+        messages: message_count,
+    }
+}
+
+/// Writes an error verdict line for a connection that never became a
+/// session.
+pub(super) fn reject(stream: &mut TcpStream, session: u64, reason: &str) {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"session\":");
+    line.push_str(&session.to_string());
+    line.push_str(",\"verdict\":\"Error\",\"error\":");
+    jmpax_telemetry::json::write_string(&mut line, reason);
+    line.push('}');
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}
+
+/// Metric-name-safe tenant label: alphanumerics, `_` and `-` survive,
+/// everything else becomes `_`.
+fn sanitize(tenant: &str) -> String {
+    tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}

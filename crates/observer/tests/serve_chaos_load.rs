@@ -1,0 +1,367 @@
+//! Chaos load test for `jmpax serve`: one daemon, ≥100 concurrent lossy
+//! sessions, a deliberately stalled tenant, and a clean shutdown.
+//!
+//! This is the acceptance test for the multi-tenant observer daemon:
+//! every tenant must end with an `Exact` or `Degraded` verdict (never a
+//! process-level failure), the stalled tenant must be idle-evicted
+//! without blocking anyone (bounded queue depths are asserted via the
+//! per-tenant gauges), and `ServerHandle::stop` must return with every
+//! session accounted for.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use jmpax_core::{Execution, Relevance, SymbolTable, ThreadId, Value};
+use jmpax_instrument::tcp::{send_raw_session, SessionHello};
+use jmpax_instrument::{ChaosConfig, ChaosSink, EventSink as _};
+use jmpax_observer::serve::{ServeConfig, Server, ShedPolicy, TenantVerdict};
+use jmpax_telemetry::Registry;
+
+const SPEC: &str = "(x > 0) -> [y = 0, y > z)";
+const T1: ThreadId = ThreadId(0);
+const T2: ThreadId = ThreadId(1);
+
+/// A two-thread workload over x, y, z — big enough to exercise decode,
+/// reassembly and the lattice, small enough for 100 concurrent copies.
+fn workload(symbols: &mut SymbolTable) -> Execution {
+    let x = symbols.intern("x");
+    let y = symbols.intern("y");
+    let z = symbols.intern("z");
+    let mut ex = Execution::new()
+        .with_initial(x, -1)
+        .with_initial(y, 0)
+        .with_initial(z, 0);
+    for i in 0..6 {
+        ex.write(T1, x, i);
+        ex.write(T2, z, i + 1);
+        ex.write(T1, y, i + 1);
+    }
+    ex
+}
+
+fn hello_for(tenant: &str) -> SessionHello {
+    SessionHello {
+        tenant: tenant.to_string(),
+        threads: 2,
+        frontier_cap: 0,
+        vars: vec![
+            ("x".to_string(), Value::Int(-1)),
+            ("y".to_string(), Value::Int(0)),
+            ("z".to_string(), Value::Int(0)),
+        ],
+    }
+}
+
+/// The workload's messages pushed through a per-session seeded
+/// `ChaosSink` — lossy, reordered, bit-flipped wire bytes.
+fn chaotic_session_bytes(session: u64) -> Vec<u8> {
+    let mut symbols = SymbolTable::new();
+    let ex = workload(&mut symbols);
+    let vars: Vec<_> = ["x", "y", "z"]
+        .iter()
+        .map(|n| symbols.lookup(n).unwrap())
+        .collect();
+    let messages = ex.instrument(Relevance::writes_of(vars));
+    let root = ChaosConfig {
+        seed: 0xC0FFEE,
+        drop_rate: 0.05,
+        dup_rate: 0.05,
+        corrupt_rate: 0.05,
+        reorder_window: 4,
+    };
+    let sink = ChaosSink::new(root.for_session(session));
+    let mut writer = sink.clone();
+    for m in &messages {
+        writer.emit(m);
+    }
+    sink.take_bytes().to_vec()
+}
+
+#[test]
+fn hundred_concurrent_lossy_sessions_one_daemon() {
+    const SESSIONS: u64 = 100;
+    const QUEUE_DEPTH: usize = 8;
+
+    let registry = Registry::enabled();
+    let mut config = ServeConfig::new(SPEC);
+    config.telemetry = registry.clone();
+    config.queue_depth = QUEUE_DEPTH;
+    config.read_timeout = Duration::from_millis(10);
+    config.idle_timeout = Duration::from_millis(300);
+    config.handshake_timeout = Duration::from_secs(5);
+    config.shed = ShedPolicy::Block;
+    config.max_sessions = 512;
+    let server = Server::bind(0, config).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn();
+
+    // The hostile tenant: handshake, half a frame, then silence. It holds
+    // its socket open for the whole test and must be evicted, not waited
+    // on — and must never block the other 100 sessions.
+    let stalled = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect stalled");
+        stream
+            .write_all(&hello_for("stalled").encode())
+            .expect("stalled hello");
+        let frame = chaotic_session_bytes(9999);
+        stream.write_all(&frame[..5.min(frame.len())]).unwrap();
+        stream.flush().unwrap();
+        // Do NOT close; wait for the daemon to give up on us.
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("eviction verdict");
+        line
+    });
+
+    // 100 concurrent lossy sessions.
+    let loaders: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let bytes = chaotic_session_bytes(i);
+                let hello = hello_for(&format!("tenant-{i}"));
+                send_raw_session(addr, &hello, &bytes).expect("session verdict")
+            })
+        })
+        .collect();
+
+    let verdict_lines: Vec<String> = loaders
+        .into_iter()
+        .map(|h| h.join().expect("loader thread"))
+        .collect();
+    assert_eq!(verdict_lines.len() as u64, SESSIONS);
+    for line in &verdict_lines {
+        assert!(
+            line.contains("\"verdict\":\"Exact\"") || line.contains("\"verdict\":\"Degraded\""),
+            "unexpected verdict line: {line}"
+        );
+    }
+
+    // The stalled tenant got evicted with a degraded verdict while the
+    // others completed.
+    let stalled_line = stalled.join().expect("stalled thread");
+    assert!(
+        stalled_line.contains("\"verdict\":\"Degraded\""),
+        "stalled tenant must degrade, got: {stalled_line}"
+    );
+    assert!(
+        stalled_line.contains("\"evicted\":true"),
+        "stalled tenant must be marked evicted: {stalled_line}"
+    );
+
+    // Clean shutdown with every session accounted for.
+    let summary = handle.stop();
+    assert_eq!(
+        summary.outcomes.len() as u64,
+        SESSIONS + 1,
+        "one outcome per tenant (100 lossy + 1 stalled)"
+    );
+    assert_eq!(summary.errors(), 0, "no tenant may end in Error");
+    assert_eq!(summary.exact() + summary.degraded(), SESSIONS as usize + 1);
+    for outcome in &summary.outcomes {
+        match &outcome.verdict {
+            TenantVerdict::Exact => assert!(!outcome.evicted),
+            TenantVerdict::Degraded(_) | TenantVerdict::Error(_) => {}
+        }
+    }
+
+    // Bounded-queue isolation, asserted via the per-tenant depth gauges:
+    // the reader counts its in-flight chunk before the (possibly
+    // blocking) send, and the worker may have popped-but-not-yet-
+    // discounted another, hence +2 over the channel bound.
+    let snapshot = registry.snapshot();
+    for tenant in ["tenant-0", "tenant-57", "tenant-99", "stalled"] {
+        if let Some((_, peak)) = snapshot.gauge(&format!("serve.tenant.{tenant}.queue_depth")) {
+            assert!(
+                peak <= QUEUE_DEPTH as u64 + 2,
+                "tenant {tenant} queue depth peak {peak} exceeds bound"
+            );
+        }
+    }
+    assert_eq!(
+        snapshot.counter("serve.sessions_completed"),
+        Some(SESSIONS + 1)
+    );
+    assert!(snapshot.counter("serve.tenants_evicted").unwrap_or(0) >= 1);
+    let exact = snapshot.counter("serve.verdicts_exact").unwrap_or(0);
+    let degraded = snapshot.counter("serve.verdicts_degraded").unwrap_or(0);
+    assert_eq!(exact + degraded, SESSIONS + 1);
+}
+
+#[test]
+fn tcp_frame_sink_streams_live_to_the_daemon() {
+    let mut config = ServeConfig::new(SPEC);
+    config.read_timeout = Duration::from_millis(10);
+    let server = Server::bind(0, config).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn();
+
+    let mut symbols = SymbolTable::new();
+    let ex = workload(&mut symbols);
+    let vars: Vec<_> = ["x", "y", "z"]
+        .iter()
+        .map(|n| symbols.lookup(n).unwrap())
+        .collect();
+    let messages = ex.instrument(Relevance::writes_of(vars));
+    let mut sink =
+        jmpax_instrument::TcpFrameSink::connect(addr, &hello_for("live")).expect("connect");
+    for m in &messages {
+        sink.emit(m);
+    }
+    assert_eq!(sink.frames_sent(), messages.len() as u64);
+    assert!(sink.io_error().is_none());
+    let verdict = sink.finish().expect("verdict");
+    assert!(verdict.contains("\"tenant\":\"live\""), "{verdict}");
+    assert!(verdict.contains("\"verdict\":\"Exact\""), "{verdict}");
+    assert!(
+        verdict.contains(&format!("\"messages\":{}", messages.len())),
+        "{verdict}"
+    );
+
+    let summary = handle.stop();
+    assert_eq!(summary.outcomes.len(), 1);
+    assert_eq!(summary.exact(), 1);
+}
+
+#[test]
+fn hostile_handshakes_are_rejected_not_fatal() {
+    let registry = Registry::enabled();
+    let mut config = ServeConfig::new(SPEC);
+    config.telemetry = registry.clone();
+    config.read_timeout = Duration::from_millis(10);
+    config.idle_timeout = Duration::from_millis(200);
+    config.handshake_timeout = Duration::from_millis(300);
+    let server = Server::bind(0, config).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn();
+
+    // Garbage instead of a hello.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    assert!(line.contains("\"verdict\":\"Error\""), "{line}");
+
+    // A hello that does not declare the spec's variables.
+    let hello = SessionHello {
+        tenant: "undeclared".to_string(),
+        threads: 1,
+        frontier_cap: 0,
+        vars: vec![("unrelated".to_string(), Value::Int(0))],
+    };
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&hello.encode()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    assert!(line.contains("\"verdict\":\"Error\""), "{line}");
+    assert!(line.contains("spec variable"), "{line}");
+
+    // The daemon is still alive and serves a clean session afterwards.
+    let mut symbols = SymbolTable::new();
+    let ex = workload(&mut symbols);
+    let vars: Vec<_> = ["x", "y", "z"]
+        .iter()
+        .map(|n| symbols.lookup(n).unwrap())
+        .collect();
+    let messages = ex.instrument(Relevance::writes_of(vars));
+    let mut clean = bytes::BytesMut::new();
+    for m in &messages {
+        jmpax_instrument::encode_frame_v2(m, &mut clean);
+    }
+    let verdict = send_raw_session(addr, &hello_for("clean"), &clean).expect("clean session");
+    assert!(verdict.contains("\"verdict\":\"Exact\""), "{verdict}");
+
+    let summary = handle.stop();
+    assert_eq!(summary.outcomes.len(), 1, "only the clean tenant analyzed");
+    assert_eq!(summary.rejected, 2);
+    assert!(registry.snapshot().counter("serve.handshake_errors").unwrap_or(0) >= 2);
+}
+
+#[test]
+fn drop_newest_sheds_and_degrades_instead_of_blocking() {
+    // Queue depth 1 + DropNewest + a worker that cannot keep up with a
+    // burst: some chunks must be shed and the verdict must degrade while
+    // the socket keeps draining.
+    let registry = Registry::enabled();
+    let mut config = ServeConfig::new(SPEC);
+    config.telemetry = registry.clone();
+    config.queue_depth = 1;
+    config.read_timeout = Duration::from_millis(10);
+    config.idle_timeout = Duration::from_secs(5);
+    config.shed = ShedPolicy::DropNewest;
+    let server = Server::bind(0, config).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn();
+
+    // One big clean stream, written in many small bursts so the reader
+    // overruns the depth-1 queue. (Chunks are shed at the transport
+    // level; whatever survives is still analyzed.)
+    let mut symbols = SymbolTable::new();
+    let ex = workload(&mut symbols);
+    let vars: Vec<_> = ["x", "y", "z"]
+        .iter()
+        .map(|n| symbols.lookup(n).unwrap())
+        .collect();
+    let messages = ex.instrument(Relevance::writes_of(vars));
+    let mut stream_bytes = bytes::BytesMut::new();
+    for _ in 0..200 {
+        for m in &messages {
+            jmpax_instrument::encode_frame_v2(m, &mut stream_bytes);
+        }
+    }
+    let verdict = send_raw_session(addr, &hello_for("bursty"), &stream_bytes).expect("verdict");
+    // Under load the verdict may or may not shed on a fast machine; the
+    // invariant is that the session *completes* and, if anything was
+    // shed, the verdict says Degraded.
+    let shed = registry.snapshot().counter("serve.chunks_shed").unwrap_or(0);
+    if shed > 0 {
+        assert!(verdict.contains("\"verdict\":\"Degraded\""), "{verdict}");
+        assert!(verdict.contains("\"shed_chunks\""), "{verdict}");
+    } else {
+        assert!(
+            verdict.contains("\"verdict\":\"Exact\"")
+                || verdict.contains("\"verdict\":\"Degraded\""),
+            "{verdict}"
+        );
+    }
+    let summary = handle.stop();
+    assert_eq!(summary.outcomes.len(), 1);
+}
+
+#[test]
+fn tenant_frontier_cap_is_clamped_by_server_ceiling() {
+    let registry = Registry::enabled();
+    let mut config = ServeConfig::new(SPEC);
+    config.telemetry = registry.clone();
+    config.read_timeout = Duration::from_millis(10);
+    config.analysis = config.analysis.with_frontier_cap(2);
+    let server = Server::bind(0, config).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn();
+
+    let mut symbols = SymbolTable::new();
+    let ex = workload(&mut symbols);
+    let vars: Vec<_> = ["x", "y", "z"]
+        .iter()
+        .map(|n| symbols.lookup(n).unwrap())
+        .collect();
+    let messages = ex.instrument(Relevance::writes_of(vars));
+    let mut clean = bytes::BytesMut::new();
+    for m in &messages {
+        jmpax_instrument::encode_frame_v2(m, &mut clean);
+    }
+    // The tenant asks for an enormous cap; the server's ceiling (2) wins.
+    // With a clean stream, any degradation can only come from frontier
+    // pruning under that tiny cap.
+    let mut hello = hello_for("greedy");
+    hello.frontier_cap = 1_000_000;
+    let verdict = send_raw_session(addr, &hello, &clean).expect("verdict");
+    assert!(
+        verdict.contains("\"verdict\":\"Degraded\""),
+        "cap 2 must prune this workload: {verdict}"
+    );
+    let summary = handle.stop();
+    assert_eq!(summary.outcomes.len(), 1);
+}

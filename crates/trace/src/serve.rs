@@ -9,7 +9,19 @@
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Total time a client gets to deliver its request head. A scrape sends
+/// its head in one packet; only a stalled or byte-dribbling client runs
+/// into this, and it must not be allowed to wedge the accept loop.
+const DEFAULT_HEAD_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Time allowed for writing a response before the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Longest accepted request line. Anything longer gets `414` — the known
+/// paths all fit in a few dozen bytes.
+const MAX_REQUEST_LINE: usize = 4096;
 
 /// One servable route: absolute path, content type, body.
 #[derive(Clone, Debug)]
@@ -38,6 +50,7 @@ impl Route {
 pub struct MetricsServer {
     listener: TcpListener,
     started: Instant,
+    head_deadline: Duration,
 }
 
 impl MetricsServer {
@@ -51,7 +64,16 @@ impl MetricsServer {
         Ok(Self {
             listener,
             started: Instant::now(),
+            head_deadline: DEFAULT_HEAD_DEADLINE,
         })
+    }
+
+    /// Overrides the total time a client gets to deliver its request head
+    /// before being answered `408` and dropped (default 2 s).
+    #[must_use]
+    pub fn with_head_deadline(mut self, deadline: Duration) -> Self {
+        self.head_deadline = deadline;
+        self
     }
 
     /// The bound address.
@@ -67,12 +89,22 @@ impl MetricsServer {
     /// `200` with the endpoint uptime, so liveness probes work even when
     /// no routes were registered. Unknown paths get a 404 listing the
     /// known ones. Per-connection I/O errors are swallowed — a
-    /// half-closed scrape must not kill the endpoint.
+    /// half-closed scrape must not kill the endpoint; a slow one is cut
+    /// off at the head deadline.
     pub fn serve(&self, routes: &[Route], max_requests: Option<usize>) {
+        self.serve_with(|| routes.to_vec(), max_requests);
+    }
+
+    /// Like [`MetricsServer::serve`], but the route set is rebuilt by
+    /// `routes_fn` for every request — the shape a live daemon needs,
+    /// where `/metrics` must reflect the registry *now*, not at bind
+    /// time.
+    pub fn serve_with(&self, mut routes_fn: impl FnMut() -> Vec<Route>, max_requests: Option<usize>) {
         let mut answered = 0usize;
         for stream in self.listener.incoming() {
             let Ok(stream) = stream else { continue };
-            let _ = handle_connection(stream, routes, self.started);
+            let routes = routes_fn();
+            let _ = handle_connection(stream, &routes, self.started, self.head_deadline);
             answered += 1;
             if max_requests.is_some_and(|max| answered >= max) {
                 break;
@@ -85,16 +117,56 @@ fn handle_connection(
     mut stream: TcpStream,
     routes: &[Route],
     started: Instant,
+    head_deadline: Duration,
 ) -> std::io::Result<()> {
-    // Read until the end of the request head (or 8 KiB, whichever first).
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    // Read until the end of the request head (or 8 KiB, whichever first),
+    // under one overall deadline so a byte-dribbling client cannot hold
+    // the accept loop hostage.
+    let deadline = Instant::now() + head_deadline;
     let mut buf = [0u8; 8192];
     let mut len = 0;
     loop {
-        let n = stream.read(&mut buf[len..])?;
-        if n == 0 {
-            break;
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return write_response(
+                &mut stream,
+                408,
+                "Request Timeout",
+                "text/plain",
+                "request head timed out\n",
+            );
         }
+        stream.set_read_timeout(Some(remaining))?;
+        let n = match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return write_response(
+                    &mut stream,
+                    408,
+                    "Request Timeout",
+                    "text/plain",
+                    "request head timed out\n",
+                );
+            }
+            Err(e) => return Err(e),
+        };
         len += n;
+        // A request line longer than any legitimate path is rejected
+        // before more of it is read.
+        if !buf[..len].contains(&b'\n') && len > MAX_REQUEST_LINE {
+            return write_response(
+                &mut stream,
+                414,
+                "URI Too Long",
+                "text/plain",
+                "request line too long\n",
+            );
+        }
         if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
             break;
         }
@@ -208,6 +280,68 @@ mod tests {
         let (code, body) = get(addr, "/healthz");
         assert_eq!(code, 200);
         assert!(body.starts_with("ok uptime_s="), "{body}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn byte_dribbling_client_cannot_wedge_the_endpoint() {
+        let server = MetricsServer::bind(0)
+            .expect("bind ephemeral")
+            .with_head_deadline(Duration::from_millis(100));
+        let addr = server.local_addr().unwrap();
+        let routes = vec![Route::new("/metrics", "text/plain", "ok\n".to_string())];
+        let handle = std::thread::spawn(move || server.serve(&routes, Some(2)));
+
+        // A client that sends half a request line, then stalls.
+        let mut slow = TcpStream::connect(addr).expect("connect");
+        slow.write_all(b"GET /met").unwrap();
+        slow.flush().unwrap();
+        let mut reader = BufReader::new(slow);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.contains("408"), "stalled head must get 408: {status}");
+
+        // The endpoint must still answer the next, honest client.
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert_eq!(body, "ok\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_414() {
+        let server = MetricsServer::bind(0).expect("bind ephemeral");
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve(&[], Some(1)));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let long = format!("GET /{} HTTP/1.0", "a".repeat(MAX_REQUEST_LINE + 64));
+        stream.write_all(long.as_bytes()).unwrap(); // no newline yet
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.contains("414"), "{status}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn serve_with_rebuilds_routes_per_request() {
+        let server = MetricsServer::bind(0).expect("bind ephemeral");
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut hits = 0u64;
+            server.serve_with(
+                move || {
+                    hits += 1;
+                    vec![Route::new("/metrics", "text/plain", format!("hits {hits}\n"))]
+                },
+                Some(2),
+            );
+        });
+        let (_, first) = get(addr, "/metrics");
+        let (_, second) = get(addr, "/metrics");
+        assert_eq!(first, "hits 1\n");
+        assert_eq!(second, "hits 2\n");
         handle.join().unwrap();
     }
 
