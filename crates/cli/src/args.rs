@@ -14,7 +14,7 @@ pub struct Args {
 
 /// Flags that never take a value (so `--streaming file.trace` leaves
 /// `file.trace` positional).
-pub const BOOL_FLAGS: &[&str] = &["streaming", "help", "json"];
+pub const BOOL_FLAGS: &[&str] = &["streaming", "help", "json", "once"];
 
 impl Args {
     /// Parses an iterator of raw arguments (without the program name).

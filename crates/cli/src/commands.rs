@@ -69,6 +69,7 @@ USAGE:
                 [--frontier-cap <N>] [--stall-budget <N>]
                 [--read-timeout-ms <N>] [--idle-timeout-ms <N>]
                 [--handshake-timeout-ms <N>] [--shed <drop|block>] [--json]
+                [--ops-log <FILE|->] [--flight-capacity <N>]
         Run the multi-tenant observer daemon: accept concurrent framed
         event streams over TCP on 127.0.0.1 (--port 0 picks an ephemeral
         port, announced on stderr before serving) and analyze each
@@ -79,10 +80,27 @@ USAGE:
         Error; a lossy, slow, idle or hostile tenant degrades only
         itself, never the process. Idle tenants are evicted after
         --idle-timeout-ms; tenant-requested frontier caps are clamped to
-        --frontier-cap. --metrics-port serves live Prometheus metrics
-        (/metrics, /healthz) while the daemon runs. --sessions N shuts
-        down after N session verdicts (default: serve until killed) and
-        prints a shutdown report; --json makes it machine-readable.
+        --frontier-cap. --metrics-port serves the daemon's live state
+        over HTTP while it runs: /metrics (Prometheus text with one
+        {tenant=\"...\"} labeled series per live session), /tenants
+        (per-tenant status JSON for `jmpax top`) and /healthz (readiness
+        JSON; 503 once shutdown begins). --ops-log writes a structured
+        JSON-lines operations log — one rate-limited event per session
+        state transition (accept/handshake/shed/evict/degrade/panic/
+        verdict) — to FILE, or to stderr with `-`; any session leaving
+        Exact dumps its flight-recorder ring (recent frames, sheds,
+        gaps, transitions; ring size --flight-capacity, default 64) into
+        the log and its final report. --sessions N shuts down after N
+        session verdicts (default: serve until killed) and prints a
+        shutdown report; --json makes it machine-readable.
+
+    jmpax top --connect <HOST:PORT> [--interval-ms <N>] [--once] [--json]
+        Watch a serve daemon's tenants live: poll /tenants on the
+        daemon's metrics endpoint (--metrics-port) and render a
+        refreshing per-tenant table — state, verdict, throughput, shed
+        chunks, gaps, violations, last transition — every --interval-ms
+        (default 1000). --once prints a single snapshot and exits;
+        --once --json prints the raw /tenants document for scripting.
 
     jmpax load <landing|xyz|bank|bank-locked|dining|handoff|peterson>
                 --connect <HOST:PORT> [--sessions <N>] [--seed <N>]
@@ -270,6 +288,7 @@ fn run_inner(
         Some("chaos") => chaos(args, registry),
         Some("serve") => serve(args, registry),
         Some("load") => load(args),
+        Some("top") => top(args),
         Some("trace") => return trace_cmd(args, registry),
         Some("gen") => gen(args),
         Some("bench") => bench(args),
@@ -749,6 +768,21 @@ fn serve(args: &Args, registry: &Registry) -> (i32, String) {
     if let Some(cap) = opt!(usize, "frontier-cap", "a state count") {
         config.analysis = config.analysis.with_frontier_cap(cap);
     }
+    if let Some(n) = opt!(usize, "flight-capacity", "an entry count") {
+        config.flight_capacity = n.max(1);
+    }
+    if let Some(path) = args.get("ops-log").filter(|s| !s.is_empty()) {
+        use jmpax_observer::{FileLogSink, OpsLog, StderrLogSink};
+        use std::sync::Arc;
+        config.ops_log = if path == "-" {
+            OpsLog::to_sink(Arc::new(StderrLogSink))
+        } else {
+            match FileLogSink::append(std::path::Path::new(path)) {
+                Ok(sink) => OpsLog::to_sink(Arc::new(sink)),
+                Err(e) => return (2, format!("serve: cannot open ops log `{path}`: {e}\n")),
+            }
+        };
+    }
 
     let server = match Server::bind(port, config) {
         Ok(s) => s,
@@ -766,20 +800,37 @@ fn serve(args: &Args, registry: &Registry) -> (i32, String) {
             Err(e) => return (2, format!("serve: cannot bind metrics port {mport}: {e}\n")),
         };
         if let Ok(maddr) = metrics.local_addr() {
-            eprintln!("jmpax serve: metrics on http://{maddr}/metrics (and /healthz)");
+            eprintln!("jmpax serve: metrics on http://{maddr}/metrics (and /tenants, /healthz)");
         }
         let live = registry.clone();
+        let obs = server.observability();
         // The endpoint lives exactly as long as the process: the thread is
         // detached and dies with it. Routes are rebuilt per request so
-        // `/metrics` reflects the registry *now*.
+        // every document reflects the daemon *now* — `/metrics` the
+        // registry, `/tenants` the live tenant table, `/healthz` the
+        // lifecycle (503 once shutdown begins).
         std::thread::spawn(move || {
             metrics.serve_with(
                 || {
-                    vec![jmpax_trace::serve::Route::new(
-                        "/metrics",
-                        "text/plain; version=0.0.4",
-                        live.snapshot().to_prometheus(),
-                    )]
+                    let (health_status, health_body) = obs.healthz();
+                    vec![
+                        jmpax_trace::serve::Route::new(
+                            "/metrics",
+                            "text/plain; version=0.0.4",
+                            live.snapshot().to_prometheus(),
+                        ),
+                        jmpax_trace::serve::Route::new(
+                            "/tenants",
+                            "application/json",
+                            obs.tenants_json(),
+                        ),
+                        jmpax_trace::serve::Route::with_status(
+                            "/healthz",
+                            "application/json",
+                            health_body,
+                            health_status,
+                        ),
+                    ]
                 },
                 None,
             );
@@ -908,6 +959,133 @@ fn load(args: &Args) -> (i32, String) {
         "load: {verdicts}/{sessions} verdicts received, {failures} failed"
     );
     (i32::from(verdicts != sessions), out)
+}
+
+/// `jmpax top`: poll a serve daemon's `/tenants` route and render a
+/// per-tenant status table — refreshing in place every `--interval-ms`,
+/// or once with `--once` (`--once --json` prints the raw document).
+fn top(args: &Args) -> (i32, String) {
+    let Some(addr) = args.get("connect").filter(|s| !s.is_empty()) else {
+        return (2, "top: missing --connect <HOST:PORT>\n".to_owned());
+    };
+    let interval = match parsed::<u64>(args, "top", "interval-ms", "milliseconds") {
+        Ok(ms) => std::time::Duration::from_millis(ms.unwrap_or(1000).max(50)),
+        Err(e) => return (2, e),
+    };
+    let json_mode = args.has("json");
+
+    if args.has("once") {
+        return match top_snapshot(addr, json_mode) {
+            Ok(body) => (0, body),
+            Err(e) => (1, format!("top: {e}\n")),
+        };
+    }
+    // Watch mode: redraw in place until interrupted (or the daemon goes
+    // away). Frames are printed directly — this loop never returns
+    // normally with output to buffer.
+    loop {
+        match top_snapshot(addr, json_mode) {
+            Ok(body) => {
+                // ANSI clear + home, then the fresh table.
+                print!("\x1b[2J\x1b[H{body}");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            }
+            Err(e) => return (1, format!("top: {e}\n")),
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One `/tenants` poll, rendered as requested.
+fn top_snapshot(addr: &str, json_mode: bool) -> Result<String, String> {
+    let (code, body) = http_get(addr, "/tenants")?;
+    if code != 200 {
+        return Err(format!("/tenants answered HTTP {code}"));
+    }
+    if json_mode {
+        return Ok(format!("{body}\n"));
+    }
+    render_tenants_table(addr, &body)
+}
+
+/// A single HTTP/1.0 GET over a raw socket — `jmpax top` needs no more
+/// HTTP client than the daemon's endpoint needs server.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    use std::io::{Read as _, Write as _};
+    use std::time::Duration;
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    write!(
+        stream,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading {addr}{path}: {e}"))?;
+    let code = response
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| format!("{addr}{path} sent no HTTP status line"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map_or(String::new(), |(_, b)| b.to_string());
+    Ok((code, body))
+}
+
+/// Renders the `/tenants` document as an aligned table, active sessions
+/// first (the daemon emits them first).
+fn render_tenants_table(addr: &str, body: &str) -> Result<String, String> {
+    use jmpax_telemetry::json::{self, Value};
+    let doc = json::parse(body).map_err(|e| format!("malformed /tenants document: {e}"))?;
+    let active = doc.get("active").and_then(Value::as_u64).unwrap_or(0);
+    let completed = doc.get("completed").and_then(Value::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "jmpax top — {addr} — {active} active, {completed} completed"
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>4} {:<7} {:<8} {:>8} {:>10} {:>5} {:>5} {:>5}  LAST TRANSITION",
+        "TENANT", "SESS", "STATE", "VERDICT", "AGE", "BYTES/S", "SHED", "GAPS", "VIOL"
+    );
+    let empty = Vec::new();
+    let tenants = doc.get("tenants").and_then(Value::as_array).unwrap_or(&empty);
+    for t in tenants {
+        let s = |key: &str| t.get(key).and_then(Value::as_str).unwrap_or("-");
+        let n = |key: &str| t.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<20} {:>4} {:<7} {:<8} {:>8} {:>10} {:>5} {:>5} {:>5}  {} ({} ago)",
+            s("tenant"),
+            n("session"),
+            s("state"),
+            s("verdict"),
+            format_ms(n("age_ms")),
+            n("bytes_per_sec"),
+            n("shed_chunks"),
+            n("gaps_skipped"),
+            n("violations"),
+            s("last_transition"),
+            format_ms(n("since_transition_ms")),
+        );
+    }
+    Ok(out)
+}
+
+/// `4200` → `"4.2s"`, `350` → `"350ms"`.
+fn format_ms(ms: u64) -> String {
+    if ms >= 1000 {
+        format!("{:.1}s", ms as f64 / 1000.0)
+    } else {
+        format!("{ms}ms")
+    }
 }
 
 fn trace_cmd(args: &Args, registry: &Registry) -> (i32, String, Option<ServeMetrics>) {
@@ -1647,6 +1825,55 @@ T1 write b 0
         tenants.sort();
         tenants.dedup();
         assert_eq!(tenants.len(), 3);
+    }
+
+    #[test]
+    fn top_rejects_bad_arguments() {
+        let (code, out) = run_cli(&["top"], None);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("missing --connect"), "{out}");
+
+        let (code, out) = run_cli(
+            &["top", "--connect", "127.0.0.1:1", "--interval-ms", "soon"],
+            None,
+        );
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--interval-ms expects"), "{out}");
+    }
+
+    #[test]
+    fn top_reports_unreachable_daemon() {
+        // Port 1 is essentially never listening; --once must fail fast
+        // with a transport error, not hang or panic.
+        let (code, out) = run_cli(&["top", "--connect", "127.0.0.1:1", "--once"], None);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("top: cannot connect"), "{out}");
+    }
+
+    #[test]
+    fn tenants_table_renders_all_columns() {
+        let body = "{\"active\":1,\"completed\":1,\"tenants\":[\
+            {\"tenant\":\"t-live\",\"session\":0,\"state\":\"running\",\
+             \"frames_ok\":0,\"messages\":0,\"bytes\":2048,\"bytes_per_sec\":512,\
+             \"shed_chunks\":0,\"gaps_skipped\":0,\"violations\":0,\"evicted\":false,\
+             \"age_ms\":4200,\"last_transition\":\"handshake_ok\",\"since_transition_ms\":350},\
+            {\"tenant\":\"t-done\",\"session\":1,\"state\":\"done\",\"verdict\":\"Degraded\",\
+             \"frames_ok\":9,\"messages\":8,\"bytes\":4096,\"bytes_per_sec\":1024,\
+             \"shed_chunks\":2,\"gaps_skipped\":3,\"violations\":1,\"evicted\":false,\
+             \"age_ms\":9000,\"last_transition\":\"verdict_degraded\",\"since_transition_ms\":1500}\
+        ]}";
+        let table = render_tenants_table("127.0.0.1:9", body).expect("renders");
+        assert!(table.contains("1 active, 1 completed"), "{table}");
+        assert!(table.contains("t-live"), "{table}");
+        assert!(table.contains("4.2s"), "{table}");
+        assert!(table.contains("350ms"), "{table}");
+        assert!(table.contains("Degraded"), "{table}");
+        assert!(table.contains("verdict_degraded"), "{table}");
+        // Running session has no verdict: the column shows a dash.
+        let live_row = table.lines().find(|l| l.contains("t-live")).unwrap();
+        assert!(live_row.contains(" - "), "{live_row}");
+
+        assert!(render_tenants_table("127.0.0.1:9", "not json").is_err());
     }
 
     #[test]

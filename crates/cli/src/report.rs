@@ -191,6 +191,9 @@ mod tests {
                     messages: 12,
                     evicted: false,
                     shed_chunks: 0,
+                    gaps_skipped: 0,
+                    flight: Vec::new(),
+                    flight_dropped: 0,
                 },
                 TenantOutcome {
                     tenant: "weird \"name\"".to_string(),
@@ -202,6 +205,9 @@ mod tests {
                     messages: 0,
                     evicted: true,
                     shed_chunks: 2,
+                    gaps_skipped: 0,
+                    flight: Vec::new(),
+                    flight_dropped: 0,
                 },
             ],
             rejected: 4,

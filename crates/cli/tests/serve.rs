@@ -90,10 +90,21 @@ fn serve_and_load_end_to_end_through_the_binary() {
     let mut stderr = BufReader::new(daemon.stderr.take().expect("piped stderr"));
     let (addr, maddr) = announced_addrs(&mut stderr);
 
-    // The metrics endpoint is live before any tenant has connected.
+    // The metrics endpoint is live before any tenant has connected, and
+    // /healthz reports readiness as JSON while the daemon accepts.
     let health = http_get(&maddr, "/healthz");
     if !health.starts_with("HTTP/1.0 200") {
         guard_fail(&mut daemon, &format!("healthz: {health}"));
+    }
+    let health_body = health.split("\r\n\r\n").nth(1).unwrap_or("");
+    let health_json = match jmpax_telemetry::json::parse(health_body) {
+        Ok(v) => v,
+        Err(e) => guard_fail(&mut daemon, &format!("healthz body not JSON ({e}): {health}")),
+    };
+    if health_json.get("ready").and_then(|v| v.as_bool()) != Some(true)
+        || health_json.get("accepting").and_then(|v| v.as_bool()) != Some(true)
+    {
+        guard_fail(&mut daemon, &format!("healthz not ready: {health_body}"));
     }
     let metrics = http_get(&maddr, "/metrics");
     if !metrics.starts_with("HTTP/1.0 200") {
@@ -149,6 +160,153 @@ fn serve_and_load_end_to_end_through_the_binary() {
             verdict == "Exact" || verdict == "Degraded",
             "tenant failed outright: {stdout}"
         );
+    }
+}
+
+/// The dimensional-observability contract through the real binary: live
+/// per-tenant labeled series in `/metrics`, the `/tenants` document,
+/// `jmpax top` in both `--once` modes, and the structured ops log.
+#[test]
+fn tenants_route_top_and_ops_log_reflect_sessions() {
+    let ops_path = std::env::temp_dir().join(format!("jmpax-opslog-{}.jsonl", std::process::id()));
+    let mut daemon = bin()
+        .args([
+            "serve",
+            "--spec",
+            SPEC,
+            "--port",
+            "0",
+            "--metrics-port",
+            "0",
+            "--sessions",
+            "4",
+            "--json",
+            "--read-timeout-ms",
+            "10",
+            "--idle-timeout-ms",
+            "5000",
+            "--ops-log",
+            ops_path.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut stderr = BufReader::new(daemon.stderr.take().expect("piped stderr"));
+    let (addr, maddr) = announced_addrs(&mut stderr);
+
+    // Three seeded lossy sessions complete first.
+    let loader = bin()
+        .args([
+            "load", "xyz", "--connect", &addr, "--sessions", "3", "--seed", "42", "--drop",
+            "0.1", "--tenant", "probe",
+        ])
+        .output()
+        .expect("run loader");
+    if !loader.status.success() {
+        let _ = std::fs::remove_file(&ops_path);
+        guard_fail(
+            &mut daemon,
+            &format!("loader: {}", String::from_utf8_lossy(&loader.stdout)),
+        );
+    }
+
+    // /tenants lists all three completions with their final verdicts...
+    let tenants_response = http_get(&maddr, "/tenants");
+    let tenants_body = tenants_response.split("\r\n\r\n").nth(1).unwrap_or("");
+    let tenants = match jmpax_telemetry::json::parse(tenants_body) {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = std::fs::remove_file(&ops_path);
+            guard_fail(&mut daemon, &format!("/tenants not JSON ({e}): {tenants_response}"))
+        }
+    };
+    if tenants.get("completed").and_then(|v| v.as_u64()) != Some(3) {
+        let _ = std::fs::remove_file(&ops_path);
+        guard_fail(&mut daemon, &format!("expected 3 completed: {tenants_body}"));
+    }
+    let rows = tenants
+        .get("tenants")
+        .and_then(|t| t.as_array())
+        .expect("tenants array");
+    for row in rows {
+        let verdict = row.get("verdict").and_then(|v| v.as_str()).unwrap_or("");
+        if verdict != "Exact" && verdict != "Degraded" {
+            let _ = std::fs::remove_file(&ops_path);
+            guard_fail(&mut daemon, &format!("bad verdict in /tenants: {tenants_body}"));
+        }
+    }
+
+    // ...and every tenant /tenants lists has its labeled series in
+    // /metrics (registration happens before the table insert).
+    let metrics = http_get(&maddr, "/metrics");
+    for row in rows {
+        let tenant = row.get("tenant").and_then(|v| v.as_str()).expect("tenant name");
+        let needle = format!("jmpax_serve_verdict_state{{tenant=\"{tenant}\"}}");
+        if !metrics.contains(&needle) {
+            let _ = std::fs::remove_file(&ops_path);
+            guard_fail(&mut daemon, &format!("missing {needle} in /metrics"));
+        }
+    }
+
+    // `jmpax top --once --json` hands scripts the same document.
+    let top_json = bin()
+        .args(["top", "--connect", &maddr, "--once", "--json"])
+        .output()
+        .expect("run top --json");
+    let top_json_out = String::from_utf8_lossy(&top_json.stdout).into_owned();
+    if !top_json.status.success() {
+        let _ = std::fs::remove_file(&ops_path);
+        guard_fail(&mut daemon, &format!("top --json failed: {top_json_out}"));
+    }
+    let top_doc = jmpax_telemetry::json::parse(top_json_out.trim()).expect("top --json parses");
+    assert_eq!(
+        top_doc.get("completed").and_then(|v| v.as_u64()),
+        Some(3),
+        "{top_json_out}"
+    );
+
+    // `jmpax top --once` renders the human table with one row per tenant.
+    let top_table = bin()
+        .args(["top", "--connect", &maddr, "--once"])
+        .output()
+        .expect("run top");
+    let table = String::from_utf8_lossy(&top_table.stdout).into_owned();
+    if !top_table.status.success() || !table.contains("TENANT") {
+        let _ = std::fs::remove_file(&ops_path);
+        guard_fail(&mut daemon, &format!("top table: {table}"));
+    }
+    for row in rows {
+        let tenant = row.get("tenant").and_then(|v| v.as_str()).unwrap();
+        assert!(table.contains(tenant), "missing {tenant} in:\n{table}");
+    }
+
+    // A fourth session reaches --sessions 4 and shuts the daemon down.
+    let closer = bin()
+        .args(["load", "xyz", "--connect", &addr, "--sessions", "1"])
+        .output()
+        .expect("run closer");
+    if !closer.status.success() {
+        let _ = std::fs::remove_file(&ops_path);
+        guard_fail(&mut daemon, "closer session failed");
+    }
+    let out = daemon.wait_with_output().expect("daemon exit");
+    assert!(out.status.success(), "daemon exit: {:?}", out.status);
+
+    // The ops log is JSON lines, one event per state transition, flushed
+    // by the time the daemon exited.
+    let ops = std::fs::read_to_string(&ops_path).expect("read ops log");
+    let _ = std::fs::remove_file(&ops_path);
+    let mut events = std::collections::BTreeSet::new();
+    for line in ops.lines() {
+        let parsed = jmpax_telemetry::json::parse(line)
+            .unwrap_or_else(|e| panic!("ops line not JSON ({e}): {line}"));
+        if let Some(event) = parsed.get("event").and_then(|v| v.as_str()) {
+            events.insert(event.to_string());
+        }
+    }
+    for required in ["accept", "handshake", "verdict", "shutdown"] {
+        assert!(events.contains(required), "no `{required}` event in ops log:\n{ops}");
     }
 }
 

@@ -83,9 +83,13 @@ impl EventSink for ChannelSink {
 pub struct FrameSink {
     buffer: Arc<Mutex<bytes::BytesMut>>,
     /// `instrument.frames_encoded` / `instrument.bytes_encoded`; no-ops
-    /// unless built via [`FrameSinkBuilder::telemetry`].
+    /// unless built via [`FrameSinkBuilder::telemetry`]. When the builder
+    /// also names a tenant, the labeled `{tenant="..."}` series of the
+    /// same families are bumped alongside the flat ones.
     tel_frames: jmpax_telemetry::Counter,
     tel_bytes: jmpax_telemetry::Counter,
+    tel_frames_tenant: jmpax_telemetry::Counter,
+    tel_bytes_tenant: jmpax_telemetry::Counter,
     /// Trace lane `wire`: one span per encoded frame plus the message it
     /// carried. Shared across clones (the sink itself is shared), so the
     /// ring sits behind a lock — a disabled ring skips it entirely.
@@ -138,6 +142,7 @@ impl FrameSink {
 pub struct FrameSinkBuilder {
     telemetry: jmpax_telemetry::Registry,
     tracer: Option<jmpax_trace::Tracer>,
+    tenant: Option<String>,
 }
 
 impl FrameSinkBuilder {
@@ -146,6 +151,16 @@ impl FrameSinkBuilder {
     #[must_use]
     pub fn telemetry(mut self, registry: &jmpax_telemetry::Registry) -> Self {
         self.telemetry = registry.clone();
+        self
+    }
+
+    /// Additionally bumps the `{tenant="..."}` labeled series of the same
+    /// counter families, so one registry shared by several instrumented
+    /// programs stays attributable per program. The flat series keep
+    /// counting the aggregate.
+    #[must_use]
+    pub fn tenant(mut self, tenant: &str) -> Self {
+        self.tenant = Some(tenant.to_string());
         self
     }
 
@@ -160,10 +175,27 @@ impl FrameSinkBuilder {
     /// Builds the sink.
     #[must_use]
     pub fn build(self) -> FrameSink {
+        let (tel_frames_tenant, tel_bytes_tenant) = match &self.tenant {
+            Some(tenant) => {
+                let labels = [("tenant", tenant.as_str())];
+                (
+                    self.telemetry
+                        .counter_with("instrument.frames_encoded", &labels),
+                    self.telemetry
+                        .counter_with("instrument.bytes_encoded", &labels),
+                )
+            }
+            None => (
+                jmpax_telemetry::Counter::disabled(),
+                jmpax_telemetry::Counter::disabled(),
+            ),
+        };
         FrameSink {
             buffer: Arc::default(),
             tel_frames: self.telemetry.counter("instrument.frames_encoded"),
             tel_bytes: self.telemetry.counter("instrument.bytes_encoded"),
+            tel_frames_tenant,
+            tel_bytes_tenant,
             ring: match self.tracer {
                 Some(tracer) => Arc::new(Mutex::new(tracer.ring("wire"))),
                 None => Arc::default(),
@@ -188,6 +220,8 @@ impl EventSink for FrameSink {
         drop(ring);
         self.tel_frames.inc();
         self.tel_bytes.add(encoded as u64);
+        self.tel_frames_tenant.inc();
+        self.tel_bytes_tenant.add(encoded as u64);
     }
 }
 
@@ -434,6 +468,28 @@ mod tests {
         let decoded = crate::codec::decode_frames(&bytes).unwrap();
         assert_eq!(decoded, vec![msg(1), msg(2)]);
         assert!(sink.take_bytes().is_empty());
+    }
+
+    #[test]
+    fn frame_sink_tenant_label_counts_alongside_flat_series() {
+        let registry = jmpax_telemetry::Registry::enabled();
+        let sink = FrameSink::builder()
+            .telemetry(&registry)
+            .tenant("t42")
+            .build();
+        let mut writer = sink.clone();
+        writer.emit(&msg(1));
+        writer.emit(&msg(2));
+        let snapshot = registry.snapshot();
+        let flat = snapshot.counter("instrument.frames_encoded");
+        let labeled =
+            snapshot.counter_with("instrument.frames_encoded", &[("tenant", "t42")]);
+        assert_eq!(flat, Some(2), "flat aggregate still counts");
+        assert_eq!(labeled, Some(2), "labeled series mirrors this sink");
+        assert_eq!(
+            snapshot.counter_with("instrument.bytes_encoded", &[("tenant", "t42")]),
+            snapshot.counter("instrument.bytes_encoded"),
+        );
     }
 
     #[test]

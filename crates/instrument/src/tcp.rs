@@ -181,6 +181,13 @@ pub struct TcpFrameSink {
     stream: Option<TcpStream>,
     error: Option<io::Error>,
     frames_sent: u64,
+    /// `instrument.frames_sent` / `instrument.bytes_sent` (flat plus the
+    /// `{tenant="..."}` labeled series); no-ops unless built via
+    /// [`TcpFrameSink::connect_with_telemetry`].
+    tel_frames: jmpax_telemetry::Counter,
+    tel_bytes: jmpax_telemetry::Counter,
+    tel_frames_tenant: jmpax_telemetry::Counter,
+    tel_bytes_tenant: jmpax_telemetry::Counter,
 }
 
 impl TcpFrameSink {
@@ -195,7 +202,36 @@ impl TcpFrameSink {
             stream: Some(stream),
             error: None,
             frames_sent: 0,
+            tel_frames: jmpax_telemetry::Counter::disabled(),
+            tel_bytes: jmpax_telemetry::Counter::disabled(),
+            tel_frames_tenant: jmpax_telemetry::Counter::disabled(),
+            tel_bytes_tenant: jmpax_telemetry::Counter::disabled(),
         })
+    }
+
+    /// Like [`TcpFrameSink::connect`], additionally counting
+    /// `instrument.frames_sent` and `instrument.bytes_sent` — both the
+    /// flat series and the `{tenant="..."}` labeled series for the
+    /// hello's tenant — into `registry`. The client side of the wire thus
+    /// carries the same tenant dimension the daemon exposes, so a scrape
+    /// of both ends lines up frame-for-frame.
+    ///
+    /// # Errors
+    /// Connection or handshake-write failures.
+    pub fn connect_with_telemetry(
+        addr: impl ToSocketAddrs,
+        hello: &SessionHello,
+        registry: &jmpax_telemetry::Registry,
+    ) -> io::Result<Self> {
+        let mut sink = Self::connect(addr, hello)?;
+        let labels = [("tenant", hello.tenant.as_str())];
+        // Flat aggregate + labeled per-tenant handles; bumping both keeps
+        // the flat series meaningful when many programs share a registry.
+        sink.tel_frames = registry.counter("instrument.frames_sent");
+        sink.tel_bytes = registry.counter("instrument.bytes_sent");
+        sink.tel_frames_tenant = registry.counter_with("instrument.frames_sent", &labels);
+        sink.tel_bytes_tenant = registry.counter_with("instrument.bytes_sent", &labels);
+        Ok(sink)
     }
 
     /// Frames successfully written so far.
@@ -235,7 +271,13 @@ impl EventSink for TcpFrameSink {
         let mut scratch = BytesMut::with_capacity(64);
         encode_frame_v2(message, &mut scratch);
         match stream.write_all(&scratch) {
-            Ok(()) => self.frames_sent += 1,
+            Ok(()) => {
+                self.frames_sent += 1;
+                self.tel_frames.inc();
+                self.tel_frames_tenant.inc();
+                self.tel_bytes.add(scratch.len() as u64);
+                self.tel_bytes_tenant.add(scratch.len() as u64);
+            }
             Err(err) => {
                 // Latch the first error and stop writing; the observer is
                 // expendable, the instrumented program is not.

@@ -46,7 +46,9 @@ pub use pipeline::{
 };
 pub use races::{detect_races, Race, RaceDetector};
 pub use serve::{
-    ServeConfig, ServeSummary, Server, ServerHandle, ShedPolicy, TenantOutcome, TenantVerdict,
+    FileLogSink, FlightDump, FlightEntry, FlightKind, FlightRecorder, LogLevel, LogSink, LogValue,
+    MemoryLogSink, OpsLog, ServeConfig, ServeObservability, ServeSummary, Server, ServerHandle,
+    ShedPolicy, StderrLogSink, TenantOutcome, TenantStatus, TenantTable, TenantVerdict,
 };
 pub use report::{
     render_analysis, render_counterexample, render_deadlocks, render_races, render_violation,

@@ -33,7 +33,10 @@
 //! Every failure mode increments a `serve.*` counter in the configured
 //! telemetry [`Registry`], so `/metrics` tells the whole story live.
 
+mod flight;
+mod ops;
 mod server;
+mod status;
 mod tenant;
 
 use std::time::Duration;
@@ -41,7 +44,13 @@ use std::time::Duration;
 use jmpax_lattice::{AnalysisConfig, Exactness};
 use jmpax_telemetry::Registry;
 
+pub use flight::{FlightDump, FlightEntry, FlightKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use ops::{
+    FileLogSink, LogLevel, LogSink, LogValue, MemoryLogSink, OpsLog, StderrLogSink,
+    DEFAULT_OPS_RATE,
+};
 pub use server::{Server, ServerHandle};
+pub use status::{ServeObservability, TenantStatus, TenantTable, DEFAULT_COMPLETED_CAPACITY};
 
 /// What to do when a tenant's bounded queue is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +97,11 @@ pub struct ServeConfig {
     /// Telemetry sink for every `serve.*` metric. A disabled registry is
     /// free.
     pub telemetry: Registry,
+    /// Structured JSON-lines operations log (one event per state
+    /// transition). Disabled by default; a disabled log is free.
+    pub ops_log: OpsLog,
+    /// Capacity (entries) of each tenant's flight-recorder ring.
+    pub flight_capacity: usize,
 }
 
 impl ServeConfig {
@@ -105,6 +119,8 @@ impl ServeConfig {
             handshake_timeout: Duration::from_secs(5),
             shed: ShedPolicy::Block,
             telemetry: Registry::disabled(),
+            ops_log: OpsLog::disabled(),
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -158,6 +174,13 @@ pub struct TenantOutcome {
     pub evicted: bool,
     /// Chunks shed by [`ShedPolicy::DropNewest`].
     pub shed_chunks: u64,
+    /// Sequence gaps the reassembler skipped (Theorem-3 accounting).
+    pub gaps_skipped: u64,
+    /// Flight-recorder dump; populated the moment the verdict leaves
+    /// `Exact`, empty for exact sessions.
+    pub flight: Vec<FlightEntry>,
+    /// Flight entries lost to ring wraparound before the dump.
+    pub flight_dropped: u64,
 }
 
 impl TenantOutcome {
@@ -186,6 +209,19 @@ impl TenantOutcome {
         }
         if self.shed_chunks > 0 {
             out.push_str(&format!(",\"shed_chunks\":{}", self.shed_chunks));
+        }
+        if self.gaps_skipped > 0 {
+            out.push_str(&format!(",\"gaps_skipped\":{}", self.gaps_skipped));
+        }
+        if !self.flight.is_empty() || self.flight_dropped > 0 {
+            out.push_str(&format!(",\"flight_dropped\":{},\"flight\":[", self.flight_dropped));
+            for (i, entry) in self.flight.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&entry.to_json());
+            }
+            out.push(']');
         }
         out.push('}');
         out

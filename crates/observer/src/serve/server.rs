@@ -7,15 +7,21 @@
 //! count is reached or [`ServerHandle::stop`] is called, then joins every
 //! session before returning the [`ServeSummary`] — a clean shutdown by
 //! construction.
+//!
+//! [`Server::observability`] hands out a cloneable view — live tenant
+//! table, active-session count, accepting flag — that a metrics endpoint
+//! can serve from without ever touching the accept loop.
 
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use jmpax_core::SymbolTable;
 use jmpax_spec::parse;
 
+use super::ops::{LogLevel, LogValue};
+use super::status::{ServeObservability, TenantTable};
 use super::tenant::{reject, run_session};
 use super::{ServeConfig, ServeSummary, TenantOutcome};
 
@@ -27,6 +33,9 @@ pub struct Server {
     /// must declare them.
     spec_var_names: Arc<Vec<String>>,
     stopping: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    tenants: TenantTable,
+    started: Instant,
 }
 
 impl Server {
@@ -59,6 +68,9 @@ impl Server {
             config: Arc::new(config),
             spec_var_names: Arc::new(spec_var_names),
             stopping: Arc::new(AtomicBool::new(false)),
+            active: Arc::new(AtomicUsize::new(0)),
+            tenants: TenantTable::default(),
+            started: Instant::now(),
         })
     }
 
@@ -70,12 +82,26 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// A cloneable view of the daemon's live state for status endpoints
+    /// (`/tenants`, `/healthz`). Stays valid across [`Server::run`]: the
+    /// handle observes shutdown through the same flag `stop` sets.
+    #[must_use]
+    pub fn observability(&self) -> ServeObservability {
+        ServeObservability {
+            tenants: self.tenants.clone(),
+            stopping: Arc::clone(&self.stopping),
+            active: Arc::clone(&self.active),
+            started: self.started,
+        }
+    }
+
     /// Serves until `target` session outcomes have been collected (`None`
     /// = until [`ServerHandle::stop`]), then joins every in-flight
     /// session and returns the summary.
     pub fn run(self, target: Option<usize>) -> ServeSummary {
         let tel = &self.config.telemetry;
-        let active = Arc::new(AtomicUsize::new(0));
+        let ops = &self.config.ops_log;
+        let active = Arc::clone(&self.active);
         let active_gauge = tel.gauge("serve.sessions_active");
         let rejected = Arc::new(AtomicU64::new(0));
         let (outcome_tx, outcome_rx) = mpsc::channel::<TenantOutcome>();
@@ -89,12 +115,19 @@ impl Server {
                 break;
             }
             match self.listener.accept() {
-                Ok((mut stream, _)) => {
+                Ok((mut stream, peer)) => {
                     let session = next_session;
                     next_session += 1;
                     if active.load(Ordering::Relaxed) >= self.config.max_sessions {
                         tel.counter("serve.sessions_rejected").inc();
                         rejected.fetch_add(1, Ordering::Relaxed);
+                        ops.event(
+                            LogLevel::Warn,
+                            "reject",
+                            None,
+                            Some(session),
+                            &[("reason", LogValue::from("at capacity"))],
+                        );
                         // The socket came from a non-blocking accept;
                         // restore blocking so the rejection line is
                         // actually written.
@@ -104,6 +137,13 @@ impl Server {
                     }
                     active.fetch_add(1, Ordering::Relaxed);
                     active_gauge.set(active.load(Ordering::Relaxed) as u64);
+                    ops.event(
+                        LogLevel::Info,
+                        "accept",
+                        None,
+                        Some(session),
+                        &[("peer", LogValue::Str(peer.to_string()))],
+                    );
                     let _ = stream.set_nonblocking(false);
                     let config = Arc::clone(&self.config);
                     let spec_var_names = Arc::clone(&self.spec_var_names);
@@ -113,9 +153,16 @@ impl Server {
                     let active_gauge = active_gauge.clone();
                     let rejected = Arc::clone(&rejected);
                     let rejected_counter = tel.counter("serve.sessions_rejected");
+                    let tenants = self.tenants.clone();
                     sessions.push(std::thread::spawn(move || {
-                        let outcome =
-                            run_session(stream, session, &config, &spec_var_names, &stopping);
+                        let outcome = run_session(
+                            stream,
+                            session,
+                            &config,
+                            &spec_var_names,
+                            &stopping,
+                            &tenants,
+                        );
                         match outcome {
                             Some(outcome) => {
                                 let _ = outcome_tx.send(outcome);
@@ -156,6 +203,20 @@ impl Server {
             summary.outcomes.push(outcome);
         }
         summary.rejected = rejected.load(Ordering::Relaxed);
+        if ops.suppressed() > 0 {
+            tel.counter("serve.ops_log_suppressed").add(ops.suppressed());
+        }
+        ops.event(
+            LogLevel::Info,
+            "shutdown",
+            None,
+            None,
+            &[
+                ("sessions", LogValue::from(summary.outcomes.len())),
+                ("rejected", LogValue::U64(summary.rejected)),
+                ("log_suppressed", LogValue::U64(ops.suppressed())),
+            ],
+        );
         summary
     }
 
@@ -168,11 +229,13 @@ impl Server {
             .local_addr()
             .expect("a bound listener has an address");
         let stopping = Arc::clone(&self.stopping);
+        let observability = self.observability();
         let thread = std::thread::spawn(move || self.run(None));
         ServerHandle {
             addr,
             stopping,
             thread,
+            observability,
         }
     }
 }
@@ -182,6 +245,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stopping: Arc<AtomicBool>,
     thread: std::thread::JoinHandle<ServeSummary>,
+    observability: ServeObservability,
 }
 
 impl ServerHandle {
@@ -189,6 +253,12 @@ impl ServerHandle {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The daemon's live-state view; see [`Server::observability`].
+    #[must_use]
+    pub fn observability(&self) -> ServeObservability {
+        self.observability.clone()
     }
 
     /// Requests shutdown and blocks until every session has completed,

@@ -7,6 +7,11 @@
 //! it never touches the socket, so a wedged client cannot stall it, and a
 //! panicking analysis is contained by the thread boundary (the reader
 //! reports an `Error` verdict and the daemon keeps serving).
+//!
+//! Every stage is observable per tenant: the pipeline counters carry a
+//! `tenant` label, each transition goes to the ops log and the session's
+//! flight recorder, and a verdict that leaves `Exact` ships the ring as
+//! evidence.
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -21,9 +26,19 @@ use jmpax_instrument::tcp::SessionHello;
 use jmpax_instrument::ResilientFrameDecoder;
 use jmpax_lattice::{Exactness, Reassembler};
 use jmpax_spec::{parse, Monitor, ProgramState};
+use jmpax_telemetry::Counter;
 
+use super::flight::FlightRecorder;
+use super::ops::{LogLevel, LogValue};
+use super::status::TenantTable;
 use super::{ServeConfig, ShedPolicy, TenantOutcome, TenantVerdict};
 use crate::pipeline::{Pipeline, PipelineConfig};
+
+/// `serve.verdict_state{tenant=…}` gauge values.
+const STATE_RUNNING: u64 = 0;
+const STATE_EXACT: u64 = 1;
+const STATE_DEGRADED: u64 = 2;
+const STATE_ERROR: u64 = 3;
 
 /// What flows through a session's bounded queue. Eviction is the
 /// reader's knowledge — it folds the flag into the verdict itself, so the
@@ -42,6 +57,7 @@ struct WorkerResult {
     violations: usize,
     frames_ok: u64,
     messages: u64,
+    gaps_skipped: u64,
 }
 
 /// Serves one accepted connection end-to-end and returns the outcome that
@@ -53,8 +69,10 @@ pub(super) fn run_session(
     config: &Arc<ServeConfig>,
     spec_var_names: &Arc<Vec<String>>,
     stopping: &Arc<AtomicBool>,
+    tenants: &TenantTable,
 ) -> Option<TenantOutcome> {
     let tel = &config.telemetry;
+    let ops = &config.ops_log;
 
     // --- Handshake, under its own deadline. -----------------------------
     let _ = stream.set_read_timeout(Some(config.handshake_timeout));
@@ -62,6 +80,13 @@ pub(super) fn run_session(
         Ok(h) => h,
         Err(err) => {
             tel.counter("serve.handshake_errors").inc();
+            ops.event(
+                LogLevel::Error,
+                "handshake_failed",
+                None,
+                Some(session),
+                &[("error", LogValue::Str(err.to_string()))],
+            );
             reject(&mut stream, session, &format!("bad handshake: {err}"));
             return None;
         }
@@ -72,6 +97,16 @@ pub(super) fn run_session(
         .find(|n| !declared.contains(&n.as_str()))
     {
         tel.counter("serve.handshake_errors").inc();
+        ops.event(
+            LogLevel::Error,
+            "handshake_failed",
+            Some(&hello.tenant),
+            Some(session),
+            &[(
+                "error",
+                LogValue::Str(format!("missing spec variable {missing:?}")),
+            )],
+        );
         reject(
             &mut stream,
             session,
@@ -114,11 +149,35 @@ pub(super) fn run_session(
         .with_requested_frontier_cap(hello.frontier_cap as usize);
 
     tel.counter("serve.sessions_accepted").inc();
+
+    // --- Per-tenant observability. --------------------------------------
+    // The labeled series are registered *before* the tenant enters the
+    // status table, so anything `/tenants` lists is already queryable in
+    // `/metrics`.
+    let tenant = hello.tenant.clone();
+    let labels: [(&str, &str); 1] = [("tenant", tenant.as_str())];
+    let depth_gauge = tel.gauge_with("serve.queue_depth", &labels);
+    let frames_labeled = tel.counter_with("serve.frames_decoded", &labels);
+    let shed_labeled = tel.counter_with("serve.chunks_shed", &labels);
+    let gaps_labeled = tel.counter_with("serve.gaps_skipped", &labels);
+    let state_gauge = tel.gauge_with("serve.verdict_state", &labels);
+    state_gauge.set(STATE_RUNNING);
+    tenants.insert_active(&tenant, session);
+    let flight = FlightRecorder::new(config.flight_capacity);
+    flight.transition("handshake_ok");
+    tenants.transition(session, "handshake_ok");
+    ops.event(
+        LogLevel::Info,
+        "handshake",
+        Some(&tenant),
+        Some(session),
+        &[
+            ("threads", LogValue::U64(u64::from(hello.threads))),
+            ("vars", LogValue::U64(hello.vars.len() as u64)),
+        ],
+    );
+
     let depth = Arc::new(AtomicU64::new(0));
-    let depth_gauge = tel.gauge(&format!(
-        "serve.tenant.{}.queue_depth",
-        sanitize(&hello.tenant)
-    ));
 
     // --- Worker thread: owns the whole analysis. ------------------------
     let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(config.queue_depth.max(1));
@@ -127,23 +186,44 @@ pub(super) fn run_session(
         let initial = initial.clone();
         let depth = Arc::clone(&depth);
         let threads = hello.threads as usize;
-        std::thread::spawn(move || run_worker(&config, analysis, monitor, &initial, threads, &rx, &depth))
+        let flight = flight.clone();
+        let frames_labeled = frames_labeled.clone();
+        let gaps_labeled = gaps_labeled.clone();
+        std::thread::spawn(move || {
+            run_worker(
+                &config,
+                analysis,
+                monitor,
+                &initial,
+                threads,
+                &rx,
+                &depth,
+                &flight,
+                &frames_labeled,
+                &gaps_labeled,
+            )
+        })
     };
 
     // --- Reader loop: socket → bounded queue. ---------------------------
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let mut evicted = false;
     let mut shed_chunks = 0u64;
+    let mut bytes_ingested = 0u64;
     let mut idle = Duration::ZERO;
     let mut worker_dead = false;
     let mut chunk = [0u8; 8192];
     loop {
         use std::io::Read as _;
         match stream.read(&mut chunk) {
-            Ok(0) => break, // clean end of stream
+            Ok(0) => {
+                flight.transition("eof");
+                break; // clean end of stream
+            }
             Ok(n) => {
                 idle = Duration::ZERO;
                 tel.counter("serve.bytes_ingested").add(n as u64);
+                bytes_ingested += n as u64;
                 let item = WorkItem::Chunk(chunk[..n].to_vec());
                 // The counter is raised *before* the send: the worker
                 // decrements after `recv`, and crediting afterwards would
@@ -167,7 +247,16 @@ pub(super) fn run_session(
                             depth.fetch_sub(1, Ordering::Relaxed);
                             shed_chunks += 1;
                             tel.counter("serve.chunks_shed").inc();
+                            shed_labeled.inc();
                             tel.counter("serve.bytes_shed").add(n as u64);
+                            flight.shed(n as u64);
+                            ops.event(
+                                LogLevel::Debug,
+                                "shed",
+                                Some(&tenant),
+                                Some(session),
+                                &[("bytes", LogValue::U64(n as u64))],
+                            );
                         }
                         Err(TrySendError::Disconnected(_)) => {
                             depth.fetch_sub(1, Ordering::Relaxed);
@@ -176,6 +265,10 @@ pub(super) fn run_session(
                         }
                     },
                 }
+                tenants.update(session, |s| {
+                    s.bytes = bytes_ingested;
+                    s.shed_chunks = shed_chunks;
+                });
             }
             Err(err)
                 if err.kind() == std::io::ErrorKind::WouldBlock
@@ -186,6 +279,15 @@ pub(super) fn run_session(
                 if idle >= config.idle_timeout {
                     tel.counter("serve.tenants_evicted").inc();
                     evicted = true;
+                    flight.transition("evicted_idle");
+                    tenants.transition(session, "evicted_idle");
+                    ops.event(
+                        LogLevel::Warn,
+                        "evict",
+                        Some(&tenant),
+                        Some(session),
+                        &[("reason", LogValue::from("idle"))],
+                    );
                     break;
                 }
                 if stopping.load(Ordering::Relaxed) {
@@ -193,10 +295,22 @@ pub(super) fn run_session(
                     // eviction so the verdict cannot claim exactness.
                     tel.counter("serve.tenants_evicted").inc();
                     evicted = true;
+                    flight.transition("evicted_shutdown");
+                    tenants.transition(session, "evicted_shutdown");
+                    ops.event(
+                        LogLevel::Warn,
+                        "evict",
+                        Some(&tenant),
+                        Some(session),
+                        &[("reason", LogValue::from("shutdown"))],
+                    );
                     break;
                 }
             }
-            Err(_) => break, // connection reset etc.: analyze what arrived
+            Err(_) => {
+                flight.transition("connection_reset");
+                break; // connection reset etc.: analyze what arrived
+            }
         }
     }
     if !worker_dead {
@@ -217,9 +331,18 @@ pub(super) fn run_session(
             }
             let verdict = if exactness.is_exact() {
                 tel.counter("serve.verdicts_exact").inc();
+                state_gauge.set(STATE_EXACT);
                 TenantVerdict::Exact
             } else {
                 tel.counter("serve.verdicts_degraded").inc();
+                state_gauge.set(STATE_DEGRADED);
+                ops.event(
+                    LogLevel::Warn,
+                    "degrade",
+                    Some(&tenant),
+                    Some(session),
+                    &[("exactness", LogValue::Str(exactness.to_string()))],
+                );
                 TenantVerdict::Degraded(exactness)
             };
             TenantOutcome {
@@ -232,11 +355,22 @@ pub(super) fn run_session(
                 messages: result.messages,
                 evicted,
                 shed_chunks,
+                gaps_skipped: result.gaps_skipped,
+                flight: Vec::new(),
+                flight_dropped: 0,
             }
         }
         _ => {
             tel.counter("serve.worker_panics").inc();
             tel.counter("serve.verdicts_error").inc();
+            state_gauge.set(STATE_ERROR);
+            ops.event(
+                LogLevel::Error,
+                "panic",
+                Some(&tenant),
+                Some(session),
+                &[],
+            );
             TenantOutcome {
                 tenant: hello.tenant,
                 session,
@@ -247,9 +381,47 @@ pub(super) fn run_session(
                 messages: 0,
                 evicted,
                 shed_chunks,
+                gaps_skipped: 0,
+                flight: Vec::new(),
+                flight_dropped: 0,
             }
         }
     };
+    // The moment a session leaves Exact, the flight recorder becomes the
+    // evidence: dump it into the ops log and attach it to the outcome.
+    let outcome = if matches!(outcome.verdict, TenantVerdict::Exact) {
+        outcome
+    } else {
+        let dump = flight.dump();
+        ops.event(
+            LogLevel::Warn,
+            "flight",
+            Some(&tenant),
+            Some(session),
+            &[
+                ("verdict", LogValue::from(outcome.verdict.label())),
+                ("dump", LogValue::Raw(dump.to_json())),
+            ],
+        );
+        TenantOutcome {
+            flight: dump.entries,
+            flight_dropped: dump.dropped,
+            ..outcome
+        }
+    };
+    ops.event(
+        LogLevel::Info,
+        "verdict",
+        Some(&tenant),
+        Some(session),
+        &[
+            ("verdict", LogValue::from(outcome.verdict.label())),
+            ("satisfied", LogValue::Bool(outcome.satisfied)),
+            ("violations", LogValue::from(outcome.violations)),
+            ("messages", LogValue::U64(outcome.messages)),
+        ],
+    );
+    tenants.complete(&outcome);
     depth_gauge.set(0);
     let _ = writeln!(stream, "{}", outcome.to_json());
     let _ = stream.flush();
@@ -258,6 +430,7 @@ pub(super) fn run_session(
 
 /// The analysis half: decode resiliently, reassemble causally, run the
 /// streaming lattice check, and fold every loss into one [`Exactness`].
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     config: &ServeConfig,
     analysis: jmpax_lattice::AnalysisConfig,
@@ -266,6 +439,9 @@ fn run_worker(
     threads: usize,
     rx: &Receiver<WorkItem>,
     depth: &AtomicU64,
+    flight: &FlightRecorder,
+    frames_labeled: &Counter,
+    gaps_labeled: &Counter,
 ) -> WorkerResult {
     let tel = &config.telemetry;
     let mut decoder = ResilientFrameDecoder::new();
@@ -276,6 +452,8 @@ fn run_worker(
                 depth.fetch_sub(1, Ordering::Relaxed);
                 let messages = decoder.push(&bytes);
                 tel.counter("serve.frames_ingested").add(messages.len() as u64);
+                frames_labeled.add(messages.len() as u64);
+                flight.frames(messages.len() as u64, bytes.len() as u64);
                 reassembler.push_all(messages);
             }
             WorkItem::Eof => break,
@@ -286,6 +464,10 @@ fn run_worker(
     tel.counter("serve.frames_resynced").add(decoded.frames_resynced);
     let (messages, reassembly) = reassembler.finish();
     reassembly.record(tel);
+    for gap in &reassembly.gaps {
+        flight.gap(u64::from(gap.thread.0), gap.from, gap.to);
+    }
+    gaps_labeled.add(reassembly.skipped_gaps());
 
     let pipeline = Pipeline::new(PipelineConfig::new().telemetry(tel).analysis(analysis));
     let message_count = messages.len() as u64;
@@ -306,6 +488,7 @@ fn run_worker(
         violations: stream.violations.len(),
         frames_ok: decoded.frames_ok,
         messages: message_count,
+        gaps_skipped: reassembly.skipped_gaps(),
     }
 }
 
@@ -320,19 +503,4 @@ pub(super) fn reject(stream: &mut TcpStream, session: u64, reason: &str) {
     line.push('}');
     let _ = writeln!(stream, "{line}");
     let _ = stream.flush();
-}
-
-/// Metric-name-safe tenant label: alphanumerics, `_` and `-` survive,
-/// everything else becomes `_`.
-fn sanitize(tenant: &str) -> String {
-    tenant
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
-                c
-            } else {
-                '_'
-            }
-        })
-        .collect()
 }

@@ -165,16 +165,53 @@ fn hundred_concurrent_lossy_sessions_one_daemon() {
         }
     }
 
-    // Bounded-queue isolation, asserted via the per-tenant depth gauges:
-    // the reader counts its in-flight chunk before the (possibly
+    // Bounded-queue isolation, asserted via the labeled per-tenant depth
+    // gauges: the reader counts its in-flight chunk before the (possibly
     // blocking) send, and the worker may have popped-but-not-yet-
     // discounted another, hence +2 over the channel bound.
     let snapshot = registry.snapshot();
     for tenant in ["tenant-0", "tenant-57", "tenant-99", "stalled"] {
-        if let Some((_, peak)) = snapshot.gauge(&format!("serve.tenant.{tenant}.queue_depth")) {
+        let (_, peak) = snapshot
+            .gauge_with("serve.queue_depth", &[("tenant", tenant)])
+            .unwrap_or_else(|| panic!("no serve.queue_depth{{tenant=\"{tenant}\"}} series"));
+        assert!(
+            peak <= QUEUE_DEPTH as u64 + 2,
+            "tenant {tenant} queue depth peak {peak} exceeds bound"
+        );
+    }
+    // Every session registered its labeled series — one per tenant.
+    let depth_series = snapshot
+        .family("serve.queue_depth")
+        .filter(|e| !e.labels.is_empty())
+        .count();
+    assert_eq!(depth_series as u64, SESSIONS + 1, "one labeled gauge per tenant");
+    // Per-tenant verdict state matches the outcome (1 = Exact, 2 = Degraded).
+    for outcome in &summary.outcomes {
+        let (state, _) = snapshot
+            .gauge_with("serve.verdict_state", &[("tenant", &outcome.tenant)])
+            .expect("verdict_state series per tenant");
+        match &outcome.verdict {
+            TenantVerdict::Exact => assert_eq!(state, 1, "tenant {}", outcome.tenant),
+            TenantVerdict::Degraded(_) => assert_eq!(state, 2, "tenant {}", outcome.tenant),
+            TenantVerdict::Error(_) => assert_eq!(state, 3, "tenant {}", outcome.tenant),
+        }
+    }
+    // Non-Exact outcomes carry flight-recorder evidence; labeled gap
+    // counters agree with the outcome's accounting.
+    for outcome in &summary.outcomes {
+        if !matches!(outcome.verdict, TenantVerdict::Exact) {
             assert!(
-                peak <= QUEUE_DEPTH as u64 + 2,
-                "tenant {tenant} queue depth peak {peak} exceeds bound"
+                !outcome.flight.is_empty(),
+                "non-Exact tenant {} must carry a flight dump",
+                outcome.tenant
+            );
+        }
+        if outcome.gaps_skipped > 0 {
+            assert_eq!(
+                snapshot.counter_with("serve.gaps_skipped", &[("tenant", &outcome.tenant)]),
+                Some(outcome.gaps_skipped),
+                "labeled gap counter for {}",
+                outcome.tenant
             );
         }
     }
@@ -364,4 +401,107 @@ fn tenant_frontier_cap_is_clamped_by_server_ceiling() {
     );
     let summary = handle.stop();
     assert_eq!(summary.outcomes.len(), 1);
+}
+
+/// Satellite check: a seeded lossy session's flight-recorder dump must
+/// carry exactly one gap event per gap the report counted — in the
+/// outcome, in the ops log, and in the labeled gap counter.
+#[test]
+fn flight_recorder_dump_matches_gaps_skipped() {
+    use std::sync::Arc;
+
+    use jmpax_observer::serve::{FlightKind, LogSink, MemoryLogSink, OpsLog};
+
+    let ops_sink = Arc::new(MemoryLogSink::new());
+    let registry = Registry::enabled();
+    let mut config = ServeConfig::new(SPEC);
+    config.telemetry = registry.clone();
+    config.read_timeout = Duration::from_millis(10);
+    config.ops_log = OpsLog::to_sink(Arc::clone(&ops_sink) as Arc<dyn LogSink>);
+    let server = Server::bind(0, config).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn();
+
+    // A long two-thread workload through drop-only chaos: deterministic
+    // sequence gaps with no corruption or reordering noise.
+    let mut symbols = SymbolTable::new();
+    let x = symbols.intern("x");
+    let y = symbols.intern("y");
+    let z = symbols.intern("z");
+    let mut ex = Execution::new()
+        .with_initial(x, -1)
+        .with_initial(y, 0)
+        .with_initial(z, 0);
+    for i in 0..40 {
+        ex.write(T1, x, i);
+        ex.write(T2, z, i + 1);
+        ex.write(T1, y, i + 1);
+    }
+    let messages = ex.instrument(Relevance::writes_of(vec![x, y, z]));
+    let chaos = ChaosConfig {
+        seed: 0xBADD1E,
+        drop_rate: 0.1,
+        dup_rate: 0.0,
+        corrupt_rate: 0.0,
+        reorder_window: 0,
+    };
+    let sink = ChaosSink::new(chaos);
+    let mut writer = sink.clone();
+    for m in &messages {
+        writer.emit(m);
+    }
+    let bytes = sink.take_bytes().to_vec();
+
+    let line = send_raw_session(addr, &hello_for("lossy"), &bytes).expect("verdict line");
+    assert!(
+        line.contains("\"verdict\":\"Degraded\""),
+        "seeded drops must degrade, got: {line}"
+    );
+
+    let summary = handle.stop();
+    let outcome = summary
+        .outcomes
+        .iter()
+        .find(|o| o.tenant == "lossy")
+        .expect("lossy outcome");
+    assert!(outcome.gaps_skipped > 0, "seeded drops must commit gaps");
+    let gap_entries = outcome
+        .flight
+        .iter()
+        .filter(|e| matches!(e.kind, FlightKind::Gap { .. }))
+        .count();
+    assert_eq!(
+        gap_entries as u64, outcome.gaps_skipped,
+        "flight gap events must match the report's gaps_skipped"
+    );
+    assert_eq!(outcome.flight_dropped, 0, "short session must not wrap the ring");
+
+    // The identical dump went to the ops log the moment the session left
+    // Exact.
+    let flight_line = ops_sink
+        .lines()
+        .into_iter()
+        .find(|l| l.contains("\"event\":\"flight\""))
+        .expect("flight event in ops log");
+    let parsed = jmpax_telemetry::json::parse(&flight_line).expect("flight line parses");
+    let entries = parsed
+        .get("dump")
+        .and_then(|d| d.get("entries"))
+        .and_then(jmpax_telemetry::json::Value::as_array)
+        .expect("dump entries");
+    let logged_gaps = entries
+        .iter()
+        .filter(|e| {
+            e.get("kind").and_then(jmpax_telemetry::json::Value::as_str) == Some("gap")
+        })
+        .count();
+    assert_eq!(logged_gaps as u64, outcome.gaps_skipped);
+
+    // And the labeled per-tenant counter agrees with all of it.
+    assert_eq!(
+        registry
+            .snapshot()
+            .counter_with("serve.gaps_skipped", &[("tenant", "lossy")]),
+        Some(outcome.gaps_skipped)
+    );
 }

@@ -324,10 +324,241 @@ impl Metric {
             Metric::Histogram(_) => "histogram",
         }
     }
+
+    /// A second handle onto the same cell.
+    fn share(&self) -> Metric {
+        match self {
+            Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+            Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+            Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+        }
+    }
+}
+
+/// Default bound on resident labeled series (flat series are unbounded).
+/// Sized so a full daemon chaos load — hundreds of tenants with a handful
+/// of labeled series each — fits without eviction, while a hostile or
+/// leaky label source cannot grow the registry without bound.
+pub const DEFAULT_LABEL_CAPACITY: usize = 2048;
+
+/// The flat counter that records LRU evictions of labeled series.
+pub const LABELS_DROPPED: &str = "telemetry.labels_dropped";
+
+/// One registered series: a family name, its canonical (sorted) labels,
+/// and the live cell.
+struct Series {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+    /// Tick of the most recent registration call. 0 for flat series,
+    /// which are pinned and never evicted.
+    last_used: u64,
+}
+
+struct MetricStore {
+    /// Keyed by the composed series key (`name` or `name{k="v",...}`).
+    series: BTreeMap<String, Series>,
+    /// Family name → kind. A family keeps one kind across every label
+    /// set, otherwise the Prometheus exposition would be ill-formed.
+    kinds: BTreeMap<String, &'static str>,
+    /// Labeled series currently resident.
+    labeled: usize,
+    /// Bound on `labeled` before LRU eviction kicks in.
+    label_capacity: usize,
+    /// Monotonic registration tick; orders series for LRU eviction.
+    tick: u64,
+    /// Cell behind [`LABELS_DROPPED`]; held here so eviction can bump it
+    /// while the store lock is already taken.
+    labels_dropped: Arc<AtomicU64>,
+}
+
+impl MetricStore {
+    fn new(label_capacity: usize) -> Self {
+        Self {
+            series: BTreeMap::new(),
+            kinds: BTreeMap::new(),
+            labeled: 0,
+            label_capacity,
+            tick: 0,
+            labels_dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn register(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: &'static str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let labels = canonical_labels(labels);
+        let key = composed_key(name, &labels);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(existing) = self.series.get_mut(&key) {
+            assert!(
+                existing.metric.kind() == kind,
+                "metric {name:?} is a {}, not a {kind}",
+                existing.metric.kind()
+            );
+            if !existing.labels.is_empty() {
+                existing.last_used = tick;
+            }
+            return existing.metric.share();
+        }
+        match self.kinds.get(name) {
+            Some(k) if *k != kind => panic!("metric {name:?} is a {k}, not a {kind}"),
+            Some(_) => {}
+            None => {
+                self.kinds.insert(name.to_string(), kind);
+            }
+        }
+        let last_used = if labels.is_empty() {
+            0
+        } else {
+            if self.labeled >= self.label_capacity.max(1) {
+                self.evict_lru();
+            }
+            self.labeled += 1;
+            // Make the overflow counter visible from the first labeled
+            // registration, so a zero reads as "no pressure yet" rather
+            // than "not instrumented".
+            self.ensure_labels_dropped();
+            tick
+        };
+        // Anyone registering the overflow counter by name gets the shared
+        // cell, so eviction accounting stays visible to them.
+        let metric = if name == LABELS_DROPPED && kind == "counter" && labels.is_empty() {
+            Metric::Counter(Arc::clone(&self.labels_dropped))
+        } else {
+            make()
+        };
+        let handle = metric.share();
+        self.series.insert(
+            key,
+            Series {
+                name: name.to_string(),
+                labels,
+                metric,
+                last_used,
+            },
+        );
+        handle
+    }
+
+    /// Drops the least-recently-registered labeled series and counts it.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .series
+            .iter()
+            .filter(|(_, s)| !s.labels.is_empty())
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(k, _)| k.clone());
+        if let Some(key) = victim {
+            self.series.remove(&key);
+            self.labeled -= 1;
+            self.labels_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn ensure_labels_dropped(&mut self) {
+        if !self.series.contains_key(LABELS_DROPPED) {
+            self.kinds.insert(LABELS_DROPPED.to_string(), "counter");
+            self.series.insert(
+                LABELS_DROPPED.to_string(),
+                Series {
+                    name: LABELS_DROPPED.to_string(),
+                    labels: Vec::new(),
+                    metric: Metric::Counter(Arc::clone(&self.labels_dropped)),
+                    last_used: 0,
+                },
+            );
+        }
+    }
+}
+
+/// Sorted, owned copy of a label set with Prometheus-safe keys.
+fn canonical_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (sanitize_label_key(k), (*v).to_string()))
+        .collect();
+    out.sort();
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+/// Label keys must match `[a-zA-Z_][a-zA-Z0-9_]*`; anything else folds
+/// to `_`.
+fn sanitize_label_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len().max(1));
+    for (i, c) in key.chars().enumerate() {
+        let ok = c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Appends a `{k="v",...}` label block with Prometheus value escaping
+/// (`\\`, `\"`, `\n`). `extra_le` appends a trailing `le` label, used by
+/// histogram bucket series.
+fn write_label_block(out: &mut String, labels: &[(String, String)], extra_le: Option<&str>) {
+    if labels.is_empty() && extra_le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    if let Some(le) = extra_le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// The snapshot/JSON/text key for a series: the bare family name for flat
+/// series, `name{k="v",...}` for labeled ones.
+fn composed_key(name: &str, labels: &[(String, String)]) -> String {
+    let mut out = String::with_capacity(name.len() + labels.len() * 16);
+    out.push_str(name);
+    write_label_block(&mut out, labels, None);
+    out
+}
+
+/// Public form of the series key used in text/JSON snapshots:
+/// `series_key("serve.queue_depth", &[("tenant", "t1")])` is
+/// `serve.queue_depth{tenant="t1"}`. Labels are sorted and keys
+/// sanitized exactly as registration does it.
+#[must_use]
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    composed_key(name, &canonical_labels(labels))
 }
 
 struct RegistryInner {
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    store: Mutex<MetricStore>,
 }
 
 /// A named collection of metrics.
@@ -355,12 +586,22 @@ impl std::fmt::Debug for Registry {
 }
 
 impl Registry {
-    /// A live registry.
+    /// A live registry with the default labeled-series bound
+    /// ([`DEFAULT_LABEL_CAPACITY`]).
     #[must_use]
     pub fn enabled() -> Self {
+        Self::with_label_capacity(DEFAULT_LABEL_CAPACITY)
+    }
+
+    /// A live registry holding at most `label_capacity` labeled series;
+    /// registering beyond that evicts the least recently registered
+    /// labeled series and bumps [`LABELS_DROPPED`]. Flat (unlabeled)
+    /// series are never evicted and do not count toward the bound.
+    #[must_use]
+    pub fn with_label_capacity(label_capacity: usize) -> Self {
         Self {
             inner: Some(Arc::new(RegistryInner {
-                metrics: Mutex::new(BTreeMap::new()),
+                store: Mutex::new(MetricStore::new(label_capacity)),
             })),
         }
     }
@@ -377,10 +618,20 @@ impl Registry {
         self.inner.is_some()
     }
 
-    fn with_metrics<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> Option<R> {
+    fn with_store<R>(&self, f: impl FnOnce(&mut MetricStore) -> R) -> Option<R> {
         let inner = self.inner.as_ref()?;
-        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        Some(f(&mut metrics))
+        let mut store = inner.store.lock().unwrap_or_else(|e| e.into_inner());
+        Some(f(&mut store))
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: &'static str,
+        make: impl FnOnce() -> Metric,
+    ) -> Option<Metric> {
+        self.with_store(|store| store.register(name, labels, kind, make))
     }
 
     /// The counter named `name`, registering it on first use.
@@ -389,15 +640,25 @@ impl Registry {
     /// If `name` is already registered as a different metric kind.
     #[must_use]
     pub fn counter(&self, name: &str) -> Counter {
-        Counter(self.with_metrics(|m| {
-            match m
-                .entry(name.to_string())
-                .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
-            {
-                Metric::Counter(cell) => Arc::clone(cell),
-                other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
-            }
-        }))
+        self.counter_with(name, &[])
+    }
+
+    /// The counter series `name{labels}`, registering it on first use.
+    /// Labels are sorted by key; handing the same set in any order yields
+    /// the same cell. Labeled series live under the registry's LRU
+    /// cardinality bound — an evicted series' handles keep working but
+    /// its counts leave the snapshot.
+    ///
+    /// # Panics
+    /// If the family `name` is already registered as a different kind.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, labels, "counter", || {
+            Metric::Counter(Arc::new(AtomicU64::new(0)))
+        }) {
+            Some(Metric::Counter(cell)) => Counter(Some(cell)),
+            Some(_) | None => Counter(None),
+        }
     }
 
     /// The gauge named `name`, registering it on first use.
@@ -406,17 +667,25 @@ impl Registry {
     /// If `name` is already registered as a different metric kind.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Gauge {
-        Gauge(self.with_metrics(|m| {
-            match m.entry(name.to_string()).or_insert_with(|| {
-                Metric::Gauge(Arc::new(GaugeCell {
-                    value: AtomicU64::new(0),
-                    peak: AtomicU64::new(0),
-                }))
-            }) {
-                Metric::Gauge(cell) => Arc::clone(cell),
-                other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
-            }
-        }))
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge series `name{labels}`, registering it on first use; see
+    /// [`Registry::counter_with`] for label semantics.
+    ///
+    /// # Panics
+    /// If the family `name` is already registered as a different kind.
+    #[must_use]
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, labels, "gauge", || {
+            Metric::Gauge(Arc::new(GaugeCell {
+                value: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+            }))
+        }) {
+            Some(Metric::Gauge(cell)) => Gauge(Some(cell)),
+            Some(_) | None => Gauge(None),
+        }
     }
 
     /// The histogram named `name`, registering it on first use.
@@ -425,27 +694,47 @@ impl Registry {
     /// If `name` is already registered as a different metric kind.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Histogram {
-        Histogram(self.with_metrics(|m| {
-            match m
-                .entry(name.to_string())
-                .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCell::new())))
-            {
-                Metric::Histogram(cell) => Arc::clone(cell),
-                other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
-            }
-        }))
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram series `name{labels}`, registering it on first use;
+    /// see [`Registry::counter_with`] for label semantics.
+    ///
+    /// # Panics
+    /// If the family `name` is already registered as a different kind.
+    #[must_use]
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, labels, "histogram", || {
+            Metric::Histogram(Arc::new(HistogramCell::new()))
+        }) {
+            Some(Metric::Histogram(cell)) => Histogram(Some(cell)),
+            Some(_) | None => Histogram(None),
+        }
+    }
+
+    /// Labeled series evicted so far by the cardinality bound (0 when
+    /// disabled or never over capacity).
+    #[must_use]
+    pub fn labels_dropped(&self) -> u64 {
+        self.with_store(|s| s.labels_dropped.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Freezes current metric values into a [`Snapshot`] (empty when
-    /// disabled), sorted by metric name.
+    /// disabled), sorted by family name then label set — so every series
+    /// of a family is consecutive, which the Prometheus exposition
+    /// format requires.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
-        let entries = self
-            .with_metrics(|m| {
-                m.iter()
-                    .map(|(name, metric)| MetricSnapshot {
-                        name: name.clone(),
-                        value: match metric {
+        let mut entries: Vec<MetricSnapshot> = self
+            .with_store(|store| {
+                store
+                    .series
+                    .values()
+                    .map(|series| MetricSnapshot {
+                        name: series.name.clone(),
+                        labels: series.labels.clone(),
+                        value: match &series.metric {
                             Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
                             Metric::Gauge(g) => MetricValue::Gauge {
                                 value: g.value.load(Ordering::Relaxed),
@@ -479,6 +768,7 @@ impl Registry {
                     .collect()
             })
             .unwrap_or_default();
+        entries.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
         Snapshot { entries }
     }
 }
@@ -531,33 +821,62 @@ impl MetricValue {
 /// One named metric in a snapshot.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricSnapshot {
-    /// Registered name, e.g. `lattice.frontier_width`.
+    /// Registered family name, e.g. `lattice.frontier_width`.
     pub name: String,
+    /// Canonical (sorted) label set; empty for flat series.
+    pub labels: Vec<(String, String)>,
     /// Frozen value.
     pub value: MetricValue,
+}
+
+impl MetricSnapshot {
+    /// The text/JSON key for this series: the bare name for flat series,
+    /// `name{k="v",...}` for labeled ones.
+    #[must_use]
+    pub fn series_key(&self) -> String {
+        composed_key(&self.name, &self.labels)
+    }
 }
 
 /// A frozen view of a registry, renderable as text or JSON.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
-    /// All metrics, sorted by name.
+    /// All series, sorted by family name then label set.
     pub entries: Vec<MetricSnapshot>,
 }
 
 impl Snapshot {
-    /// Looks up a metric by name.
+    /// Looks up the flat (unlabeled) series of `name`.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.get_with(name, &[])
+    }
+
+    /// Looks up the series `name{labels}`; label order is irrelevant.
+    #[must_use]
+    pub fn get_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let labels = canonical_labels(labels);
         self.entries
             .iter()
-            .find(|e| e.name == name)
+            .find(|e| e.name == name && e.labels == labels)
             .map(|e| &e.value)
+    }
+
+    /// All series of the family `name`, flat and labeled.
+    pub fn family<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a MetricSnapshot> {
+        self.entries.iter().filter(move |e| e.name == name)
     }
 
     /// Convenience: a counter's value, or `None` if absent / not a counter.
     #[must_use]
     pub fn counter(&self, name: &str) -> Option<u64> {
-        match self.get(name)? {
+        self.counter_with(name, &[])
+    }
+
+    /// Convenience: a labeled counter's value, or `None`.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get_with(name, labels)? {
             MetricValue::Counter(v) => Some(*v),
             _ => None,
         }
@@ -566,25 +885,27 @@ impl Snapshot {
     /// Convenience: a gauge's `(value, peak)`, or `None`.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<(u64, u64)> {
-        match self.get(name)? {
+        self.gauge_with(name, &[])
+    }
+
+    /// Convenience: a labeled gauge's `(value, peak)`, or `None`.
+    #[must_use]
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, u64)> {
+        match self.get_with(name, labels)? {
             MetricValue::Gauge { value, peak } => Some((*value, *peak)),
             _ => None,
         }
     }
 
-    /// Renders as aligned plain text, one metric per line.
+    /// Renders as aligned plain text, one series per line (labeled series
+    /// as `name{k="v"}`).
     #[must_use]
     pub fn to_text(&self) -> String {
-        let name_width = self
-            .entries
-            .iter()
-            .map(|e| e.name.len())
-            .max()
-            .unwrap_or(0)
-            .max(6);
+        let keys: Vec<String> = self.entries.iter().map(MetricSnapshot::series_key).collect();
+        let name_width = keys.iter().map(String::len).max().unwrap_or(0).max(6);
         let mut out = String::new();
-        for entry in &self.entries {
-            let _ = write!(out, "{:<name_width$}  ", entry.name);
+        for (entry, key) in self.entries.iter().zip(&keys) {
+            let _ = write!(out, "{key:<name_width$}  ");
             match &entry.value {
                 MetricValue::Counter(v) => {
                     let _ = writeln!(out, "counter    {v}");
@@ -618,7 +939,8 @@ impl Snapshot {
         out
     }
 
-    /// Renders as a JSON object: `{"metrics": {"<name>": {...}, ...}}`.
+    /// Renders as a JSON object: `{"metrics": {"<series key>": {...}, ...}}`
+    /// where the key of a labeled series is `name{k="v",...}`.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"metrics\":{");
@@ -626,7 +948,7 @@ impl Snapshot {
             if i > 0 {
                 out.push(',');
             }
-            json::write_string(&mut out, &entry.name);
+            json::write_string(&mut out, &entry.series_key());
             out.push(':');
             match &entry.value {
                 MetricValue::Counter(v) => {
@@ -678,58 +1000,116 @@ impl Snapshot {
     /// Metric names are prefixed with `jmpax_` and sanitized: every
     /// character outside `[a-zA-Z0-9_:]` becomes `_`, so
     /// `core.events_processed` is exposed as `jmpax_core_events_processed`.
-    /// Every series carries `# HELP`/`# TYPE` metadata so scrapers ingest
-    /// it correctly. Gauges additionally expose their high-water mark as a
-    /// second `<name>_peak` gauge. Histograms render cumulative
-    /// `_bucket{le=...}` series from the non-empty log2 buckets, plus
-    /// `_sum`/`_count` and estimated `_p50`/`_p95`/`_p99` gauges.
+    /// Labeled series render as `jmpax_name{tenant="t42"} v`. Each family
+    /// carries one `# HELP`/`# TYPE` header before its first sample, and
+    /// all samples of a family are consecutive, as the format requires —
+    /// [`lint_prometheus`] checks both properties. Gauges additionally
+    /// expose their high-water mark as a second `<name>_peak` gauge.
+    /// Histograms render cumulative `_bucket{le=...}` series from the
+    /// non-empty log2 buckets, plus `_sum`/`_count` and estimated
+    /// `_p50`/`_p95`/`_p99` gauge families.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        for entry in &self.entries {
-            let name = prometheus_name(&entry.name);
-            let orig = &entry.name;
-            match &entry.value {
-                MetricValue::Counter(v) => {
-                    let _ = writeln!(out, "# HELP {name} jmpax counter {orig}");
-                    let _ = writeln!(out, "# TYPE {name} counter");
-                    let _ = writeln!(out, "{name} {v}");
-                }
-                MetricValue::Gauge { value, peak } => {
-                    let _ = writeln!(out, "# HELP {name} jmpax gauge {orig}");
-                    let _ = writeln!(out, "# TYPE {name} gauge");
-                    let _ = writeln!(out, "{name} {value}");
-                    let _ = writeln!(out, "# HELP {name}_peak high-water mark of {orig}");
-                    let _ = writeln!(out, "# TYPE {name}_peak gauge");
-                    let _ = writeln!(out, "{name}_peak {peak}");
-                }
-                MetricValue::Histogram {
-                    count,
-                    sum,
-                    min,
-                    max,
-                    buckets,
-                } => {
-                    let _ = writeln!(out, "# HELP {name} jmpax log2 histogram {orig}");
-                    let _ = writeln!(out, "# TYPE {name} histogram");
-                    let mut cumulative = 0u64;
-                    for (bound, n) in buckets {
-                        cumulative += n;
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
-                    }
-                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
-                    let _ = writeln!(out, "{name}_sum {sum}");
-                    let _ = writeln!(out, "{name}_count {count}");
-                    for (q, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
-                        let est = histogram_quantile(buckets, *count, *min, *max, q);
-                        let _ = writeln!(out, "# HELP {name}_{label} estimated {label} of {orig}");
-                        let _ = writeln!(out, "# TYPE {name}_{label} gauge");
-                        let _ = writeln!(out, "{name}_{label} {est}");
-                    }
+        let mut i = 0;
+        while i < self.entries.len() {
+            let mut j = i + 1;
+            while j < self.entries.len() && self.entries[j].name == self.entries[i].name {
+                j += 1;
+            }
+            prometheus_family(&mut out, &self.entries[i..j]);
+            i = j;
+        }
+        out
+    }
+}
+
+/// Renders one metric family — every label set of one name — as a block
+/// of consecutive samples per exposed series, with `# HELP`/`# TYPE`
+/// emitted exactly once per series name before its first sample. For
+/// histograms this means all `_bucket`/`_sum`/`_count` samples come
+/// first, then each quantile gauge family in turn, so no family's
+/// samples interleave with another's.
+fn prometheus_family(out: &mut String, family: &[MetricSnapshot]) {
+    let Some(first) = family.first() else { return };
+    let name = prometheus_name(&first.name);
+    let orig = &first.name;
+    let block = |entry: &MetricSnapshot| {
+        let mut s = String::new();
+        write_label_block(&mut s, &entry.labels, None);
+        s
+    };
+    match &first.value {
+        MetricValue::Counter(_) => {
+            let _ = writeln!(out, "# HELP {name} jmpax counter {orig}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for entry in family {
+                if let MetricValue::Counter(v) = &entry.value {
+                    let _ = writeln!(out, "{name}{} {v}", block(entry));
                 }
             }
         }
-        out
+        MetricValue::Gauge { .. } => {
+            let _ = writeln!(out, "# HELP {name} jmpax gauge {orig}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for entry in family {
+                if let MetricValue::Gauge { value, .. } = &entry.value {
+                    let _ = writeln!(out, "{name}{} {value}", block(entry));
+                }
+            }
+            let _ = writeln!(out, "# HELP {name}_peak high-water mark of {orig}");
+            let _ = writeln!(out, "# TYPE {name}_peak gauge");
+            for entry in family {
+                if let MetricValue::Gauge { peak, .. } = &entry.value {
+                    let _ = writeln!(out, "{name}_peak{} {peak}", block(entry));
+                }
+            }
+        }
+        MetricValue::Histogram { .. } => {
+            let _ = writeln!(out, "# HELP {name} jmpax log2 histogram {orig}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for entry in family {
+                let MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                    ..
+                } = &entry.value
+                else {
+                    continue;
+                };
+                let mut cumulative = 0u64;
+                for (bound, n) in buckets {
+                    cumulative += n;
+                    let mut labels = String::new();
+                    write_label_block(&mut labels, &entry.labels, Some(&bound.to_string()));
+                    let _ = writeln!(out, "{name}_bucket{labels} {cumulative}");
+                }
+                let mut inf = String::new();
+                write_label_block(&mut inf, &entry.labels, Some("+Inf"));
+                let _ = writeln!(out, "{name}_bucket{inf} {count}");
+                let _ = writeln!(out, "{name}_sum{} {sum}", block(entry));
+                let _ = writeln!(out, "{name}_count{} {count}", block(entry));
+            }
+            for (q, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                let _ = writeln!(out, "# HELP {name}_{label} estimated {label} of {name}");
+                let _ = writeln!(out, "# TYPE {name}_{label} gauge");
+                for entry in family {
+                    let MetricValue::Histogram {
+                        count,
+                        min,
+                        max,
+                        buckets,
+                        ..
+                    } = &entry.value
+                    else {
+                        continue;
+                    };
+                    let est = histogram_quantile(buckets, *count, *min, *max, q);
+                    let _ = writeln!(out, "{name}_{label}{} {est}", block(entry));
+                }
+            }
+        }
     }
 }
 
@@ -747,6 +1127,193 @@ pub fn prometheus_name(name: &str) -> String {
         }
     }
     out
+}
+
+/// Promtool-style lint of a Prometheus text exposition (format 0.0.4).
+/// Returns one message per violation; an empty vector means the text is
+/// well-formed. Checked properties:
+///
+/// - every sample belongs to a family announced by `# TYPE` *before* the
+///   first sample (histogram `_bucket`/`_sum`/`_count` children resolve
+///   to their base family);
+/// - every announced family also carries a `# HELP` line, and neither
+///   `# HELP` nor `# TYPE` repeats for a family;
+/// - all samples of a family are consecutive — once another family's
+///   samples begin, the earlier family may not reappear;
+/// - metric names, label syntax (`{key="value"}` with `\\`/`\"`/`\n`
+///   escapes), and sample values all parse.
+#[must_use]
+pub fn lint_prometheus(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut closed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut current: Option<String> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let fam = rest.split_whitespace().next().unwrap_or("");
+            if fam.is_empty() {
+                errors.push(format!("line {n}: HELP without a metric name"));
+            } else if !helps.insert(fam.to_string()) {
+                errors.push(format!("line {n}: duplicate HELP for {fam}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let fam = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if fam.is_empty() || !is_valid_metric_name(fam) {
+                errors.push(format!("line {n}: TYPE with invalid metric name {fam:?}"));
+                continue;
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                errors.push(format!("line {n}: unknown TYPE kind {kind:?} for {fam}"));
+            }
+            if types.insert(fam.to_string(), kind.to_string()).is_some() {
+                errors.push(format!("line {n}: duplicate TYPE for {fam}"));
+            }
+            if current.as_deref() == Some(fam) || closed.contains(fam) {
+                errors.push(format!("line {n}: TYPE for {fam} after its samples"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment: legal
+        }
+        match parse_sample_line(line) {
+            Err(why) => errors.push(format!("line {n}: {why}")),
+            Ok(series) => {
+                let Some(fam) = resolve_family(&series, &types) else {
+                    errors.push(format!("line {n}: sample {series} has no preceding TYPE"));
+                    continue;
+                };
+                if !helps.contains(&fam) {
+                    errors.push(format!("line {n}: sample {series} has no preceding HELP"));
+                }
+                if current.as_deref() != Some(fam.as_str()) {
+                    if closed.contains(&fam) {
+                        errors.push(format!(
+                            "line {n}: samples of {fam} are not consecutive (family reopened)"
+                        ));
+                    }
+                    if let Some(prev) = current.take() {
+                        closed.insert(prev);
+                    }
+                    current = Some(fam);
+                }
+            }
+        }
+    }
+    errors
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses one exposition sample line, returning the metric name; errors
+/// describe the first syntax problem found.
+fn parse_sample_line(line: &str) -> Result<String, String> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| format!("sample line has no value: {line:?}"))?;
+    let name = &line[..name_end];
+    if !is_valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut rest = &line[name_end..];
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        let mut chars = after_brace.char_indices().peekable();
+        loop {
+            // Label key.
+            let mut key_len = 0;
+            while let Some(&(_, c)) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    key_len += 1;
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            if key_len == 0 {
+                return Err(format!("empty label name in {line:?}"));
+            }
+            match chars.next() {
+                Some((_, '=')) => {}
+                _ => return Err(format!("label missing '=' in {line:?}")),
+            }
+            match chars.next() {
+                Some((_, '"')) => {}
+                _ => return Err(format!("label value missing opening quote in {line:?}")),
+            }
+            // Escaped label value.
+            loop {
+                match chars.next() {
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, '\\' | '"' | 'n')) => {}
+                        _ => return Err(format!("bad escape in label value in {line:?}")),
+                    },
+                    Some((_, '"')) => break,
+                    Some(_) => {}
+                    None => return Err(format!("unterminated label value in {line:?}")),
+                }
+            }
+            match chars.next() {
+                Some((_, ',')) => {}
+                Some((end, '}')) => {
+                    rest = &after_brace[end + 1..];
+                    break;
+                }
+                _ => return Err(format!("label block not closed in {line:?}")),
+            }
+        }
+    }
+    let mut tokens = rest.split_whitespace();
+    let value = tokens
+        .next()
+        .ok_or_else(|| format!("sample line has no value: {line:?}"))?;
+    if value.parse::<f64>().is_err() {
+        return Err(format!("unparseable sample value {value:?} in {line:?}"));
+    }
+    // Optional timestamp.
+    if let Some(ts) = tokens.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp {ts:?} in {line:?}"));
+        }
+    }
+    if tokens.next().is_some() {
+        return Err(format!("trailing tokens in {line:?}"));
+    }
+    Ok(name.to_string())
+}
+
+/// Maps a sample's metric name onto its announced family, resolving
+/// histogram/summary child suffixes.
+fn resolve_family(name: &str, types: &BTreeMap<String, String>) -> Option<String> {
+    if types.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if matches!(
+                types.get(base).map(String::as_str),
+                Some("histogram" | "summary")
+            ) {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -1116,5 +1683,213 @@ mod tests {
                 .and_then(json::Value::as_u64),
             Some(2)
         );
+    }
+
+    #[test]
+    fn labeled_counters_render_in_all_formats() {
+        let reg = Registry::enabled();
+        reg.counter("serve.chunks_shed").add(7); // flat aggregate
+        reg.counter_with("serve.chunks_shed", &[("tenant", "t1")]).add(3);
+        reg.counter_with("serve.chunks_shed", &[("tenant", "t2")]).add(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.chunks_shed"), Some(7));
+        assert_eq!(
+            snap.counter_with("serve.chunks_shed", &[("tenant", "t1")]),
+            Some(3)
+        );
+        assert_eq!(snap.family("serve.chunks_shed").count(), 3);
+
+        let text = snap.to_text();
+        assert!(
+            text.contains("serve.chunks_shed{tenant=\"t1\"}"),
+            "text: {text}"
+        );
+        let json_text = snap.to_json();
+        let parsed = json::parse(&json_text).unwrap();
+        assert_eq!(
+            parsed
+                .get("metrics")
+                .and_then(|m| m.get("serve.chunks_shed{tenant=\"t2\"}"))
+                .and_then(|m| m.get("value"))
+                .and_then(json::Value::as_u64),
+            Some(4)
+        );
+        let prom = snap.to_prometheus();
+        assert!(
+            prom.contains("jmpax_serve_chunks_shed{tenant=\"t1\"} 3\n"),
+            "prom: {prom}"
+        );
+        assert!(prom.contains("jmpax_serve_chunks_shed 7\n"));
+        // One family header regardless of how many label sets exist.
+        assert_eq!(prom.matches("# TYPE jmpax_serve_chunks_shed ").count(), 1);
+        assert_eq!(lint_prometheus(&prom), Vec::<String>::new());
+    }
+
+    #[test]
+    fn label_order_is_canonical_and_values_are_escaped() {
+        let reg = Registry::enabled();
+        reg.counter_with("m", &[("b", "2"), ("a", "1")]).inc();
+        reg.counter_with("m", &[("a", "1"), ("b", "2")]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_with("m", &[("b", "2"), ("a", "1")]),
+            Some(2),
+            "one cell regardless of label order"
+        );
+        assert_eq!(series_key("m", &[("b", "2"), ("a", "1")]), "m{a=\"1\",b=\"2\"}");
+
+        let hostile = Registry::enabled();
+        hostile
+            .gauge_with("g", &[("tenant", "q\"u\\o\nte")])
+            .set(1);
+        let prom = hostile.snapshot().to_prometheus();
+        assert!(
+            prom.contains("jmpax_g{tenant=\"q\\\"u\\\\o\\nte\"} 1\n"),
+            "prom: {prom}"
+        );
+        assert_eq!(lint_prometheus(&prom), Vec::<String>::new());
+    }
+
+    /// Satellite: 2× the LRU cap of tenants must evict down to the cap,
+    /// count every eviction, and keep registry memory stable.
+    #[test]
+    fn label_cardinality_overflow_evicts_lru_and_counts_drops() {
+        const CAP: usize = 8;
+        let reg = Registry::with_label_capacity(CAP);
+        for i in 0..CAP * 2 {
+            reg.counter_with("serve.chunks_shed", &[("tenant", &format!("t{i}"))])
+                .add(i as u64);
+        }
+        assert_eq!(reg.labels_dropped(), CAP as u64);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(LABELS_DROPPED), Some(CAP as u64));
+        let labeled: Vec<_> = snap
+            .family("serve.chunks_shed")
+            .filter(|e| !e.labels.is_empty())
+            .collect();
+        assert_eq!(labeled.len(), CAP, "resident labeled series == cap");
+        // The survivors are the most recently registered half.
+        for e in &labeled {
+            let id: usize = e.labels[0].1[1..].parse().unwrap();
+            assert!(id >= CAP, "t{id} should have been evicted");
+        }
+        // Memory stability: hammering many more tenants never grows past
+        // the cap.
+        for i in 0..1000 {
+            reg.gauge_with("serve.queue_depth", &[("tenant", &format!("x{i}"))])
+                .set(1);
+        }
+        let snap = reg.snapshot();
+        let resident = snap.entries.iter().filter(|e| !e.labels.is_empty()).count();
+        assert!(resident <= CAP, "resident {resident} > cap {CAP}");
+        // Re-registering an evicted tenant starts a fresh cell.
+        assert_eq!(
+            reg.counter_with("serve.chunks_shed", &[("tenant", "t0")]).get(),
+            0
+        );
+    }
+
+    #[test]
+    fn lru_refresh_protects_recently_touched_series() {
+        let reg = Registry::with_label_capacity(2);
+        reg.counter_with("c", &[("tenant", "a")]).inc();
+        reg.counter_with("c", &[("tenant", "b")]).inc();
+        // Touch "a" again: "b" becomes the LRU victim.
+        reg.counter_with("c", &[("tenant", "a")]).inc();
+        reg.counter_with("c", &[("tenant", "z")]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_with("c", &[("tenant", "a")]), Some(2));
+        assert!(snap.counter_with("c", &[("tenant", "b")]).is_none());
+        assert_eq!(snap.counter_with("c", &[("tenant", "z")]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn labeled_kind_mismatch_panics_across_label_sets() {
+        let reg = Registry::enabled();
+        let _ = reg.counter_with("m", &[("tenant", "t1")]);
+        let _ = reg.gauge_with("m", &[("tenant", "t2")]);
+    }
+
+    /// Satellite: quantile HELP lines must reference the escaped metric
+    /// name, and `_p50/_p95/_p99` must get TYPE before their first sample
+    /// — for flat and labeled histograms alike.
+    #[test]
+    fn quantile_metadata_references_escaped_name() {
+        let reg = Registry::enabled();
+        reg.histogram("core.event_update_ns").record(100);
+        reg.histogram_with("observer.stage.decode_ns", &[("tenant", "t1")])
+            .record(50);
+        reg.histogram_with("observer.stage.decode_ns", &[("tenant", "t2")])
+            .record(60);
+        let prom = reg.snapshot().to_prometheus();
+        assert!(
+            prom.contains(
+                "# HELP jmpax_core_event_update_ns_p50 estimated p50 of jmpax_core_event_update_ns\n"
+            ),
+            "prom: {prom}"
+        );
+        assert!(!prom.contains("of core.event_update_ns"), "prom: {prom}");
+        for q in ["p50", "p95", "p99"] {
+            let type_line = format!("# TYPE jmpax_observer_stage_decode_ns_{q} gauge\n");
+            let first_sample = prom
+                .find(&format!("jmpax_observer_stage_decode_ns_{q}{{"))
+                .unwrap_or_else(|| panic!("no {q} sample in:\n{prom}"));
+            let type_at = prom.find(&type_line).expect("TYPE line present");
+            assert!(type_at < first_sample, "TYPE after first {q} sample");
+            assert_eq!(prom.matches(type_line.as_str()).count(), 1);
+        }
+        assert_eq!(lint_prometheus(&prom), Vec::<String>::new());
+    }
+
+    /// A busy, mixed registry must produce a lint-clean exposition.
+    #[test]
+    fn rich_registry_exposition_is_lint_clean() {
+        let reg = Registry::enabled();
+        for t in ["t1", "t2", "t3"] {
+            reg.counter_with("serve.frames_decoded", &[("tenant", t)]).add(5);
+            reg.gauge_with("serve.queue_depth", &[("tenant", t)]).set(2);
+            reg.histogram_with("serve.chunk_ns", &[("tenant", t)]).record(900);
+        }
+        reg.counter("serve.sessions_accepted").add(3);
+        reg.gauge("lattice.frontier_width").set(7);
+        reg.histogram("observer.stage.decode_ns").record(123);
+        let prom = reg.snapshot().to_prometheus();
+        assert_eq!(lint_prometheus(&prom), Vec::<String>::new(), "text:\n{prom}");
+    }
+
+    #[test]
+    fn lint_catches_common_exposition_bugs() {
+        // Sample with no TYPE.
+        assert!(!lint_prometheus("jmpax_orphan 1\n").is_empty());
+        // TYPE after the family's first sample.
+        let late_type = "# HELP m m\nm 1\n# TYPE m counter\n";
+        assert!(lint_prometheus(late_type)
+            .iter()
+            .any(|e| e.contains("no preceding TYPE") || e.contains("after its samples")));
+        // Interleaved families.
+        let interleaved = "# HELP a a\n# TYPE a counter\n# HELP b b\n# TYPE b counter\n\
+                           a 1\nb 1\na{x=\"1\"} 2\n";
+        assert!(lint_prometheus(interleaved)
+            .iter()
+            .any(|e| e.contains("not consecutive")));
+        // Bad label syntax and bad value.
+        assert!(!lint_prometheus("# HELP c c\n# TYPE c counter\nc{=\"\"} 1\n").is_empty());
+        assert!(!lint_prometheus("# HELP d d\n# TYPE d counter\nd notanumber\n").is_empty());
+        // Histogram children resolve to their base family.
+        let histo = "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\n\
+                     h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n";
+        assert_eq!(lint_prometheus(histo), Vec::<String>::new());
+    }
+
+    #[test]
+    fn labels_dropped_counter_aliases_shared_cell() {
+        let reg = Registry::with_label_capacity(1);
+        // User-registered handle first, then evictions must show through it.
+        let dropped = reg.counter(LABELS_DROPPED);
+        reg.counter_with("c", &[("tenant", "a")]).inc();
+        reg.counter_with("c", &[("tenant", "b")]).inc();
+        assert_eq!(dropped.get(), 1);
+        assert_eq!(reg.labels_dropped(), 1);
     }
 }

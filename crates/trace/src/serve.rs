@@ -23,7 +23,7 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 /// paths all fit in a few dozen bytes.
 const MAX_REQUEST_LINE: usize = 4096;
 
-/// One servable route: absolute path, content type, body.
+/// One servable route: absolute path, content type, body, and status.
 #[derive(Clone, Debug)]
 pub struct Route {
     /// Absolute request path, e.g. `"/metrics"`.
@@ -32,17 +32,42 @@ pub struct Route {
     pub content_type: String,
     /// Response body.
     pub body: String,
+    /// HTTP status code the route answers with (200 for [`Route::new`]).
+    /// Lets a `/healthz` route flip to 503 during shutdown without the
+    /// server knowing anything about health semantics.
+    pub status: u16,
 }
 
 impl Route {
-    /// Convenience constructor.
+    /// Convenience constructor; the route answers `200 OK`.
     #[must_use]
     pub fn new(path: &str, content_type: &str, body: String) -> Self {
+        Self::with_status(path, content_type, body, 200)
+    }
+
+    /// A route answering `status` instead of 200.
+    #[must_use]
+    pub fn with_status(path: &str, content_type: &str, body: String, status: u16) -> Self {
         Self {
             path: path.to_string(),
             content_type: content_type.to_string(),
             body,
+            status,
         }
+    }
+}
+
+/// Canonical reason phrase for the handful of status codes this server
+/// emits; anything unknown gets a neutral phrase (the code is what
+/// matters to probes).
+fn reason_for(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        414 => "URI Too Long",
+        503 => "Service Unavailable",
+        _ => "Status",
     }
 }
 
@@ -187,7 +212,13 @@ fn handle_connection(
     }
 
     match routes.iter().find(|r| r.path == path) {
-        Some(route) => write_response(&mut stream, 200, "OK", &route.content_type, &route.body),
+        Some(route) => write_response(
+            &mut stream,
+            route.status,
+            reason_for(route.status),
+            &route.content_type,
+            &route.body,
+        ),
         None => {
             let mut body = String::from("404 not found. Known paths:\n");
             for r in routes {
@@ -342,6 +373,23 @@ mod tests {
         let (_, second) = get(addr, "/metrics");
         assert_eq!(first, "hits 1\n");
         assert_eq!(second, "hits 2\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn route_status_is_honored() {
+        let server = MetricsServer::bind(0).expect("bind ephemeral");
+        let addr = server.local_addr().unwrap();
+        let routes = vec![Route::with_status(
+            "/healthz",
+            "application/json",
+            "{\"ready\":false}".to_string(),
+            503,
+        )];
+        let handle = std::thread::spawn(move || server.serve(&routes, Some(1)));
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 503, "route-declared status must reach the wire");
+        assert_eq!(body, "{\"ready\":false}");
         handle.join().unwrap();
     }
 
