@@ -22,6 +22,6 @@ pub use experiments::{
 };
 pub use generators::{banded_computation, banded_computation_telemetered, BandedConfig};
 pub use perf::{
-    compare, measure, BenchReport, BenchRun, Comparison, HostInfo, RunDelta, SchemaError,
-    StageStat, Workload,
+    compare, measure, measure_with_options, BenchReport, BenchRun, Comparison, HostInfo, RunDelta,
+    SchemaError, StageStat, Workload,
 };

@@ -127,6 +127,16 @@ pub struct BenchRun {
     pub events_per_sec: f64,
     /// Lattice nodes per second at `wall_ns`.
     pub nodes_per_sec: f64,
+    /// Full property evaluations per repeat (`spec.formula_evals`): monitor
+    /// runs that actually walked the formula DAG. Step-cache hits do not
+    /// count, so this is the number the interning layer exists to shrink.
+    pub formula_evals: u64,
+    /// Step-cache hits per repeat (`spec.eval_cache_hits`): monitor steps
+    /// answered by the per-level `(state, valuation)` memo table.
+    pub eval_cache_hits: u64,
+    /// Chunks stolen per repeat beyond the fair share
+    /// (`lattice.parallel.steals`); always 0 for sequential runs.
+    pub steals: u64,
     /// Per-stage latency profiles (every `*_ns` histogram with samples).
     pub stages: Vec<StageStat>,
 }
@@ -152,6 +162,20 @@ pub struct BenchReport {
 /// profile of the ISSUE's stage list.
 #[must_use]
 pub fn measure(config: BandedConfig, worker_counts: &[usize], repeat: usize) -> BenchReport {
+    measure_with_options(config, worker_counts, repeat, true)
+}
+
+/// [`measure`] with the monitor-state step cache explicitly enabled or
+/// disabled. `eval_cache = false` reproduces the pre-interning evaluation
+/// count (`formula_evals` with zero `eval_cache_hits`), which is what the
+/// CI perf gate compares against.
+#[must_use]
+pub fn measure_with_options(
+    config: BandedConfig,
+    worker_counts: &[usize],
+    repeat: usize,
+    eval_cache: bool,
+) -> BenchReport {
     let repeat = repeat.max(1);
     let mut runs = Vec::new();
     let mut baseline: Option<(u64, u64, u64, u64)> = None;
@@ -192,7 +216,8 @@ pub fn measure(config: BandedConfig, worker_counts: &[usize], repeat: usize) -> 
             reassemble_span.finish();
             let mut analyzer =
                 StreamingAnalyzer::with_telemetry(monitor.clone(), &initial, config.threads, &registry)
-                    .with_parallelism(workers);
+                    .with_parallelism(workers)
+                    .with_eval_cache(eval_cache);
             analyzer.push_all(ordered);
             let report = analyzer.finish();
             let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -214,6 +239,10 @@ pub fn measure(config: BandedConfig, worker_counts: &[usize], repeat: usize) -> 
             Some(base) => *base == shape,
         };
         let wall_s = wall_ns.max(1) as f64 / 1e9;
+        // Counters accumulate across the repeat loop over one registry;
+        // normalizing by `repeat` reports the deterministic per-run count.
+        let snapshot = registry.snapshot();
+        let per_repeat = |name: &str| counter_value(&snapshot, name) / repeat as u64;
         runs.push(BenchRun {
             workload: config.into(),
             workers,
@@ -226,7 +255,10 @@ pub fn measure(config: BandedConfig, worker_counts: &[usize], repeat: usize) -> 
             wall_ns,
             events_per_sec: events as f64 / wall_s,
             nodes_per_sec: shape.0 as f64 / wall_s,
-            stages: stage_stats(&registry.snapshot()),
+            formula_evals: per_repeat("spec.formula_evals"),
+            eval_cache_hits: per_repeat("spec.eval_cache_hits"),
+            steals: per_repeat("lattice.parallel.steals"),
+            stages: stage_stats(&snapshot),
         });
     }
     BenchReport {
@@ -235,6 +267,21 @@ pub fn measure(config: BandedConfig, worker_counts: &[usize], repeat: usize) -> 
         repeat,
         runs,
     }
+}
+
+/// The value of a named counter in `snapshot` (0 when absent or not a
+/// counter). Label-free lookup: the bench registry records base metrics.
+#[must_use]
+pub fn counter_value(snapshot: &Snapshot, name: &str) -> u64 {
+    snapshot
+        .entries
+        .iter()
+        .find(|e| e.name == name)
+        .and_then(|e| match e.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .unwrap_or(0)
 }
 
 /// Reduces every sampled `*_ns` histogram in `snapshot` to a [`StageStat`].
@@ -282,6 +329,7 @@ impl BenchReport {
                  \"workers\":{},\"events\":{},\"states\":{},\"levels\":{},\
                  \"peak_frontier\":{},\"violations\":{},\"identical\":{},\
                  \"wall_ns\":{},\"events_per_sec\":{:.3},\"nodes_per_sec\":{:.3},\
+                 \"formula_evals\":{},\"eval_cache_hits\":{},\"steals\":{},\
                  \"stages\":[",
                 w.threads,
                 w.rounds,
@@ -296,6 +344,9 @@ impl BenchReport {
                 run.wall_ns,
                 run.events_per_sec,
                 run.nodes_per_sec,
+                run.formula_evals,
+                run.eval_cache_hits,
+                run.steals,
             );
             for (j, s) in run.stages.iter().enumerate() {
                 if j > 0 {
@@ -392,6 +443,11 @@ fn parse_run(r: &Value) -> Result<BenchRun, SchemaError> {
         wall_ns: req_u64(r, "wall_ns")?,
         events_per_sec: req_f64(r, "events_per_sec")?,
         nodes_per_sec: req_f64(r, "nodes_per_sec")?,
+        // Additive v1 fields: absent in reports recorded before the
+        // interning/work-stealing work, so they default to 0 on parse.
+        formula_evals: opt_u64(r, "formula_evals"),
+        eval_cache_hits: opt_u64(r, "eval_cache_hits"),
+        steals: opt_u64(r, "steals"),
         stages,
     })
 }
@@ -407,6 +463,10 @@ impl std::fmt::Display for SchemaError {
 }
 
 impl std::error::Error for SchemaError {}
+
+fn opt_u64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
 
 fn req_u64(v: &Value, key: &str) -> Result<u64, SchemaError> {
     v.get(key)
@@ -538,6 +598,9 @@ mod tests {
                 wall_ns: 1_000_000,
                 events_per_sec: 24000.0,
                 nodes_per_sec: 6561000.0,
+                formula_evals: 120_000,
+                eval_cache_hits: 80_000,
+                steals: 0,
                 stages: vec![StageStat {
                     name: "lattice.stage.expand_ns".into(),
                     count: 24,

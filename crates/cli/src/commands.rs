@@ -143,19 +143,26 @@ USAGE:
         (redirect to a file, then `jmpax check` it).
 
     jmpax bench [--threads <N>] [--rounds <N>] [--period <N>]
-                [--workers <N>] [--repeat <N>] [--min-speedup <F>]
-                [--json] [--baseline <FILE>] [--tolerance <PCT>]
+                [--workers <N|N,N,...>] [--repeat <N>] [--min-speedup <F>]
+                [--no-eval-cache] [--json] [--baseline <FILE>]
+                [--tolerance <PCT>]
         Measure the streaming analysis of a wide synthetic lattice (a
         banded computation: N threads, barrier every <period> rounds;
         period 0 = pure hypercube) through the full observer path — v2
-        frame decode, causal reassembly, lattice analysis — with 1 worker
-        and with --workers workers, keeping the minimum wall time over
-        --repeat repeats (default 3). Asserts the two reports are
-        identical and prints the speedup plus per-stage p50/p95/p99
-        latencies in a machine-readable `bench:` format. --min-speedup F
-        exits 1 when the measured speedup falls below F (CI smoke: F < 1
-        tolerates noise while catching real regressions). --json instead
-        emits a schema-stable BenchReport JSON document (commit one as
+        frame decode, causal reassembly, lattice analysis — keeping the
+        minimum wall time over --repeat repeats (default 3). --workers N
+        measures with 1 worker and with N workers (N=1 measures the
+        sequential path alone); a comma list (--workers 1,2,4,8) sweeps
+        exactly the listed counts. Asserts
+        every report is bit-identical to the first and prints per-run
+        wall time, formula_evals / eval_cache_hits / steals counters,
+        the speedup (first vs last run), and per-stage p50/p95/p99
+        latencies in a machine-readable `bench:` format.
+        --no-eval-cache disables the monitor step cache (measures the
+        pre-interning evaluation count). --min-speedup F exits 1 when
+        the measured speedup falls below F (CI smoke: F < 1 tolerates
+        noise while catching real regressions). --json instead emits a
+        schema-stable BenchReport JSON document (commit one as
         BENCH_baseline.json). --baseline FILE re-measures and compares:
         exit 1 when a matched run is slower than the baseline by more
         than --tolerance percent (default 25), exit 2 on a malformed
@@ -1216,9 +1223,11 @@ fn trace_cmd(args: &Args, registry: &Registry) -> (i32, String, Option<ServeMetr
 }
 
 /// `jmpax bench`: measure the streaming analysis of a wide banded lattice
-/// with 1 worker and with `--workers` workers through the full observer
-/// path (decode → reassemble → analyze), assert the reports are identical,
-/// and print the speedup machine-readably (`bench: key=value`). `--json`
+/// through the full observer path (decode → reassemble → analyze) at every
+/// worker count in the sweep (`--workers N` = `[1, N]`; `--workers a,b,c`
+/// = exactly that list), assert the reports are identical, and print the
+/// speedup machine-readably (`bench: key=value`). `--no-eval-cache` turns
+/// the monitor step cache off (the pre-interning configuration). `--json`
 /// instead emits the [`jmpax_bench::BenchReport`] JSON document (stage
 /// p50/p95/p99 latencies included); `--baseline <file>` compares against a
 /// committed report and exits 1 on regression beyond `--tolerance <pct>`.
@@ -1234,11 +1243,41 @@ fn bench(args: &Args) -> (i32, String) {
     let rounds = get("rounds", 3).max(1);
     let period = get("period", 0);
     let repeat = get("repeat", 3).max(1);
-    let workers = get(
-        "workers",
-        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
-    )
-    .max(2);
+    // `--workers` is either a single count N (sweep [1, N]) or a comma list
+    // measured exactly as given.
+    let default_workers =
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let worker_counts: Vec<usize> = match args.get("workers") {
+        None => vec![1, default_workers.max(2)],
+        Some(raw) if raw.contains(',') => {
+            let mut counts = Vec::new();
+            for part in raw.split(',') {
+                match part.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => counts.push(n),
+                    _ => {
+                        return (
+                            2,
+                            format!("bench: --workers expects positive counts, got `{raw}`\n"),
+                        )
+                    }
+                }
+            }
+            counts
+        }
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(1) => vec![1],
+            Ok(n) if n >= 2 => vec![1, n],
+            _ => {
+                return (
+                    2,
+                    format!(
+                        "bench: --workers expects a positive count or comma list, got `{raw}`\n"
+                    ),
+                )
+            }
+        },
+    };
+    let eval_cache = args.get("no-eval-cache").is_none();
     let min_speedup = match args.get("min-speedup") {
         None => None,
         Some(raw) => match raw.parse::<f64>() {
@@ -1275,18 +1314,19 @@ fn bench(args: &Args) -> (i32, String) {
         },
     };
 
-    let report = jmpax_bench::measure(
+    let report = jmpax_bench::measure_with_options(
         BandedConfig {
             threads,
             rounds,
             period,
         },
-        &[1, workers],
+        &worker_counts,
         repeat,
+        eval_cache,
     );
     let identical = report.runs.iter().all(|r| r.identical);
     let run_1 = &report.runs[0];
-    let run_n = &report.runs[1];
+    let run_n = report.runs.last().expect("at least one worker count");
 
     if args.get("json").is_some() {
         // Only the JSON document on stdout, so
@@ -1307,12 +1347,20 @@ fn bench(args: &Args) -> (i32, String) {
         "bench: states={} levels={} peak_frontier={}",
         run_1.states, run_1.levels, run_1.peak_frontier
     );
-    let _ = writeln!(out, "bench: workers=1 wall_us={}", run_1.wall_ns / 1_000);
-    let _ = writeln!(
-        out,
-        "bench: workers={workers} wall_us={}",
-        run_n.wall_ns / 1_000
-    );
+    if !eval_cache {
+        let _ = writeln!(out, "bench: eval_cache=off");
+    }
+    for run in &report.runs {
+        let _ = writeln!(
+            out,
+            "bench: workers={} wall_us={} formula_evals={} eval_cache_hits={} steals={}",
+            run.workers,
+            run.wall_ns / 1_000,
+            run.formula_evals,
+            run.eval_cache_hits,
+            run.steals
+        );
+    }
     for stage in &run_1.stages {
         let _ = writeln!(
             out,
@@ -1650,6 +1698,51 @@ T1 write b 0
     fn bench_rejects_bad_min_speedup() {
         let (code, out) = run_cli(&["bench", "--min-speedup", "zero"], None);
         assert_eq!(code, 2, "{out}");
+    }
+
+    #[test]
+    fn bench_workers_comma_list_sweeps_exactly() {
+        let (code, out) = run_cli(
+            &[
+                "bench", "--threads", "3", "--rounds", "2", "--repeat", "1", "--workers", "1,2,3",
+            ],
+            None,
+        );
+        assert_eq!(code, 0, "{out}");
+        for w in ["workers=1 ", "workers=2 ", "workers=3 "] {
+            assert!(out.contains(w), "missing {w}: {out}");
+        }
+        assert!(out.contains("identical=yes"), "{out}");
+        assert!(out.contains("formula_evals="), "{out}");
+    }
+
+    #[test]
+    fn bench_rejects_bad_workers_list() {
+        let (code, out) = run_cli(&["bench", "--workers", "2,zero"], None);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--workers"), "{out}");
+    }
+
+    #[test]
+    fn bench_no_eval_cache_reports_zero_hits() {
+        let (code, out) = run_cli(
+            &[
+                "bench",
+                "--threads",
+                "3",
+                "--rounds",
+                "2",
+                "--repeat",
+                "1",
+                "--workers",
+                "2",
+                "--no-eval-cache",
+            ],
+            None,
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("eval_cache=off"), "{out}");
+        assert!(out.contains("eval_cache_hits=0"), "{out}");
     }
 
     /// Writes `contents` to a unique file under the target temp dir and

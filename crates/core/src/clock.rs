@@ -10,12 +10,17 @@
 //! mentioned in Section 2 of the paper ("the presented technique can be
 //! easily extended to systems consisting of a variable number of threads"):
 //! components that were never touched are implicitly zero.
+//!
+//! Storage is a [`CountVec`]: up to [`crate::compact::INLINE_CAP`] threads
+//! live inline, so the pervasive clock clones of lattice expansion never
+//! touch the allocator for realistic thread counts.
 
 use std::cmp::Ordering;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::compact::CountVec;
 use crate::event::ThreadId;
 
 /// A multithreaded vector clock: a vector of per-thread counters with
@@ -39,7 +44,7 @@ use crate::event::ThreadId;
 /// ```
 #[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VectorClock {
-    components: Vec<u32>,
+    components: CountVec,
 }
 
 impl VectorClock {
@@ -54,7 +59,7 @@ impl VectorClock {
     #[must_use]
     pub fn with_threads(n: usize) -> Self {
         Self {
-            components: vec![0; n],
+            components: CountVec::zeros(n),
         }
     }
 
@@ -62,7 +67,7 @@ impl VectorClock {
     #[must_use]
     pub fn from_components(components: impl Into<Vec<u32>>) -> Self {
         Self {
-            components: components.into(),
+            components: CountVec::from_vec(components.into()),
         }
     }
 
@@ -96,7 +101,12 @@ impl VectorClock {
         if self.components.len() < other.components.len() {
             self.components.resize(other.components.len(), 0);
         }
-        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+        for (mine, theirs) in self
+            .components
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.components.as_slice())
+        {
             if *theirs > *mine {
                 *mine = *theirs;
             }
@@ -160,6 +170,7 @@ impl VectorClock {
     /// components (including zeros).
     pub fn iter(&self) -> impl Iterator<Item = (ThreadId, u32)> + '_ {
         self.components
+            .as_slice()
             .iter()
             .enumerate()
             .map(|(i, &c)| (ThreadId(i as u32), c))
@@ -180,7 +191,7 @@ impl VectorClock {
     /// Normalizes by dropping trailing zeros, so that clocks that compare
     /// equal also hash equal regardless of how they were grown.
     pub fn normalize(&mut self) {
-        while self.components.last() == Some(&0) {
+        while self.components.as_slice().last() == Some(&0) {
             self.components.pop();
         }
     }

@@ -50,6 +50,7 @@
 
 pub mod algorithm;
 pub mod clock;
+pub mod compact;
 pub mod event;
 pub mod gen;
 pub mod happens_before;
@@ -61,6 +62,7 @@ pub mod trace;
 
 pub use algorithm::MvcInstrumentor;
 pub use clock::VectorClock;
+pub use compact::CountVec;
 pub use event::{Event, EventKind, ThreadId, Value, VarId};
 pub use gen::{RandomExecution, RandomExecutionConfig};
 pub use happens_before::HappensBefore;

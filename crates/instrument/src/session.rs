@@ -123,66 +123,10 @@ impl Session {
         }
     }
 
-    /// Like [`Session::new`], but counting `instrument.events_seen`,
-    /// `instrument.events_relevant` and `instrument.messages_emitted` into
-    /// `registry`.
-    #[deprecated(note = "use Session::builder(relevance).telemetry(registry).build()")]
-    #[must_use]
-    pub fn new_with_telemetry(relevance: Relevance, registry: &Registry) -> Self {
-        Self::builder(relevance).telemetry(registry).build()
-    }
-
     /// A session emitting to a custom sink.
     #[must_use]
     pub fn with_sink(relevance: Relevance, sink: Box<dyn EventSink>) -> Self {
         Self::builder(relevance).sink(sink).build()
-    }
-
-    /// Like [`Session::with_sink`], but reporting into `registry` (see
-    /// [`SessionBuilder::telemetry`] for the metric names).
-    #[deprecated(note = "use Session::builder(relevance).sink(sink).telemetry(registry).build()")]
-    #[must_use]
-    pub fn with_sink_telemetry(
-        relevance: Relevance,
-        sink: Box<dyn EventSink>,
-        registry: &Registry,
-    ) -> Self {
-        Self::builder(relevance).sink(sink).telemetry(registry).build()
-    }
-
-    /// Telemetry plus per-thread trace lanes (`T1`, `T2`, … — sealed into
-    /// `tracer` when the thread's context drops).
-    #[deprecated(
-        note = "use Session::builder(relevance).telemetry(registry).tracer(tracer).build()"
-    )]
-    #[must_use]
-    pub fn new_with_observability(
-        relevance: Relevance,
-        registry: &Registry,
-        tracer: &Tracer,
-    ) -> Self {
-        Self::builder(relevance)
-            .telemetry(registry)
-            .tracer(tracer)
-            .build()
-    }
-
-    /// Custom sink plus telemetry plus per-thread trace lanes.
-    #[deprecated(
-        note = "use Session::builder(relevance).sink(sink).telemetry(registry).tracer(tracer).build()"
-    )]
-    #[must_use]
-    pub fn with_sink_observability(
-        relevance: Relevance,
-        sink: Box<dyn EventSink>,
-        registry: &Registry,
-        tracer: &Tracer,
-    ) -> Self {
-        Self::builder(relevance)
-            .sink(sink)
-            .telemetry(registry)
-            .tracer(tracer)
-            .build()
     }
 
     /// Like [`Session::new`] but additionally records the global
@@ -652,12 +596,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_delegate_to_builder() {
+    fn builder_composes_telemetry_tracing_and_sinks() {
         let registry = jmpax_telemetry::Registry::enabled();
         let tracer = jmpax_trace::Tracer::enabled();
 
-        let s = Session::new_with_telemetry(Relevance::AllWrites, &registry);
+        let s = Session::builder(Relevance::AllWrites)
+            .telemetry(&registry)
+            .build();
         let x = s.shared("x", 0i64);
         let mut ctx = s.register_thread();
         x.write(&mut ctx, 1);
@@ -665,7 +610,10 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("instrument.messages_emitted"), Some(1));
 
-        let s = Session::new_with_observability(Relevance::AllWrites, &registry, &tracer);
+        let s = Session::builder(Relevance::AllWrites)
+            .telemetry(&registry)
+            .tracer(&tracer)
+            .build();
         let y = s.shared("y", 0i64);
         let mut ctx = s.register_thread();
         y.write(&mut ctx, 2);
@@ -677,21 +625,11 @@ mod tests {
             .any(|l| l.lane == "T1" && !l.events.is_empty()));
 
         let sink = VecSink::new();
-        let s = Session::with_sink_telemetry(
-            Relevance::Everything,
-            Box::new(sink.clone()),
-            &Registry::disabled(),
-        );
-        s.register_thread().internal_event();
-        assert_eq!(sink.len(), 1);
-
-        let sink = VecSink::new();
-        let s = Session::with_sink_observability(
-            Relevance::Everything,
-            Box::new(sink.clone()),
-            &Registry::disabled(),
-            &Tracer::disabled(),
-        );
+        let s = Session::builder(Relevance::Everything)
+            .sink(Box::new(sink.clone()))
+            .telemetry(&Registry::disabled())
+            .tracer(&Tracer::disabled())
+            .build();
         s.register_thread().internal_event();
         assert_eq!(sink.len(), 1);
     }

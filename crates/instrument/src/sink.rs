@@ -110,26 +110,6 @@ impl FrameSink {
         FrameSinkBuilder::default()
     }
 
-    /// An empty sink counting `instrument.frames_encoded` (messages
-    /// serialized) and `instrument.bytes_encoded` (wire bytes produced)
-    /// into `registry`.
-    #[deprecated(note = "use FrameSink::builder().telemetry(registry).build()")]
-    #[must_use]
-    pub fn with_telemetry(registry: &jmpax_telemetry::Registry) -> Self {
-        Self::builder().telemetry(registry).build()
-    }
-
-    /// Telemetry plus per-frame encode spans on the `wire` trace lane
-    /// (sealed into `tracer` when the last clone drops).
-    #[deprecated(note = "use FrameSink::builder().telemetry(registry).tracer(tracer).build()")]
-    #[must_use]
-    pub fn with_observability(
-        registry: &jmpax_telemetry::Registry,
-        tracer: &jmpax_trace::Tracer,
-    ) -> Self {
-        Self::builder().telemetry(registry).tracer(tracer).build()
-    }
-
     /// Takes the bytes accumulated so far.
     #[must_use]
     pub fn take_bytes(&self) -> bytes::Bytes {

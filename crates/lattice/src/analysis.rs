@@ -135,14 +135,6 @@ impl Analysis {
     }
 }
 
-/// Former options type for [`analyze_lattice`]; every knob now lives on
-/// the unified [`AnalysisConfig`], which this aliases so existing struct
-/// paths keep compiling.
-#[deprecated(
-    note = "use jmpax_lattice::AnalysisConfig, which carries max_counterexamples plus the parallelism/frontier_cap/history knobs"
-)]
-pub type AnalysisOptions = AnalysisConfig;
-
 /// Convenience: build the lattice from `input` and analyze it with the
 /// default (sequential, exact) configuration.
 #[must_use]
@@ -178,6 +170,11 @@ pub fn analyze_lattice(lattice: &Lattice, monitor: &Monitor, options: AnalysisCo
         violations.push((bottom, mem0, None::<(NodeId, MonitorState)>));
     }
 
+    // One memo table for the whole pass: the retained lattice steps the
+    // same `(memory, valuation)` pairs once per in-edge, and unlike the
+    // streaming analyzer there is no level seal to scope the table to, so
+    // it lives for the analysis. Disabled via `options.eval_cache`.
+    let mut cache = options.eval_cache.then(|| monitor.step_cache());
     for k in 0..lattice.level_count() {
         for &nid in lattice.level(k) {
             // Iterate a snapshot: successor updates never touch this level.
@@ -186,7 +183,10 @@ pub fn analyze_lattice(lattice: &Lattice, monitor: &Monitor, options: AnalysisCo
             for &(succ, thread) in &lattice.nodes()[nid].succs {
                 let succ_state = &lattice.nodes()[succ].state;
                 for &(mem, count) in &mems {
-                    let (next_mem, ok) = monitor.step(mem, succ_state);
+                    let (next_mem, ok) = match cache.as_mut() {
+                        Some(cache) => monitor.step_cached(mem, succ_state, cache),
+                        None => monitor.step(mem, succ_state),
+                    };
                     if ok {
                         match alive[succ].entry(next_mem) {
                             Entry::Occupied(mut e) => *e.get_mut() += count,

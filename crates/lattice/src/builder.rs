@@ -17,24 +17,17 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use jmpax_core::{CausalBuffer, Message, ThreadId};
-use jmpax_spec::{Monitor, MonitorState, ProgramState};
+use jmpax_spec::{Monitor, MonitorState, ProgramState, StepCache};
 use jmpax_telemetry::{Counter, Gauge, Histogram, Registry};
 use jmpax_trace::{TraceKind, TraceRing, Tracer};
 
-use crate::config::AnalysisConfig;
+use crate::config::{AnalysisConfig, DEFAULT_SHARD_GRANULARITY};
 use crate::cut::Cut;
-use crate::parallel::{self, ExpandContext};
+use crate::parallel::{self, ExpansionPool, LevelShared};
 use crate::reassemble::Exactness;
-
-/// Minimum frontier cuts per worker before the parallel pool engages.
-/// Narrower levels expand inline: spawning scoped threads and exchanging
-/// contribution buckets for a handful of cuts costs more than it saves,
-/// and the sequential path is bit-identical anyway. Tests (and exotic
-/// tuning) can lower the threshold via
-/// [`StreamingAnalyzer::with_shard_granularity`].
-const MIN_CUTS_PER_SHARD: usize = 64;
 
 /// A violation observed by the streaming analyzer.
 #[derive(Clone, Debug)]
@@ -168,11 +161,14 @@ struct LevelExpansion {
 /// ```
 #[derive(Debug)]
 pub struct StreamingAnalyzer {
-    monitor: Monitor,
+    monitor: Arc<Monitor>,
     threads: usize,
     buffer: CausalBuffer,
     /// Causally delivered messages per thread (contiguous prefixes).
-    delivered: Vec<Vec<Message>>,
+    /// Behind an `Arc` so parallel levels share it with the pool without
+    /// copying; between levels the analyzer is the only holder, so
+    /// `Arc::make_mut` appends in place.
+    delivered: Arc<Vec<Vec<Message>>>,
     /// Threads whose streams are complete.
     ended: Vec<bool>,
     frontier: HashMap<Cut, FrontierNode>,
@@ -194,6 +190,14 @@ pub struct StreamingAnalyzer {
     parallelism: usize,
     /// Minimum cuts per worker before a level engages the pool.
     shard_granularity: usize,
+    /// Memoize monitor steps within each level (both expansion paths).
+    eval_cache: bool,
+    /// The sequential path's per-level step memo, cleared at every seal.
+    step_cache: StepCache,
+    /// The persistent worker pool; lazily created at the first parallel
+    /// level, or injected ([`StreamingAnalyzer::with_pool`]) to share one
+    /// pool across analyzers.
+    pool: Option<Arc<ExpansionPool>>,
     /// `lattice.*` metrics; no-ops unless built via
     /// [`StreamingAnalyzer::with_telemetry`].
     tel_states: Counter,
@@ -216,6 +220,11 @@ pub struct StreamingAnalyzer {
     tel_imbalance: Gauge,
     tel_parallel_levels: Counter,
     tel_workers: Gauge,
+    tel_steals: Counter,
+    tel_park: Histogram,
+    /// `spec.eval_cache_hits`, cloned into every step cache this analyzer
+    /// creates (sequential and per-shard alike).
+    tel_cache_hits: Counter,
     /// Trace ring (lane `"lattice"`) for ingested messages, level seals,
     /// prunes and property evaluations; disabled (free) by default.
     trace_ring: TraceRing,
@@ -284,11 +293,12 @@ impl StreamingAnalyzer {
         tel_peak.set(1);
         let tel_violations = registry.counter("lattice.violations");
         tel_violations.add(violations.len() as u64);
+        let tel_cache_hits = registry.counter("spec.eval_cache_hits");
         Self {
-            monitor,
+            monitor: Arc::new(monitor),
             threads,
             buffer: CausalBuffer::new(),
-            delivered: vec![Vec::new(); threads],
+            delivered: Arc::new(vec![Vec::new(); threads]),
             ended: vec![false; threads],
             frontier,
             past: std::collections::VecDeque::new(),
@@ -301,7 +311,10 @@ impl StreamingAnalyzer {
             dropped_cuts: 0,
             non_writes_skipped: 0,
             parallelism: 1,
-            shard_granularity: MIN_CUTS_PER_SHARD,
+            shard_granularity: DEFAULT_SHARD_GRANULARITY,
+            eval_cache: true,
+            step_cache: StepCache::with_counter(tel_cache_hits.clone()),
+            pool: None,
             tel_states,
             tel_deduped: registry.counter("lattice.cuts_deduped"),
             tel_levels: registry.counter("lattice.levels_built"),
@@ -317,6 +330,9 @@ impl StreamingAnalyzer {
             tel_imbalance: registry.gauge("lattice.parallel.imbalance_pct"),
             tel_parallel_levels: registry.counter("lattice.parallel.levels"),
             tel_workers: registry.gauge("lattice.parallel.workers"),
+            tel_steals: registry.counter("lattice.parallel.steals"),
+            tel_park: registry.histogram("lattice.parallel.park_ns"),
+            tel_cache_hits,
             trace_ring: TraceRing::disabled(),
             tracer: Tracer::default(),
         }
@@ -341,7 +357,9 @@ impl StreamingAnalyzer {
     /// [`StreamReport`] — is bit-identical to the sequential path; the
     /// only evidence the pool ran is the `lattice.parallel.*` metric
     /// family and the `lattice.shard<N>` trace lanes. Levels narrower
-    /// than 64 cuts per worker expand inline.
+    /// than the shard granularity (default
+    /// [`crate::config::DEFAULT_SHARD_GRANULARITY`] cuts per worker)
+    /// expand inline.
     #[must_use]
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers.max(1);
@@ -350,24 +368,52 @@ impl StreamingAnalyzer {
 
     /// Lowers (or raises) the engagement threshold: a level engages the
     /// worker pool only when it holds at least `cuts_per_shard` cuts per
-    /// worker. Primarily a testing hook — equivalence tests use it to
-    /// force narrow levels through the sharded path; the default of 64
-    /// keeps coordination overhead away from levels too narrow to profit.
-    #[doc(hidden)]
+    /// worker. Equivalence tests use it to force narrow levels through
+    /// the sharded path; the default
+    /// ([`crate::config::DEFAULT_SHARD_GRANULARITY`]) keeps coordination
+    /// overhead away from levels too narrow to profit. Also settable via
+    /// [`AnalysisConfig::with_shard_granularity`].
     #[must_use]
     pub fn with_shard_granularity(mut self, cuts_per_shard: usize) -> Self {
         self.shard_granularity = cuts_per_shard.max(1);
         self
     }
 
+    /// Enables or disables the per-level monitor step cache (default on).
+    /// Purely physical: verdicts, trails, traces and all logical counters
+    /// are bit-identical either way.
+    #[must_use]
+    pub fn with_eval_cache(mut self, enabled: bool) -> Self {
+        self.eval_cache = enabled;
+        self
+    }
+
+    /// Shares a persistent [`ExpansionPool`] with this analyzer instead of
+    /// letting it lazily spawn its own at the first parallel level. The
+    /// observer pipeline uses this to spawn one pool per `Pipeline` and
+    /// reuse it across every analysis it runs. The effective worker count
+    /// is capped by the pool's size.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ExpansionPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Applies every streaming knob of an [`AnalysisConfig`] at once:
-    /// history, frontier cap, and parallelism
-    /// (`max_counterexamples` only affects the full-lattice analysis).
+    /// history, frontier cap, parallelism, shard granularity, and the
+    /// step cache (`max_counterexamples` only affects the full-lattice
+    /// analysis).
     #[must_use]
     pub fn with_config(mut self, config: &AnalysisConfig) -> Self {
         self.history = config.history;
         self.frontier_cap = (config.frontier_cap > 0).then_some(config.frontier_cap);
         self.parallelism = config.workers();
+        self.shard_granularity = if config.shard_granularity == 0 {
+            DEFAULT_SHARD_GRANULARITY
+        } else {
+            config.shard_granularity
+        };
+        self.eval_cache = config.eval_cache;
         self
     }
 
@@ -429,14 +475,16 @@ impl StreamingAnalyzer {
             let t = m.thread().index();
             if self.delivered.len() <= t {
                 // A thread beyond the declared count: grow conservatively.
-                self.delivered.resize_with(t + 1, Vec::new);
+                Arc::make_mut(&mut self.delivered).resize_with(t + 1, Vec::new);
                 self.ended.resize(t + 1, false);
                 self.threads = t + 1;
             }
             if self.trace_ring.is_enabled() {
                 self.trace_ring.record(TraceKind::Ingested(m.trace_ref()));
             }
-            self.delivered[t].push(m);
+            // Between levels no worker holds the Arc, so this appends in
+            // place without cloning the delivered prefixes.
+            Arc::make_mut(&mut self.delivered)[t].push(m);
         }
         self.advance();
     }
@@ -512,12 +560,17 @@ impl StreamingAnalyzer {
     }
 
     /// The worker count for a level of `width` cuts: sequential below the
-    /// engagement threshold, at most `parallelism` above it.
+    /// engagement threshold, at most `parallelism` (and the injected
+    /// pool's size, when one was provided) above it.
     fn level_workers(&self, width: usize) -> usize {
         if self.parallelism <= 1 {
             return 1;
         }
-        (width / self.shard_granularity).clamp(1, self.parallelism)
+        let cap = self
+            .pool
+            .as_ref()
+            .map_or(self.parallelism, |p| p.size().min(self.parallelism));
+        (width / self.shard_granularity).clamp(1, cap)
     }
 
     /// Expands one sealed level on the calling thread. Source cuts and
@@ -585,7 +638,11 @@ impl StreamingAnalyzer {
                     parents,
                 } = entry;
                 for &mem in &mems {
-                    let (next_mem, ok) = self.monitor.step(mem, state);
+                    let (next_mem, ok) = if self.eval_cache {
+                        self.monitor.step_cached(mem, state, &mut self.step_cache)
+                    } else {
+                        self.monitor.step(mem, state)
+                    };
                     out.evals += 1;
                     if self.trace_ring.is_enabled() {
                         self.trace_ring.record(TraceKind::PropertyEvaluated {
@@ -611,16 +668,18 @@ impl StreamingAnalyzer {
         out
     }
 
-    /// Expands one sealed level across `workers` scoped threads and merges
-    /// the disjoint shard results. Records the `lattice.parallel.*` metric
-    /// family; every analysis-visible output is bit-identical to
-    /// [`StreamingAnalyzer::expand_sequential`].
+    /// Expands one sealed level on the persistent worker pool (lazily
+    /// spawning it on first use) and merges the disjoint shard results.
+    /// Consumes and returns the sealed level — the pool borrows it via an
+    /// `Arc` that is reclaimed once every shard reports — and records the
+    /// `lattice.parallel.*` metric family. Every analysis-visible output
+    /// is bit-identical to [`StreamingAnalyzer::expand_sequential`].
     fn expand_parallel(
         &mut self,
-        current: &HashMap<Cut, FrontierNode>,
+        current: HashMap<Cut, FrontierNode>,
         level_index: u64,
         workers: usize,
-    ) -> LevelExpansion {
+    ) -> (LevelExpansion, HashMap<Cut, FrontierNode>) {
         let rings: Vec<TraceRing> = if self.tracer.is_enabled() {
             (0..workers)
                 .map(|w| self.tracer.ring(&format!("lattice.shard{w}")))
@@ -628,14 +687,27 @@ impl StreamingAnalyzer {
         } else {
             (0..workers).map(|_| TraceRing::disabled()).collect()
         };
-        let ctx = ExpandContext {
-            threads: self.threads,
-            delivered: &self.delivered,
-            monitor: &self.monitor,
+        let mut sources: Vec<(Cut, FrontierNode)> = current.into_iter().collect();
+        sources.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let shared = Arc::new(LevelShared::new(
+            sources,
+            Arc::clone(&self.delivered),
+            Arc::clone(&self.monitor),
+            self.threads,
             workers,
-            level: level_index,
-        };
-        let reports = parallel::expand_level(&ctx, current, rings);
+            level_index,
+            self.eval_cache,
+            self.tel_cache_hits.clone(),
+        ));
+        let pool = Arc::clone(
+            self.pool
+                .get_or_insert_with(|| Arc::new(ExpansionPool::new(self.parallelism))),
+        );
+        let reports = pool.expand(&shared, rings);
+        // Every worker dropped its clone before reporting, so the level
+        // (sources included) comes back without copying. The fallback
+        // clone is unreachable in practice.
+        let sources = Arc::try_unwrap(shared).map_or_else(|arc| arc.sources.clone(), |s| s.sources);
         self.tel_parallel_levels.inc();
         self.tel_workers.set(workers as u64);
         let max_assigned = reports.iter().map(|r| r.assigned).max().unwrap_or(0);
@@ -654,6 +726,8 @@ impl StreamingAnalyzer {
         for r in reports {
             self.tel_shard_width.record(r.assigned);
             self.tel_merge.record(r.merge_ns);
+            self.tel_steals.add(r.steals);
+            self.tel_park.record(r.park_ns);
             out.new_states += r.new_states;
             out.deduped += r.deduped;
             out.evals += r.evals;
@@ -663,7 +737,7 @@ impl StreamingAnalyzer {
             out.next.extend(r.next);
             out.seeds.extend(r.seeds);
         }
-        out
+        (out, sources.into_iter().collect())
     }
 
     /// Advances the frontier level by level while every frontier cut is
@@ -697,12 +771,16 @@ impl StreamingAnalyzer {
             let current = std::mem::take(&mut self.frontier);
             let workers = self.level_workers(current.len());
             let expand_span = self.tel_expand.start_span();
-            let mut exp = if workers > 1 {
-                self.expand_parallel(&current, level_index, workers)
+            let (mut exp, current) = if workers > 1 {
+                self.expand_parallel(current, level_index, workers)
             } else {
-                self.expand_sequential(&current, level_index)
+                let exp = self.expand_sequential(&current, level_index);
+                (exp, current)
             };
             expand_span.finish();
+            // The memo is level-scoped: transitions rarely recur across
+            // seals, so clearing keeps the table at working-set size.
+            self.step_cache.clear();
             let seal_span = self.tel_seal.start_span();
             self.states_explored += exp.new_states;
             self.tel_states.add(exp.new_states);

@@ -33,7 +33,23 @@ pub struct AnalysisConfig {
     /// Retired streaming levels kept for violation trails; `0` is the
     /// paper's pure two-level mode.
     pub history: usize,
+    /// Minimum cuts per worker before a level engages the parallel path
+    /// (`0` means the default, [`DEFAULT_SHARD_GRANULARITY`]). Narrower
+    /// levels expand sequentially: below this width the channel traffic of
+    /// sharding outweighs the win even with a persistent pool.
+    pub shard_granularity: usize,
+    /// Memoize monitor steps per `(memory, atom valuation)` within a level
+    /// (default `true`). Purely a performance knob: verdicts, trails and
+    /// traces are bit-identical either way — only the `spec.formula_evals`
+    /// / `spec.eval_cache_hits` split moves.
+    pub eval_cache: bool,
 }
+
+/// Default minimum cuts-per-worker before a level's expansion goes
+/// parallel. Re-tuned from 64 when the per-level `thread::scope` spawn was
+/// replaced by the persistent pool: dispatching to a parked worker is much
+/// cheaper than spawning one, so narrower levels now profit.
+pub const DEFAULT_SHARD_GRANULARITY: usize = 32;
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
@@ -42,6 +58,8 @@ impl Default for AnalysisConfig {
             parallelism: 1,
             frontier_cap: 0,
             history: 0,
+            shard_granularity: DEFAULT_SHARD_GRANULARITY,
+            eval_cache: true,
         }
     }
 }
@@ -72,6 +90,21 @@ impl AnalysisConfig {
     #[must_use]
     pub fn with_history(mut self, levels: usize) -> Self {
         self.history = levels;
+        self
+    }
+
+    /// Sets the minimum cuts per worker for parallel expansion
+    /// (`0` restores [`DEFAULT_SHARD_GRANULARITY`]).
+    #[must_use]
+    pub fn with_shard_granularity(mut self, cuts: usize) -> Self {
+        self.shard_granularity = cuts;
+        self
+    }
+
+    /// Enables or disables the per-level monitor step cache.
+    #[must_use]
+    pub fn with_eval_cache(mut self, enabled: bool) -> Self {
+        self.eval_cache = enabled;
         self
     }
 
@@ -108,6 +141,8 @@ mod tests {
         assert_eq!(c.frontier_cap, 0);
         assert_eq!(c.history, 0);
         assert_eq!(c.max_counterexamples, 16);
+        assert_eq!(c.shard_granularity, DEFAULT_SHARD_GRANULARITY);
+        assert!(c.eval_cache);
         assert_eq!(c.workers(), 1);
     }
 
@@ -117,10 +152,14 @@ mod tests {
             .with_parallelism(8)
             .with_frontier_cap(64)
             .with_history(2)
+            .with_shard_granularity(16)
+            .with_eval_cache(false)
             .with_max_counterexamples(0);
         assert_eq!(c.parallelism, 8);
         assert_eq!(c.frontier_cap, 64);
         assert_eq!(c.history, 2);
+        assert_eq!(c.shard_granularity, 16);
+        assert!(!c.eval_cache);
         assert_eq!(c.max_counterexamples, 0);
     }
 

@@ -12,26 +12,32 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use jmpax_core::ThreadId;
+use jmpax_core::{CountVec, ThreadId};
 
 /// A cut: per-thread counts of consumed relevant events.
+///
+/// Counts live in a [`CountVec`], so the one-clone-per-successor pattern of
+/// frontier expansion ([`Cut::advanced`]) allocates nothing for programs of
+/// up to [`jmpax_core::compact::INLINE_CAP`] threads.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct Cut {
-    counts: Vec<u32>,
+    counts: CountVec,
 }
 
 impl Cut {
     /// The bottom cut (nothing consumed) for `n` threads.
     #[must_use]
     pub fn bottom(n: usize) -> Self {
-        Self { counts: vec![0; n] }
+        Self {
+            counts: CountVec::zeros(n),
+        }
     }
 
     /// Builds a cut from explicit counts.
     #[must_use]
     pub fn from_counts(counts: impl Into<Vec<u32>>) -> Self {
         Self {
-            counts: counts.into(),
+            counts: CountVec::from_vec(counts.into()),
         }
     }
 
@@ -68,7 +74,10 @@ impl Cut {
     /// Component-wise `≤` (the lattice order).
     #[must_use]
     pub fn le(&self, other: &Cut) -> bool {
-        self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
+        self.counts
+            .iter()
+            .zip(other.counts.as_slice())
+            .all(|(a, b)| a <= b)
             && self.counts.len() <= other.counts.len()
     }
 
@@ -86,7 +95,12 @@ impl Cut {
             return None;
         }
         let mut advanced = None;
-        for (i, (a, b)) in self.counts.iter().zip(&other.counts).enumerate() {
+        for (i, (a, b)) in self
+            .counts
+            .iter()
+            .zip(other.counts.as_slice())
+            .enumerate()
+        {
             match b.checked_sub(*a) {
                 Some(0) => {}
                 Some(1) if advanced.is_none() => advanced = Some(ThreadId(i as u32)),

@@ -39,7 +39,8 @@ pub mod reassemble;
 
 pub use analysis::{analyze, analyze_multi, analyze_with, Analysis, Counterexample, RunStep, Violation};
 pub use builder::{StreamReport, StreamingAnalyzer};
-pub use config::AnalysisConfig;
+pub use config::{AnalysisConfig, DEFAULT_SHARD_GRANULARITY};
+pub use parallel::ExpansionPool;
 pub use cut::Cut;
 pub use dot::{to_dot, DotOptions};
 pub use explore::Lattice;

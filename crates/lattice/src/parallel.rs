@@ -1,74 +1,150 @@
-//! Sharded parallel expansion of one streaming-frontier level.
+//! Persistent work-stealing pool for sharded parallel expansion of one
+//! streaming-frontier level.
 //!
 //! The level-by-level loop of [`crate::StreamingAnalyzer`] is the hottest
 //! code in the pipeline: every cut of the sealed level expands into up to
 //! `threads` successors, and every successor steps every alive monitor
-//! memory. This module distributes that work over a pool of `workers`
-//! std threads in two phases connected by channels:
+//! memory. An [`ExpansionPool`] owns a set of long-lived worker threads —
+//! spawned once, parked on their task channels between levels — and runs
+//! each level in two phases connected by channels:
 //!
-//! 1. **Expand** — the sorted source cuts are split into contiguous
-//!    chunks, one per worker; each worker walks its chunk in order,
-//!    performs the consistency checks, and routes each enabled successor
-//!    (a lean borrowed [`Contribution`]) to the worker owning
-//!    `hash(successor) % workers`, batched as one bucket per target.
+//! 1. **Expand** — the sorted source cuts are split into many contiguous
+//!    chunks (several per worker); workers *steal* chunks from a shared
+//!    atomic cursor, so a worker slowed by a skewed chunk sheds the rest
+//!    of the level to its siblings. Each enabled successor (an owned
+//!    [`Contribution`] carrying its source's index) is routed to the
+//!    worker owning `hash(successor) % workers`, batched per chunk and
+//!    target and tagged with the chunk index.
 //! 2. **Merge** — each worker owns a disjoint slice of the successor cut
 //!    space (a sharded seen-set, so deduplication needs no locks). It
 //!    orders the incoming buckets by chunk index and applies them; the
 //!    successor's state (computed once per node — states are uniquely
-//!    determined by the cut) and all monitor stepping happen here.
+//!    determined by the cut) and all monitor stepping happen here,
+//!    through a per-shard [`StepCache`] when the analyzer enables it.
 //!
 //! # Determinism
 //!
 //! The merge order is the linchpin: the sequential path applies
-//! contributions in ascending `(source cut, thread)` order. Because
-//! expansion chunks are contiguous slices of the *sorted* source list and
-//! every bucket preserves its chunk's walk order, concatenating a shard's
-//! buckets in chunk order reproduces exactly that global order — no
-//! per-contribution sort is ever needed. Monitor memories are stepped in
-//! sorted order on both paths. Every output is therefore bit-identical to
-//! the sequential path regardless of worker count: new-node states (first
-//! contribution wins, and "first" is now a total order, not hash-map
-//! luck), alive/dead memory sets, trail parents, violation seeds, and all
-//! counters (they are sums over the same multiset of events).
+//! contributions in ascending `(source cut, thread)` order. Chunks are
+//! contiguous slices of the *sorted* source list, every bucket preserves
+//! its chunk's walk order, and each shard concatenates its buckets in
+//! ascending chunk index — reproducing exactly that global order no
+//! matter which worker stole which chunk. Monitor memories are stepped in
+//! sorted order on both paths, and the step cache memoizes a pure
+//! function, so it can only collapse work, never change a result. Every
+//! output is therefore bit-identical to the sequential path regardless of
+//! worker count or steal schedule: new-node states (first contribution
+//! wins, and "first" is a total order, not hash-map luck), alive/dead
+//! memory sets, trail parents, violation seeds, and all logical counters.
+//! Only the `lattice.parallel.*` metrics (steals, park times, shard
+//! widths) and the physical `spec.formula_evals` / `spec.eval_cache_hits`
+//! split reflect the schedule.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
-use std::sync::mpsc;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
 use std::time::Instant;
 
 use jmpax_core::{Message, ThreadId, Value, VarId};
-use jmpax_spec::{Monitor, MonitorState};
+use jmpax_spec::{Monitor, MonitorState, StepCache};
+use jmpax_telemetry::Counter;
 use jmpax_trace::{TraceKind, TraceRing};
 
 use crate::builder::{FrontierNode, ViolationSeed};
 use crate::cut::Cut;
 
-/// Everything one expansion worker needs, shared immutably across the pool.
-pub(crate) struct ExpandContext<'a> {
+/// Chunks handed out per worker: oversubscription is what makes stealing
+/// possible. More chunks mean finer-grained balancing but more bucket
+/// traffic; 4 recovers most of the skew at negligible overhead.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Everything the pool's workers need for one level, shared behind one
+/// `Arc`. Built by the analyzer, reclaimed (sources included) after every
+/// worker has reported.
+pub(crate) struct LevelShared {
+    /// The sealed level in ascending cut order. Indexed by
+    /// [`Contribution::src`].
+    pub sources: Vec<(Cut, FrontierNode)>,
+    /// Causally delivered messages per thread (contiguous prefixes).
+    pub delivered: Arc<Vec<Vec<Message>>>,
+    /// The property monitor; stepping is `&self`.
+    pub monitor: Arc<Monitor>,
     /// Declared thread count of the computation.
     pub threads: usize,
-    /// Causally delivered messages per thread (contiguous prefixes).
-    pub delivered: &'a [Vec<Message>],
-    /// The property monitor; `step` is `&self` and internally atomic.
-    pub monitor: &'a Monitor,
-    /// Worker-pool size (also the shard count).
+    /// Engaged worker count for this level (also the shard count).
     pub workers: usize,
     /// Level index being sealed, for trace records.
     pub level: u64,
+    /// Memoize monitor steps through a per-shard [`StepCache`].
+    pub eval_cache: bool,
+    /// `spec.eval_cache_hits`, cloned into each shard's cache.
+    pub cache_hits: Counter,
+    /// Source cuts per steal chunk.
+    pub chunk: usize,
+    /// Total steal chunks (`ceil(sources / chunk)`).
+    pub chunks: usize,
+    /// Chunks per worker under a fair static split; anything a worker
+    /// takes beyond this counts as a steal.
+    pub fair_share: usize,
+    /// The steal cursor: next chunk index to claim.
+    pub cursor: AtomicUsize,
 }
 
-/// One `(source, thread)` expansion, borrowing the source from the sealed
-/// level: only the successor cut is owned. The successor's state and the
-/// monitor steps are deferred to the merge phase, which performs state
-/// computation once per *node* rather than once per edge.
-struct Contribution<'a> {
-    src: &'a Cut,
-    node: &'a FrontierNode,
+impl LevelShared {
+    /// Splits `sources` (already sorted ascending) into steal chunks and
+    /// packages one level for the pool.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        sources: Vec<(Cut, FrontierNode)>,
+        delivered: Arc<Vec<Vec<Message>>>,
+        monitor: Arc<Monitor>,
+        threads: usize,
+        workers: usize,
+        level: u64,
+        eval_cache: bool,
+        cache_hits: Counter,
+    ) -> Self {
+        let chunk = sources
+            .len()
+            .div_ceil(workers * CHUNKS_PER_WORKER)
+            .max(1);
+        let chunks = sources.len().div_ceil(chunk);
+        Self {
+            sources,
+            delivered,
+            monitor,
+            threads,
+            workers,
+            level,
+            eval_cache,
+            cache_hits,
+            chunk,
+            chunks,
+            fair_share: chunks.div_ceil(workers),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// One `(source, thread)` expansion: the source is an index into
+/// [`LevelShared::sources`], so only the successor cut is owned. The
+/// successor's state and the monitor steps are deferred to the merge
+/// phase, which performs state computation once per *node* rather than
+/// once per edge.
+struct Contribution {
+    src: u32,
     succ: Cut,
     /// The write the consumed message applies; `None` for relevant
     /// non-write messages (exotic relevance policies), which stutter.
     update: Option<(VarId, Value)>,
 }
+
+/// A batch of contributions for one target shard, tagged with the steal
+/// chunk that produced it (the merge sort key).
+type Bucket = (usize, Vec<Contribution>);
 
 /// What one shard hands back to the analyzer after expand + merge.
 pub(crate) struct ShardReport {
@@ -81,14 +157,142 @@ pub(crate) struct ShardReport {
     pub new_states: u64,
     /// Contributions that landed on an already-created successor.
     pub deduped: u64,
-    /// Monitor steps performed.
+    /// Monitor steps performed (logical count: step-cache hits included,
+    /// so traces and reports stay bit-identical across cache settings).
     pub evals: u64,
     /// Relevant non-write messages stepped over as stutters.
     pub non_writes: u64,
-    /// Source cuts assigned to this shard's expansion phase.
+    /// Source cuts this worker expanded (its chunks' total width).
     pub assigned: u64,
+    /// Chunks claimed beyond the fair static share.
+    pub steals: u64,
+    /// Nanoseconds this worker sat parked before picking up the level.
+    pub park_ns: u64,
     /// Wall time of the merge phase, nanoseconds.
     pub merge_ns: u64,
+}
+
+/// One unit of pool work: expand-and-merge one shard of one level.
+struct ShardTask {
+    shared: Arc<LevelShared>,
+    shard: usize,
+    txs: Vec<mpsc::Sender<Bucket>>,
+    rx: mpsc::Receiver<Bucket>,
+    ring: TraceRing,
+    report: mpsc::Sender<(usize, ShardReport)>,
+}
+
+/// A persistent pool of expansion workers.
+///
+/// Workers are spawned once and parked on their task channels between
+/// levels (a blocking `recv`, measured as `lattice.parallel.park_ns`), so
+/// per-level cost is a channel send instead of a thread spawn. One pool
+/// can serve many analyzers: [`crate::StreamingAnalyzer::with_pool`]
+/// shares it, and an internal lease serializes levels so shards of
+/// different levels never interleave on the same workers (a level's merge
+/// phase must be co-scheduled with its own expansion phase). Dropping the
+/// pool closes the task channels and joins every worker.
+pub struct ExpansionPool {
+    txs: Vec<mpsc::Sender<ShardTask>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    /// Held for the duration of one level; see the type docs.
+    lease: Mutex<()>,
+}
+
+impl ExpansionPool {
+    /// Spawns `size` (at least 1) parked worker threads.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let mut txs = Vec::with_capacity(size);
+        let mut handles = Vec::with_capacity(size);
+        for w in 0..size {
+            let (tx, rx) = mpsc::channel::<ShardTask>();
+            txs.push(tx);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("jmpax-expand-{w}"))
+                    .spawn(move || worker_main(&rx))
+                    .expect("spawn expansion worker"),
+            );
+        }
+        Self {
+            txs,
+            handles,
+            lease: Mutex::new(()),
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Runs one level on workers `0..shared.workers` and returns their
+    /// reports in shard order. `rings` carries one trace ring per engaged
+    /// shard (disabled rings are free).
+    pub(crate) fn expand(&self, shared: &Arc<LevelShared>, rings: Vec<TraceRing>) -> Vec<ShardReport> {
+        let workers = shared.workers;
+        debug_assert!(workers >= 1 && workers <= self.size() && rings.len() == workers);
+        let _lease = self.lease.lock().expect("expansion pool lease");
+        let (bucket_txs, bucket_rxs): (Vec<_>, Vec<_>) =
+            (0..workers).map(|_| mpsc::channel::<Bucket>()).unzip();
+        let (report_tx, report_rx) = mpsc::channel();
+        for (shard, (rx, ring)) in bucket_rxs.into_iter().zip(rings).enumerate() {
+            let task = ShardTask {
+                shared: Arc::clone(shared),
+                shard,
+                txs: bucket_txs.clone(),
+                rx,
+                ring,
+                report: report_tx.clone(),
+            };
+            self.txs[shard].send(task).expect("pool worker alive");
+        }
+        // Workers hold clones; dropping the originals lets every merge
+        // phase's receive loop (and the report collection below) finish.
+        drop(bucket_txs);
+        drop(report_tx);
+        let mut reports: Vec<(usize, ShardReport)> = report_rx.iter().collect();
+        debug_assert_eq!(reports.len(), workers, "a pool worker died mid-level");
+        reports.sort_unstable_by_key(|&(shard, _)| shard);
+        reports.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Drop for ExpansionPool {
+    fn drop(&mut self) {
+        // Closing the channels unparks every worker with a disconnect.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for ExpansionPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExpansionPool")
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+/// The park-run loop of one pool worker: block on the task channel
+/// (that's the park — its duration is reported with the next task), run,
+/// repeat until the pool drops the channel.
+fn worker_main(rx: &mpsc::Receiver<ShardTask>) {
+    let mut parked_at = Instant::now();
+    while let Ok(task) = rx.recv() {
+        let park_ns = elapsed_ns(parked_at);
+        run_shard(task, park_ns);
+        parked_at = Instant::now();
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The shard owning `cut`: a stable FNV-1a fold over the counts, so
@@ -124,99 +328,70 @@ pub(crate) fn enabled<'a>(
     consistent.then_some(m)
 }
 
-/// Expands one sealed level across `ctx.workers` scoped threads and
-/// returns the per-shard results in shard order. `rings` carries one trace
-/// ring per shard (disabled rings are free); each worker records its
-/// [`TraceKind::ShardExpanded`] span and per-evaluation instants there.
-pub(crate) fn expand_level(
-    ctx: &ExpandContext<'_>,
-    current: &HashMap<Cut, FrontierNode>,
-    rings: Vec<TraceRing>,
-) -> Vec<ShardReport> {
-    let workers = ctx.workers;
-    debug_assert!(workers >= 1 && rings.len() == workers);
-    // The sequential path visits sources in sorted order; contiguous
-    // chunks of the same order let the merge phase reproduce it by
-    // concatenation (see the module docs).
-    let mut sources: Vec<(&Cut, &FrontierNode)> = current.iter().collect();
-    sources.sort_unstable_by(|a, b| a.0.cmp(b.0));
-    let chunk = sources.len().div_ceil(workers).max(1);
-    let (senders, receivers): (Vec<_>, Vec<_>) = (0..workers)
-        .map(|_| mpsc::channel::<(usize, Vec<Contribution<'_>>)>())
-        .unzip();
-
-    let mut reports = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let sources = &sources;
-        let mut handles = Vec::with_capacity(workers);
-        for (w, (rx, ring)) in receivers.into_iter().zip(rings).enumerate() {
-            // Uneven division can leave trailing workers without sources;
-            // they still own (and must merge) their successor shard.
-            let slice = sources
-                .get(w * chunk..sources.len().min((w + 1) * chunk))
-                .unwrap_or(&[]);
-            let txs = senders.clone();
-            handles.push(scope.spawn(move || shard_worker(ctx, w, slice, txs, rx, ring)));
-        }
-        // Workers hold clones; dropping the originals lets every merge
-        // phase's receive loop terminate once all expansions finish.
-        drop(senders);
-        for h in handles {
-            reports.push(h.join().expect("frontier expansion worker panicked"));
-        }
-    });
-    reports
-}
-
-/// One worker: expand the assigned chunk of source cuts, exchange
+/// One pool task: steal and expand chunks of source cuts, exchange
 /// contribution buckets, then merge the slice of the successor space this
-/// shard owns.
-fn shard_worker<'a>(
-    ctx: &ExpandContext<'_>,
-    chunk_index: usize,
-    sources: &[(&'a Cut, &'a FrontierNode)],
-    txs: Vec<mpsc::Sender<(usize, Vec<Contribution<'a>>)>>,
-    rx: mpsc::Receiver<(usize, Vec<Contribution<'a>>)>,
-    mut ring: TraceRing,
-) -> ShardReport {
-    let workers = ctx.workers;
+/// shard owns, and report back to the analyzer.
+fn run_shard(task: ShardTask, park_ns: u64) {
+    let ShardTask {
+        shared,
+        shard,
+        txs,
+        rx,
+        mut ring,
+        report,
+    } = task;
+    let workers = shared.workers;
     let expand_start = ring.span_start();
-    let assigned = sources.len() as u64;
-    // Pre-size for the expected fan-out (≤ threads successors per cut,
-    // spread evenly over the shards) to avoid growth reallocations.
-    let per_bucket = sources.len() * ctx.threads / workers + 4;
-    let mut buckets: Vec<Vec<Contribution<'a>>> =
-        (0..workers).map(|_| Vec::with_capacity(per_bucket)).collect();
+    let mut assigned = 0u64;
+    let mut taken = 0u64;
     let mut produced = 0u64;
-    for &(cut, node) in sources {
-        for t in 0..ctx.threads {
-            let Some(msg) = enabled(ctx.delivered, cut, t) else {
-                continue;
-            };
-            let succ = cut.advanced(ThreadId(t as u32));
-            produced += 1;
-            buckets[shard_of(&succ, workers)].push(Contribution {
-                src: cut,
-                node,
-                succ,
-                update: msg.var().zip(msg.written_value()),
-            });
+    loop {
+        let c = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= shared.chunks {
+            break;
+        }
+        taken += 1;
+        let lo = c * shared.chunk;
+        let hi = (lo + shared.chunk).min(shared.sources.len());
+        assigned += (hi - lo) as u64;
+        // Pre-size for the expected fan-out (≤ threads successors per cut,
+        // spread evenly over the shards) to avoid growth reallocations.
+        let per_bucket = (hi - lo) * shared.threads / workers + 4;
+        let mut buckets: Vec<Vec<Contribution>> = (0..workers)
+            .map(|_| Vec::with_capacity(per_bucket))
+            .collect();
+        for (offset, (cut, _node)) in shared.sources[lo..hi].iter().enumerate() {
+            for t in 0..shared.threads {
+                let Some(msg) = enabled(&shared.delivered, cut, t) else {
+                    continue;
+                };
+                let succ = cut.advanced(ThreadId(t as u32));
+                produced += 1;
+                buckets[shard_of(&succ, workers)].push(Contribution {
+                    src: (lo + offset) as u32,
+                    succ,
+                    update: msg.var().zip(msg.written_value()),
+                });
+            }
+        }
+        for (tx, bucket) in txs.iter().zip(buckets) {
+            if !bucket.is_empty() {
+                // A shard with no receiver left has already merged.
+                let _ = tx.send((c, bucket));
+            }
         }
     }
+    let steals = taken.saturating_sub(shared.fair_share as u64);
     if ring.is_enabled() {
         ring.record_span(
             TraceKind::ShardExpanded {
-                level: ctx.level,
-                shard: chunk_index as u32,
+                level: shared.level,
+                shard: shard as u32,
                 cuts: assigned,
                 contributions: produced,
             },
             expand_start,
         );
-    }
-    for (tx, bucket) in txs.iter().zip(buckets) {
-        // A shard with no receiver left has already merged an empty slice.
-        let _ = tx.send((chunk_index, bucket));
     }
     drop(txs);
 
@@ -226,8 +401,8 @@ fn shard_worker<'a>(
     // ascending (source cut, thread) — because chunks are contiguous
     // slices of the sorted source list.
     let merge_start = Instant::now();
-    let mut incoming: Vec<(usize, Vec<Contribution<'a>>)> = rx.iter().collect();
-    incoming.sort_unstable_by_key(|&(i, _)| i);
+    let mut incoming: Vec<Bucket> = rx.iter().collect();
+    incoming.sort_unstable_by_key(|&(chunk, _)| chunk);
     let mut next: HashMap<Cut, FrontierNode> = HashMap::new();
     let mut seeds: Vec<ViolationSeed> = Vec::new();
     let mut new_states = 0u64;
@@ -235,8 +410,12 @@ fn shard_worker<'a>(
     let mut evals = 0u64;
     let mut non_writes = 0u64;
     let mut mems_sorted: Vec<MonitorState> = Vec::new();
+    let mut cache = shared
+        .eval_cache
+        .then(|| StepCache::with_counter(shared.cache_hits.clone()));
     for (_, bucket) in incoming {
         for c in bucket {
+            let (src_cut, src_node) = &shared.sources[c.src as usize];
             if c.update.is_none() {
                 non_writes += 1;
             }
@@ -252,8 +431,8 @@ fn shard_worker<'a>(
                     // uniquely determined by the cut, so this is the same
                     // value every other parent would compute.
                     let state = match c.update {
-                        Some((var, value)) => c.node.state.updated(var, value),
-                        None => c.node.state.clone(),
+                        Some((var, value)) => src_node.state.updated(var, value),
+                        None => src_node.state.clone(),
                     };
                     e.insert(FrontierNode {
                         state,
@@ -270,34 +449,37 @@ fn shard_worker<'a>(
                 parents,
             } = entry;
             mems_sorted.clear();
-            mems_sorted.extend(c.node.mems.iter().copied());
+            mems_sorted.extend(src_node.mems.iter().copied());
             mems_sorted.sort_unstable();
             for &mem in &mems_sorted {
-                let (next_mem, ok) = ctx.monitor.step(mem, state);
+                let (next_mem, ok) = match cache.as_mut() {
+                    Some(cache) => shared.monitor.step_cached(mem, state, cache),
+                    None => shared.monitor.step(mem, state),
+                };
                 evals += 1;
                 if ring.is_enabled() {
                     ring.record(TraceKind::PropertyEvaluated {
-                        level: ctx.level,
+                        level: shared.level,
                         violated: !ok,
                     });
                 }
                 if ok {
                     if mems.insert(next_mem) {
-                        parents.insert(next_mem, (c.src.clone(), mem));
+                        parents.insert(next_mem, (src_cut.clone(), mem));
                     }
                 } else if dead.insert(next_mem) {
                     seeds.push(ViolationSeed {
                         cut: c.succ.clone(),
                         state: state.clone(),
                         memory: next_mem,
-                        pred: (c.src.clone(), mem),
+                        pred: (src_cut.clone(), mem),
                     });
                 }
             }
         }
     }
-    let merge_ns = u64::try_from(merge_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    ShardReport {
+    let merge_ns = elapsed_ns(merge_start);
+    let out = ShardReport {
         next,
         seeds,
         new_states,
@@ -305,6 +487,12 @@ fn shard_worker<'a>(
         evals,
         non_writes,
         assigned,
+        steals,
+        park_ns,
         merge_ns,
-    }
+    };
+    // Release the level before reporting so the analyzer can reclaim the
+    // `Arc<LevelShared>` (and its sources) the moment all reports are in.
+    drop(shared);
+    let _ = report.send((shard, out));
 }

@@ -82,6 +82,30 @@ fn hypercube(threads: usize, events: usize) -> (Vec<Message>, ProgramState) {
     (msgs, initial)
 }
 
+/// A deliberately unbalanced computation: thread 0 emits `heavy` writes
+/// while every other thread emits exactly one. Level widths swing hard
+/// (wide in the middle where thread 0's chain crosses the others, narrow
+/// at the ends), so with chunked work-stealing some workers exhaust their
+/// fair share and steal the tail — exactly the schedule the determinism
+/// argument has to survive.
+fn skewed(threads: usize, heavy: usize) -> (Vec<Message>, ProgramState) {
+    let mut instr = MvcInstrumentor::new(threads, Relevance::AllWrites);
+    let mut msgs = Vec::new();
+    for t in 1..threads {
+        let e = Event::write(ThreadId(t as u32), VarId(t as u32), t as i64);
+        msgs.extend(instr.process(&e));
+    }
+    for round in 0..heavy {
+        let e = Event::write(ThreadId(0), VarId(0), round as i64);
+        msgs.extend(instr.process(&e));
+    }
+    let mut initial = ProgramState::new();
+    for v in 0..threads {
+        initial.set(VarId(v as u32), 0i64);
+    }
+    (msgs, initial)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -142,6 +166,132 @@ proptest! {
             prop_assert_eq!(seq.violating_runs, par.violating_runs);
             prop_assert_eq!(seq.exactness, par.exactness);
             prop_assert_eq!(seq.violations.len(), par.violations.len());
+        }
+    }
+
+    /// Work-stealing determinism: on skewed workloads (thread 0 much
+    /// heavier than the rest) the persistent pool's steal schedule varies
+    /// run to run, but the report must stay bit-identical at every worker
+    /// count — including counts far above the host's cores.
+    #[test]
+    fn work_stealing_is_bit_identical_across_worker_counts(
+        seed in 0u64..500,
+        heavy in 6usize..12,
+    ) {
+        let (skew_msgs, skew_initial) = skewed(4, heavy);
+        let ex = random_execution(RandomExecutionConfig {
+            threads: 5,
+            vars: 4,
+            events: 28,
+            write_ratio: 0.9,
+            internal_ratio: 0.0,
+            seed,
+        });
+        let rand_msgs = ex.instrument(Relevance::AllWrites);
+        let rand_initial = ProgramState::new();
+
+        for spec in SPECS {
+            let monitor = monitor_for(spec);
+            for (threads, msgs, initial) in [
+                (4usize, &skew_msgs, &skew_initial),
+                (5, &rand_msgs, &rand_initial),
+            ] {
+                let reference = stream(
+                    &monitor,
+                    initial,
+                    threads,
+                    msgs,
+                    &AnalysisConfig::default().with_parallelism(1),
+                );
+                for workers in [3usize, 7, 16] {
+                    let got = stream(
+                        &monitor,
+                        initial,
+                        threads,
+                        msgs,
+                        &AnalysisConfig::default().with_parallelism(workers),
+                    );
+                    prop_assert_eq!(
+                        fingerprint(&reference),
+                        fingerprint(&got),
+                        "seed {} heavy {} spec `{}` workers {}",
+                        seed,
+                        heavy,
+                        spec,
+                        workers
+                    );
+                }
+            }
+        }
+    }
+
+    /// The monitor step cache is purely physical: reports (and hence
+    /// verdicts, violation lists and exactness) are bit-identical with the
+    /// cache on and off, sequentially and under parallel expansion.
+    #[test]
+    fn eval_cache_is_unobservable_in_reports(seed in 0u64..500) {
+        let ex = random_execution(RandomExecutionConfig {
+            threads: 4,
+            vars: 4,
+            events: 24,
+            write_ratio: 0.8,
+            internal_ratio: 0.0,
+            seed,
+        });
+        let msgs = ex.instrument(Relevance::AllWrites);
+        let initial = ProgramState::new();
+
+        for spec in SPECS {
+            let monitor = monitor_for(spec);
+            let cached = stream(
+                &monitor,
+                &initial,
+                4,
+                &msgs,
+                &AnalysisConfig::default().with_eval_cache(true),
+            );
+            let uncached = stream(
+                &monitor,
+                &initial,
+                4,
+                &msgs,
+                &AnalysisConfig::default().with_eval_cache(false),
+            );
+            prop_assert_eq!(
+                fingerprint(&cached),
+                fingerprint(&uncached),
+                "seed {} spec `{}` (sequential)",
+                seed,
+                spec
+            );
+            let parallel_cached = stream(
+                &monitor,
+                &initial,
+                4,
+                &msgs,
+                &AnalysisConfig::default().with_parallelism(7).with_eval_cache(true),
+            );
+            let parallel_uncached = stream(
+                &monitor,
+                &initial,
+                4,
+                &msgs,
+                &AnalysisConfig::default().with_parallelism(7).with_eval_cache(false),
+            );
+            prop_assert_eq!(
+                fingerprint(&cached),
+                fingerprint(&parallel_cached),
+                "seed {} spec `{}` (parallel, cache on)",
+                seed,
+                spec
+            );
+            prop_assert_eq!(
+                fingerprint(&cached),
+                fingerprint(&parallel_uncached),
+                "seed {} spec `{}` (parallel, cache off)",
+                seed,
+                spec
+            );
         }
     }
 }
@@ -243,6 +393,43 @@ fn parallel_telemetry_reports_engagement() {
 
     // And engagement is unobservable in the report itself.
     assert_eq!(fingerprint(&sequential_report), fingerprint(&parallel_report));
+}
+
+/// Step-cache accounting: physical evaluations plus cache hits must equal
+/// the cache-off evaluation count exactly (every monitor step is one or
+/// the other), the report must not change, and on a valuation-dense
+/// workload the cache must absorb at least half the physical evals.
+#[test]
+fn eval_cache_moves_physical_evals_into_hits() {
+    let (msgs, initial) = hypercube(4, 3);
+    let run = |eval_cache: bool| {
+        let registry = jmpax_telemetry::Registry::enabled();
+        let monitor = monitor_for("[*] v0 >= 0").with_telemetry(&registry);
+        let mut s = StreamingAnalyzer::with_telemetry(monitor, &initial, 4, &registry)
+            .with_config(&AnalysisConfig::default().with_eval_cache(eval_cache));
+        s.push_all(msgs.clone());
+        let report = s.finish();
+        let snap = registry.snapshot();
+        (
+            fingerprint(&report),
+            snap.counter("spec.formula_evals").unwrap_or(0),
+            snap.counter("spec.eval_cache_hits").unwrap_or(0),
+        )
+    };
+    let (fp_on, evals_on, hits_on) = run(true);
+    let (fp_off, evals_off, hits_off) = run(false);
+    assert_eq!(fp_on, fp_off, "cache changed the report");
+    assert_eq!(hits_off, 0, "cache off must never record a hit");
+    assert!(hits_on > 0, "cache on must hit on a hypercube");
+    assert_eq!(
+        evals_on + hits_on,
+        evals_off,
+        "every step is either a physical eval or a hit"
+    );
+    assert!(
+        evals_off >= 2 * evals_on,
+        "cache must absorb at least half the physical evals ({evals_on} vs {evals_off})"
+    );
 }
 
 /// Frontier-cap pruning composes with sharding: the beam search keeps

@@ -36,13 +36,8 @@ pub use live::LiveObserver;
 pub use liveness::{check_lasso, find_lassos, Lasso, Ltl};
 pub use observer::{Observer, Verdict};
 pub use pipeline::{
-    check_compact_frames, check_frames, check_frames_resilient, ObservabilityReport, Pipeline,
-    PipelineConfig, PipelineError, PipelineOutcome, PipelineReport, ResilienceSummary,
-};
-#[allow(deprecated)]
-pub use pipeline::{
-    check_execution, check_execution_with_observability, check_execution_with_telemetry,
-    check_run_outcome,
+    check_compact_frames, check_frames, check_frames_resilient, Pipeline, PipelineConfig,
+    PipelineError, PipelineOutcome, PipelineReport, ResilienceSummary,
 };
 pub use races::{detect_races, Race, RaceDetector};
 pub use serve::{

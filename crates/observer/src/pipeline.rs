@@ -11,14 +11,17 @@
 //! [`Pipeline::new`]`(`[`PipelineConfig`]`)` is the single entrypoint; the
 //! config carries the optional telemetry [`Registry`], the optional
 //! [`Tracer`], and the [`AnalysisConfig`] knobs (parallelism, frontier
-//! cap, counterexample budget). The former `check_execution` /
-//! `check_execution_with_telemetry` / `check_execution_with_observability`
-//! trio survives as deprecated wrappers that delegate here.
+//! cap, counterexample budget). When parallelism is enabled, the pipeline
+//! owns one persistent [`ExpansionPool`] shared by every analysis it runs —
+//! workers are spawned on first use and parked between levels and between
+//! calls, so repeated checks (e.g. `jmpax serve` tenant sessions) never pay
+//! thread-spawn cost again.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use jmpax_core::{Execution, Message, Relevance, SymbolTable};
-use jmpax_lattice::{AnalysisConfig, StreamReport, StreamingAnalyzer};
+use jmpax_lattice::{AnalysisConfig, ExpansionPool, StreamReport, StreamingAnalyzer};
 use jmpax_spec::{parse, Monitor, ParseError, ProgramState};
 use jmpax_telemetry::Registry;
 use jmpax_trace::{TraceKind, TraceRing, Tracer};
@@ -184,13 +187,33 @@ pub struct PipelineOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct Pipeline {
     config: PipelineConfig,
+    /// The persistent expansion pool, created lazily on the first parallel
+    /// analysis and shared (via `Arc`) by every subsequent one — including
+    /// clones of this pipeline, which reuse the same workers.
+    pool: OnceLock<Arc<ExpansionPool>>,
 }
 
 impl Pipeline {
     /// Creates a pipeline with `config`.
     #[must_use]
     pub fn new(config: PipelineConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            pool: OnceLock::new(),
+        }
+    }
+
+    /// The shared worker pool when parallelism is configured (`None` for
+    /// sequential configs). First call spawns the workers; they park on an
+    /// empty channel until a level is dispatched.
+    fn shared_pool(&self) -> Option<Arc<ExpansionPool>> {
+        let workers = self.config.analysis.workers();
+        (workers > 1).then(|| {
+            Arc::clone(
+                self.pool
+                    .get_or_init(|| Arc::new(ExpansionPool::new(workers))),
+            )
+        })
     }
 
     /// Runs the full pipeline over a recorded multithreaded execution.
@@ -269,6 +292,9 @@ impl Pipeline {
                 )
                 .with_config(&self.config.analysis)
                 .with_trace(tracer);
+                if let Some(pool) = self.shared_pool() {
+                    analyzer = analyzer.with_pool(pool);
+                }
                 analyzer.push_all(messages.iter().cloned());
                 let report = analyzer.finish();
                 ring.record_span(TraceKind::Stage { name: "streaming" }, stream_start);
@@ -323,6 +349,9 @@ impl Pipeline {
         if let Some(tracer) = &self.config.tracer {
             analyzer = analyzer.with_trace(tracer);
         }
+        if let Some(pool) = self.shared_pool() {
+            analyzer = analyzer.with_pool(pool);
+        }
         analyzer.push_all(messages);
         let report = analyzer.finish();
         if report.satisfied() {
@@ -332,80 +361,6 @@ impl Pipeline {
         }
         report
     }
-}
-
-/// Runs the full pipeline over a recorded multithreaded execution.
-#[deprecated(note = "use Pipeline::new(PipelineConfig::new()).check_execution(..)")]
-pub fn check_execution(
-    execution: &Execution,
-    spec_src: &str,
-    symbols: &mut SymbolTable,
-) -> Result<PipelineReport, PipelineError> {
-    Pipeline::new(PipelineConfig::new())
-        .check_execution(execution, spec_src, symbols)
-        .map(|o| o.report)
-}
-
-/// `check_execution` with pipeline telemetry reported into `registry`.
-#[deprecated(
-    note = "use Pipeline::new(PipelineConfig::new().telemetry(registry)).check_execution(..)"
-)]
-pub fn check_execution_with_telemetry(
-    execution: &Execution,
-    spec_src: &str,
-    symbols: &mut SymbolTable,
-    registry: &Registry,
-) -> Result<PipelineReport, PipelineError> {
-    Pipeline::new(PipelineConfig::new().telemetry(registry))
-        .check_execution(execution, spec_src, symbols)
-        .map(|o| o.report)
-}
-
-/// What [`check_execution_with_observability`] produces: the usual pipeline
-/// verdict plus the report of the traced level-by-level streaming pass run
-/// over the same message stream (that pass is what populates the `lattice`
-/// trace lane with per-level records).
-#[derive(Clone, Debug)]
-pub struct ObservabilityReport {
-    /// The end-to-end verdict, exactly as [`Pipeline::check_execution`]
-    /// computes it.
-    pub pipeline: PipelineReport,
-    /// The streaming analyzer's view of the same computation.
-    pub stream: StreamReport,
-}
-
-/// `check_execution_with_telemetry` plus structured tracing and the traced
-/// streaming pass.
-#[deprecated(
-    note = "use Pipeline::new(PipelineConfig::new().telemetry(registry).tracer(tracer)).check_execution(..)"
-)]
-pub fn check_execution_with_observability(
-    execution: &Execution,
-    spec_src: &str,
-    symbols: &mut SymbolTable,
-    registry: &Registry,
-    tracer: &Tracer,
-) -> Result<ObservabilityReport, PipelineError> {
-    let outcome = Pipeline::new(PipelineConfig::new().telemetry(registry).tracer(tracer))
-        .check_execution(execution, spec_src, symbols)?;
-    Ok(ObservabilityReport {
-        pipeline: outcome.report,
-        stream: outcome
-            .stream
-            .expect("a configured tracer always runs the streaming pass"),
-    })
-}
-
-/// Runs the pipeline over an interpreter outcome (`jmpax-sched`).
-#[deprecated(note = "use Pipeline::new(PipelineConfig::new()).check_execution(..)")]
-pub fn check_run_outcome(
-    outcome_execution: &Execution,
-    spec_src: &str,
-    symbols: &mut SymbolTable,
-) -> Result<PipelineReport, PipelineError> {
-    Pipeline::new(PipelineConfig::new())
-        .check_execution(outcome_execution, spec_src, symbols)
-        .map(|o| o.report)
 }
 
 /// Runs the observer side only, over an encoded frame stream (the bytes a
@@ -693,45 +648,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_entrypoints_delegate_to_pipeline() {
-        let mut syms = SymbolTable::new();
-        let ex = example2(&mut syms);
-        let spec = "(x > 0) -> [y = 0, y > z)";
-        let via_fn = check_execution(&ex, spec, &mut syms).unwrap();
-        let mut syms2 = SymbolTable::new();
-        let ex2 = example2(&mut syms2);
-        let via_pipeline = Pipeline::new(PipelineConfig::new())
-            .check_execution(&ex2, spec, &mut syms2)
-            .unwrap()
-            .report;
-        assert_eq!(
-            via_fn.verdict.analysis().violating_runs,
-            via_pipeline.verdict.analysis().violating_runs
-        );
-        assert_eq!(via_fn.messages, via_pipeline.messages);
-
-        let registry = Registry::disabled();
-        let tracer = jmpax_trace::Tracer::default();
-        let mut syms3 = SymbolTable::new();
-        let ex3 = example2(&mut syms3);
-        let obs = check_execution_with_observability(&ex3, spec, &mut syms3, &registry, &tracer)
-            .unwrap();
-        assert_eq!(obs.pipeline.verdict.analysis().violating_runs, 1);
-        assert_eq!(obs.stream.violations.len(), 1);
-
-        let mut syms4 = SymbolTable::new();
-        let ex4 = example2(&mut syms4);
-        let tel = check_execution_with_telemetry(&ex4, spec, &mut syms4, &registry).unwrap();
-        assert_eq!(tel.verdict.analysis().violating_runs, 1);
-
-        let mut syms5 = SymbolTable::new();
-        let ex5 = example2(&mut syms5);
-        let ro = check_run_outcome(&ex5, spec, &mut syms5).unwrap();
-        assert_eq!(ro.verdict.analysis().violating_runs, 1);
-    }
-
-    #[test]
     fn parallel_pipeline_matches_sequential_bit_for_bit() {
         let mut syms = SymbolTable::new();
         let ex = example2(&mut syms);
@@ -754,6 +670,30 @@ mod tests {
         assert_eq!(seq.verdict.analysis().states, par.verdict.analysis().states);
         assert_eq!(seq.messages, par.messages);
         assert_eq!(seq.observed_violation, par.observed_violation);
+    }
+
+    #[test]
+    fn parallel_pipeline_reuses_one_pool_across_calls() {
+        // A parallel pipeline spawns its expansion pool lazily and keeps it
+        // across check_execution calls; every call must produce the same
+        // verdict (the tracer forces the streaming pass, which is the path
+        // that dispatches to the pool).
+        let tracer = jmpax_trace::Tracer::enabled();
+        let pipeline = Pipeline::new(
+            PipelineConfig::new()
+                .tracer(&tracer)
+                .analysis(AnalysisConfig::default().with_parallelism(4).with_shard_granularity(1)),
+        );
+        let spec = "(x > 0) -> [y = 0, y > z)";
+        for _ in 0..3 {
+            let mut syms = SymbolTable::new();
+            let ex = example2(&mut syms);
+            let outcome = pipeline.check_execution(&ex, spec, &mut syms).unwrap();
+            assert!(outcome.report.predicted());
+            let stream = outcome.stream.expect("tracer configured");
+            assert!(stream.completed);
+            assert_eq!(stream.violations.len(), 1);
+        }
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub mod state;
 
 pub use ast::{Atom, BinOp, CmpOp, Expr, Formula};
 pub use eval::eval_at;
-pub use monitor::{Monitor, MonitorState};
+pub use monitor::{Monitor, MonitorState, StepCache};
 pub use parser::{parse, ParseError};
 pub use state::ProgramState;

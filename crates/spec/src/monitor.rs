@@ -25,6 +25,7 @@
 //! and at the initial state (`n = 0`): `@F = F`, `[*]F = F`, `<*>F = F`,
 //! `F S G = G`, `F Sw G = G ∨ F`, `[P,Q) = P ∧ ¬Q`, `start = end = false`.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -90,13 +91,20 @@ impl fmt::Display for MonitorState {
 
 type NodeId = u16;
 
+/// Scratch capacity kept on the stack during evaluation; formulas with more
+/// arena nodes fall back to a heap buffer (one allocation per evaluation,
+/// exactly the old behavior).
+const STACK_NODES: usize = 64;
+
 /// A flattened formula node. Children always have smaller ids, so a single
 /// forward pass over the arena evaluates the formula bottom-up.
+/// `Atom` carries its *valuation slot*: the bit position this atom occupies
+/// in the packed atom valuation that keys the step cache.
 #[derive(Clone, Debug)]
 enum Node {
     True,
     False,
-    Atom(Atom),
+    Atom(Atom, u16),
     Not(NodeId),
     And(NodeId, NodeId),
     Or(NodeId, NodeId),
@@ -117,6 +125,10 @@ pub struct Monitor {
     nodes: Vec<Node>,
     root: NodeId,
     bits: usize,
+    /// Arena ids of every `Node::Atom`, indexed by valuation slot. The step
+    /// cache keys on the packed truth values of these atoms, so it is only
+    /// usable when they fit a `u64` (see [`Monitor::valuation`]).
+    atoms: Vec<NodeId>,
     /// Counts full formula evaluations (`spec.formula_evals`); disabled
     /// unless attached via [`Monitor::with_telemetry`]. Clones share the
     /// counter, so every cut evaluated across the lattice is counted.
@@ -125,6 +137,10 @@ pub struct Monitor {
     /// unless attached via [`Monitor::with_telemetry`]. Shared across
     /// clones like `evals`, so parallel lattice workers pool samples.
     eval_ns: jmpax_telemetry::Histogram,
+    /// Counts step-cache hits (`spec.eval_cache_hits`); disabled unless
+    /// attached via [`Monitor::with_telemetry`]. Caches created by
+    /// [`Monitor::step_cache`] inherit this counter.
+    cache_hits: jmpax_telemetry::Counter,
 }
 
 impl Monitor {
@@ -136,12 +152,21 @@ impl Monitor {
         if bits > MAX_BITS {
             return Err(MonitorError::TooManyTemporalOperators { needed: bits });
         }
+        let mut atoms = Vec::new();
+        for (id, n) in nodes.iter_mut().enumerate() {
+            if let Node::Atom(_, slot) = n {
+                *slot = atoms.len() as u16;
+                atoms.push(id as NodeId);
+            }
+        }
         Ok(Self {
             nodes,
             root,
             bits,
+            atoms,
             evals: jmpax_telemetry::Counter::disabled(),
             eval_ns: jmpax_telemetry::Histogram::disabled(),
+            cache_hits: jmpax_telemetry::Counter::disabled(),
         })
     }
 
@@ -153,6 +178,7 @@ impl Monitor {
     pub fn with_telemetry(mut self, registry: &jmpax_telemetry::Registry) -> Self {
         self.evals = registry.counter("spec.formula_evals");
         self.eval_ns = registry.histogram("spec.stage.eval_ns");
+        self.cache_hits = registry.counter("spec.eval_cache_hits");
         self
     }
 
@@ -165,7 +191,7 @@ impl Monitor {
         let node = match f {
             Formula::True => Node::True,
             Formula::False => Node::False,
-            Formula::Atom(a) => Node::Atom(a.clone()),
+            Formula::Atom(a) => Node::Atom(a.clone(), 0), // slot patched by `compile`
             Formula::Not(x) => Node::Not(Self::lower(x, nodes, bits)),
             Formula::And(a, b) => {
                 let a = Self::lower(a, nodes, bits);
@@ -242,16 +268,90 @@ impl Monitor {
         self.run(Some(prev), state)
     }
 
+    /// A fresh [`StepCache`] wired to this monitor's `spec.eval_cache_hits`
+    /// counter. The cache memoizes [`Monitor::step_cached`] results per
+    /// `(memory, atom valuation)` pair; see [`StepCache`] for the contract.
+    #[must_use]
+    pub fn step_cache(&self) -> StepCache {
+        StepCache::with_counter(self.cache_hits.clone())
+    }
+
+    /// [`Monitor::step`] through a memo table: the verdict and next memory
+    /// are pure functions of `(prev, valuation(state))`, so distinct lattice
+    /// edges that agree on those collapse to one formula evaluation. Hits
+    /// count as `spec.eval_cache_hits` and do **not** count as
+    /// `spec.formula_evals`. Falls back to a plain [`Monitor::step`] when
+    /// the formula has more than 64 atoms.
+    #[must_use]
+    pub fn step_cached(
+        &self,
+        prev: MonitorState,
+        state: &ProgramState,
+        cache: &mut StepCache,
+    ) -> (MonitorState, bool) {
+        let Some(valuation) = self.valuation(state) else {
+            return self.step(prev, state);
+        };
+        let key = (prev.0, valuation);
+        if let Some(&result) = cache.map.get(&key) {
+            cache.hits.inc();
+            return result;
+        }
+        let result = self.run_valued(Some(prev), valuation);
+        cache.map.insert(key, result);
+        result
+    }
+
+    /// Packs the truth values of every atom in `state` into one `u64`, bit
+    /// `i` holding atom slot `i`. `None` when the formula has more than 64
+    /// atoms — such monitors simply bypass the step cache.
+    #[must_use]
+    pub fn valuation(&self, state: &ProgramState) -> Option<u64> {
+        if self.atoms.len() > 64 {
+            return None;
+        }
+        let mut packed = 0u64;
+        for (slot, &id) in self.atoms.iter().enumerate() {
+            let Node::Atom(a, _) = &self.nodes[id as usize] else {
+                unreachable!("atoms indexes only Node::Atom entries");
+            };
+            if state.eval_atom(a) {
+                packed |= 1 << slot;
+            }
+        }
+        Some(packed)
+    }
+
     fn run(&self, prev: Option<MonitorState>, state: &ProgramState) -> (MonitorState, bool) {
+        self.run_impl(prev, AtomInput::State(state))
+    }
+
+    fn run_valued(&self, prev: Option<MonitorState>, valuation: u64) -> (MonitorState, bool) {
+        self.run_impl(prev, AtomInput::Valuation(valuation))
+    }
+
+    fn run_impl(&self, prev: Option<MonitorState>, atoms: AtomInput<'_>) -> (MonitorState, bool) {
         self.evals.inc();
         let _span = self.eval_ns.start_span();
-        let mut now = vec![false; self.nodes.len()];
+        // Node values live on the stack for every realistic formula; the
+        // heap path only triggers past STACK_NODES arena nodes.
+        let mut stack_buf = [false; STACK_NODES];
+        let mut heap_buf;
+        let now: &mut [bool] = if self.nodes.len() <= STACK_NODES {
+            &mut stack_buf[..self.nodes.len()]
+        } else {
+            heap_buf = vec![false; self.nodes.len()];
+            &mut heap_buf
+        };
         let mut next = MonitorState::default();
         for (id, node) in self.nodes.iter().enumerate() {
             let value = match node {
                 Node::True => true,
                 Node::False => false,
-                Node::Atom(a) => state.eval_atom(a),
+                Node::Atom(a, slot) => match atoms {
+                    AtomInput::State(s) => s.eval_atom(a),
+                    AtomInput::Valuation(v) => (v >> slot) & 1 == 1,
+                },
                 Node::Not(x) => !now[*x as usize],
                 Node::And(a, b) => now[*a as usize] && now[*b as usize],
                 Node::Or(a, b) => now[*a as usize] || now[*b as usize],
@@ -358,6 +458,70 @@ impl Monitor {
     #[must_use]
     pub fn holds_over(&self, states: &[ProgramState]) -> bool {
         self.first_violation(states).is_none()
+    }
+}
+
+/// How [`Monitor::run_impl`] reads atom truth values: directly from a
+/// program state, or from a valuation already packed by
+/// [`Monitor::valuation`] (the step-cache miss path, which avoids
+/// re-evaluating atoms against the state map).
+#[derive(Clone, Copy)]
+enum AtomInput<'a> {
+    State(&'a ProgramState),
+    Valuation(u64),
+}
+
+/// A memo table for [`Monitor::step_cached`], keyed by
+/// `(monitor memory, packed atom valuation)`.
+///
+/// Stepping a monitor is a pure function of that pair, so the cache never
+/// changes results — it only collapses repeated evaluations. Frontier
+/// expansion repeats them constantly: every lattice node with in-degree
+/// `k` steps the same memories over the same state `k` times, and sibling
+/// nodes frequently share valuations. The cache is deliberately *external*
+/// to the monitor (no interior mutability, no locks): each analysis path
+/// owns one, scopes it — per level for the streaming analyzer, per shard
+/// for parallel expansion — and clears or drops it when done.
+#[derive(Debug, Default)]
+pub struct StepCache {
+    map: HashMap<(u64, u64), (MonitorState, bool)>,
+    hits: jmpax_telemetry::Counter,
+}
+
+impl StepCache {
+    /// An empty cache with hit counting disabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache whose hits increment `hits` (normally the monitor's
+    /// `spec.eval_cache_hits` counter — use [`Monitor::step_cache`]).
+    #[must_use]
+    pub fn with_counter(hits: jmpax_telemetry::Counter) -> Self {
+        Self {
+            map: HashMap::new(),
+            hits,
+        }
+    }
+
+    /// Drops every memoized transition, keeping the allocation and the hit
+    /// counter. Called at level seals so the table tracks the working set
+    /// instead of growing for the whole run.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of memoized `(memory, valuation)` transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been memoized since creation or `clear`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
