@@ -22,12 +22,19 @@ Multithreaded Programs', IPDPS/PADTAD 2004)
 
 USAGE:
     jmpax check --spec <FORMULA> --trace <FILE>
+                [--analysis <ltl,race,atomicity>] [--locks <name,...>]
                 [--dot <OUT>] [--streaming] [--history <N>]
                 [--frontier-cap <N>] [--parallel <N>]
-                [--telemetry <text|json>]
+                [--telemetry <text|json>] [--json]
         Check a safety property against EVERY interleaving consistent with
         the recorded trace. The trace is the text format of
         `jmpax gen` (one event per line, `init v = k` headers).
+        --analysis selects the checkers (default ltl): any comma list of
+        ltl, race, atomicity runs in ONE causal pass over the stream with
+        a per-analysis verdict section (exit 1 if any analysis fails;
+        --json emits the machine-readable report). race and atomicity
+        build their happens-before from program order plus the --locks
+        variables only; --spec is needed only when ltl is selected.
         --streaming uses the constant-memory two-level analyzer;
         --history N additionally retains N retired lattice levels so
         violations carry a trail of recent states; --frontier-cap N
@@ -65,6 +72,7 @@ USAGE:
         completes, regardless of the verdict.
 
     jmpax serve --spec <FORMULA> [--port <N>] [--metrics-port <N>]
+                [--analysis <ltl,race,atomicity>]
                 [--sessions <N>] [--max-concurrent <N>] [--queue <N>]
                 [--frontier-cap <N>] [--stall-budget <N>]
                 [--read-timeout-ms <N>] [--idle-timeout-ms <N>]
@@ -92,7 +100,10 @@ USAGE:
         gaps, transitions; ring size --flight-capacity, default 64) into
         the log and its final report. --sessions N shuts down after N
         session verdicts (default: serve until killed) and prints a
-        shutdown report; --json makes it machine-readable.
+        shutdown report; --json makes it machine-readable. --analysis
+        sets the checker suite for tenants that request none in their
+        handshake (default ltl); a handshake naming an unknown analysis
+        is rejected with a clean Error verdict.
 
     jmpax top --connect <HOST:PORT> [--interval-ms <N>] [--once] [--json]
         Watch a serve daemon's tenants live: poll /tenants on the
@@ -106,13 +117,15 @@ USAGE:
                 --connect <HOST:PORT> [--sessions <N>] [--seed <N>]
                 [--drop <RATE>] [--dup <RATE>] [--corrupt <RATE>]
                 [--reorder-window <N>] [--frontier-cap <N>]
-                [--tenant <PREFIX>]
+                [--tenant <PREFIX>] [--analysis <ltl,race,atomicity>]
         Drive a serve daemon: run the workload once, then replay its
         framed messages over N concurrent TCP sessions, each through an
         independently seeded fault injector (the per-session seed is
         derived from --seed, so any session replays identically on its
-        own), printing every tenant's verdict line. Exits 0 iff every
-        session received a verdict.
+        own), printing every tenant's verdict line. --analysis requests
+        those checkers in the handshake (the daemon rejects kinds it
+        does not recognize). Exits 0 iff every session received a
+        verdict.
 
     --telemetry <text|json> (check, demo)
         Collect pipeline metrics — instrumentation counters, MVC join and
@@ -138,9 +151,14 @@ USAGE:
         ephemeral port, printed to stderr). Exits 0 when the run
         completes, regardless of the verdict.
 
-    jmpax gen <landing|xyz|bank|bank-locked|dining|handoff|peterson> [--seed <N>]
+    jmpax gen <landing|xyz|bank|bank-locked|dining|handoff|peterson
+               |racy|racy-locked|nonatomic|nonatomic-locked> [--seed <N>]
         Print a trace of the chosen workload under a random schedule
-        (redirect to a file, then `jmpax check` it).
+        (redirect to a file, then `jmpax check` it). racy/nonatomic are
+        purpose-built inputs for `jmpax check --analysis race` and
+        `--analysis atomicity` (their -locked variants are the clean
+        controls; at seed 0, nonatomic uses the deterministic
+        interleaving that exhibits the bug).
 
     jmpax bench [--threads <N>] [--rounds <N>] [--period <N>]
                 [--workers <N|N,N,...>] [--repeat <N>] [--min-speedup <F>]
@@ -413,6 +431,24 @@ fn deadlocks(args: &Args, trace_source: Option<&str>) -> (i32, String) {
 }
 
 fn check(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, String) {
+    // `--analysis ltl,race,atomicity` selects the suite; a bare `ltl` (or
+    // no flag) keeps the original single-analysis paths byte-identical.
+    let kinds = match args.get("analysis") {
+        Some(list) => match jmpax_core::AnalysisKind::parse_list(list) {
+            Ok(kinds) => kinds,
+            Err(name) => {
+                return (
+                    2,
+                    format!("check: unknown analysis `{name}` (expected ltl, race, atomicity)\n"),
+                )
+            }
+        },
+        None => Vec::new(),
+    };
+    if !(kinds.is_empty() || kinds == [jmpax_core::AnalysisKind::Ltl]) {
+        return check_suite(args, &kinds, trace_source, registry);
+    }
+
     let mut out = String::new();
     let Some(spec) = args.get("spec") else {
         return (2, "check: missing --spec <FORMULA>\n".to_owned());
@@ -530,6 +566,86 @@ fn check(args: &Args, trace_source: Option<&str>, registry: &Registry) -> (i32, 
     (i32::from(report.predicted()), out)
 }
 
+/// The `--analysis` suite path of `jmpax check`: one causal delivery pass
+/// over the trace's instrumentation stream, fanned out to every selected
+/// analysis, with per-analysis verdict sections (text or `--json`).
+fn check_suite(
+    args: &Args,
+    kinds: &[jmpax_core::AnalysisKind],
+    trace_source: Option<&str>,
+    registry: &Registry,
+) -> (i32, String) {
+    use jmpax_core::AnalysisKind;
+
+    let Some(trace) = trace_source else {
+        return (2, "check: missing --trace <FILE>\n".to_owned());
+    };
+    let mut symbols = SymbolTable::new();
+    let execution = match trace_text::parse_trace(trace, &mut symbols) {
+        Ok(e) => e,
+        Err(e) => return (2, format!("check: {e}\n")),
+    };
+    let sync = match lock_vars(args, &symbols) {
+        Ok(s) => s,
+        Err(e) => return (2, format!("check: {e}\n")),
+    };
+    let ltl = if kinds.contains(&AnalysisKind::Ltl) {
+        let Some(spec) = args.get("spec") else {
+            return (
+                2,
+                "check: missing --spec <FORMULA> (the ltl analysis needs one)\n".to_owned(),
+            );
+        };
+        let formula = match parse(spec, &mut symbols) {
+            Ok(f) => f,
+            Err(e) => return (2, format!("check: {e}\n")),
+        };
+        match formula.monitor() {
+            Ok(m) => Some(m.with_telemetry(registry)),
+            Err(e) => return (2, format!("check: {e}\n")),
+        }
+    } else {
+        None
+    };
+
+    let parallel = args
+        .get("parallel")
+        .and_then(|n| n.parse::<usize>().ok())
+        .unwrap_or(1);
+    let frontier_cap = args
+        .get("frontier-cap")
+        .and_then(|h| h.parse::<usize>().ok())
+        .unwrap_or(0);
+
+    // Race and atomicity need every access, not just property writes.
+    let messages = execution.instrument_with_telemetry(Relevance::Everything, registry);
+    account_frames(&messages, registry);
+    let initial = ProgramState::from_map(execution.initial.clone());
+
+    let pipeline = Pipeline::new(
+        PipelineConfig::new()
+            .telemetry(registry)
+            .parallelism(parallel)
+            .frontier_cap(frontier_cap)
+            .analyses(kinds)
+            .sync_vars(sync.iter().copied()),
+    );
+    let suite = pipeline.check_stream_suite(
+        kinds,
+        ltl.map(|m| (m, &initial)),
+        execution.thread_count(),
+        jmpax_lattice::Exactness::Exact,
+        messages,
+    );
+
+    if args.get("json").is_some() {
+        let json = report::check_report_json(&suite, &symbols);
+        return (i32::from(!suite.satisfied()), format!("{json}\n"));
+    }
+    let out = report::check_suite_text(&suite, &symbols);
+    (i32::from(!suite.satisfied()), out)
+}
+
 fn workload_by_name(name: &str) -> Option<workloads::Workload> {
     match name {
         "landing" => Some(workloads::landing::workload()),
@@ -539,6 +655,10 @@ fn workload_by_name(name: &str) -> Option<workloads::Workload> {
         "dining" => Some(workloads::dining::workload(3, false)),
         "handoff" => Some(workloads::handoff::workload(2, true)),
         "peterson" => Some(workloads::peterson::workload()),
+        "racy" => Some(workloads::racy::workload(false)),
+        "racy-locked" => Some(workloads::racy::workload(true)),
+        "nonatomic" => Some(workloads::nonatomic::workload(false)),
+        "nonatomic-locked" => Some(workloads::nonatomic::workload(true)),
         _ => None,
     }
 }
@@ -754,6 +874,17 @@ fn serve(args: &Args, registry: &Registry) -> (i32, String) {
     let mut config = ServeConfig::new(spec);
     config.telemetry = registry.clone();
     config.shed = shed;
+    if let Some(list) = args.get("analysis") {
+        match jmpax_core::AnalysisKind::parse_list(list) {
+            Ok(kinds) => config.analyses = kinds,
+            Err(bad) => {
+                return (
+                    2,
+                    format!("serve: unknown analysis `{bad}` (expected ltl, race, atomicity)\n"),
+                )
+            }
+        }
+    }
     if let Some(n) = opt!(usize, "max-concurrent", "a session count") {
         config.max_sessions = n.max(1);
     }
@@ -885,6 +1016,19 @@ fn load(args: &Args) -> (i32, String) {
         Err(e) => return (2, format!("load: {e}\n")),
     };
     let prefix = args.get("tenant").filter(|s| !s.is_empty()).unwrap_or(name);
+    // `--analysis` rides in the handshake; empty means the daemon default.
+    let analyses: Vec<u8> = match args.get("analysis") {
+        Some(list) => match jmpax_core::AnalysisKind::parse_list(list) {
+            Ok(kinds) => kinds.iter().map(|k| k.code()).collect(),
+            Err(bad) => {
+                return (
+                    2,
+                    format!("load: unknown analysis `{bad}` (expected ltl, race, atomicity)\n"),
+                )
+            }
+        },
+        None => Vec::new(),
+    };
 
     let run = jmpax_sched::run_random(&w.program, 0, 1000);
     let mut spec_symbols = w.symbols.clone();
@@ -924,6 +1068,7 @@ fn load(args: &Args) -> (i32, String) {
             let addr = addr.to_string();
             let messages = messages.clone();
             let vars = vars.clone();
+            let analyses = analyses.clone();
             let tenant = format!("{prefix}-{session}");
             let chaos = root.for_session(session);
             std::thread::spawn(move || {
@@ -936,6 +1081,7 @@ fn load(args: &Args) -> (i32, String) {
                     tenant,
                     threads,
                     frontier_cap,
+                    analyses,
                     vars,
                 };
                 send_raw_session(addr.as_str(), &hello, &bytes)
@@ -1463,6 +1609,13 @@ fn gen(args: &Args) -> (i32, String) {
             workloads::landing::observed_success_schedule(),
             300,
         ),
+        // The interleaving that lands the unguarded write inside the
+        // transaction — so the atomicity bug is deterministic at seed 0.
+        "nonatomic" | "nonatomic-locked" if seed == 0 => jmpax_sched::run_fixed(
+            &w.program,
+            workloads::nonatomic::interleaved_schedule(),
+            100,
+        ),
         _ => jmpax_sched::run_random(&w.program, seed, 1000),
     };
     (0, trace_text::write_trace(&run.execution, &w.symbols))
@@ -1595,6 +1748,104 @@ T1 write x 1
             Some(&trace),
         );
         assert_eq!(code, 1, "{out}");
+    }
+
+    #[test]
+    fn check_analysis_race_round_trips() {
+        let (code, trace) = run_cli(&["gen", "racy"], None);
+        assert_eq!(code, 0);
+        let (code, out) = run_cli(&["check", "--analysis", "race"], Some(&trace));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("race on counter"), "{out}");
+        assert!(out.contains("verdict: predicted"), "{out}");
+
+        let (code, locked) = run_cli(&["gen", "racy-locked"], None);
+        assert_eq!(code, 0);
+        let (code, out) = run_cli(
+            &["check", "--analysis", "race", "--locks", "m"],
+            Some(&locked),
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("race: 0 races found"), "{out}");
+    }
+
+    #[test]
+    fn check_analysis_atomicity_round_trips() {
+        let (code, trace) = run_cli(&["gen", "nonatomic"], None);
+        assert_eq!(code, 0);
+        let (code, out) = run_cli(
+            &["check", "--analysis", "atomicity", "--locks", "m"],
+            Some(&trace),
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("non-atomic on balance"), "{out}");
+
+        let (code, guarded) = run_cli(&["gen", "nonatomic-locked"], None);
+        assert_eq!(code, 0);
+        let (code, out) = run_cli(
+            &["check", "--analysis", "atomicity", "--locks", "m"],
+            Some(&guarded),
+        );
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn check_analysis_suite_json_shape() {
+        let (code, trace) = run_cli(&["gen", "nonatomic"], None);
+        assert_eq!(code, 0);
+        let (code, out) = run_cli(
+            &[
+                "check",
+                "--analysis",
+                "ltl,race,atomicity",
+                "--locks",
+                "m",
+                "--spec",
+                "balance >= 0",
+                "--json",
+            ],
+            Some(&trace),
+        );
+        assert_eq!(code, 1, "{out}");
+        let v = jmpax_telemetry::json::parse(out.trim()).expect("valid JSON");
+        let check = v.get("check").expect("check key");
+        assert_eq!(
+            check.get("satisfied").and_then(|s| s.as_bool()),
+            Some(false)
+        );
+        let analyses = check.get("analyses").and_then(|a| a.as_array()).unwrap();
+        let names: Vec<_> = analyses
+            .iter()
+            .map(|a| a.get("name").and_then(|n| n.as_str()).unwrap().to_owned())
+            .collect();
+        assert_eq!(names, ["ltl", "race", "atomicity"], "{out}");
+        // The ltl analysis passes (balance never goes negative); the
+        // atomicity checker is what fails the suite.
+        assert_eq!(analyses[0].get("satisfied").and_then(|s| s.as_bool()), Some(true));
+        assert_eq!(analyses[2].get("satisfied").and_then(|s| s.as_bool()), Some(false));
+    }
+
+    #[test]
+    fn check_analysis_rejects_unknown_names_and_missing_spec() {
+        let (code, out) = run_cli(
+            &["check", "--analysis", "race,taint"],
+            Some("init x = 0\nT0 write x 1\n"),
+        );
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("unknown analysis `taint`"), "{out}");
+
+        // ltl in the selection needs a spec; race alone does not.
+        let (code, out) = run_cli(
+            &["check", "--analysis", "ltl,race"],
+            Some("init x = 0\nT0 write x 1\n"),
+        );
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("missing --spec"), "{out}");
+        let (code, out) = run_cli(
+            &["check", "--analysis", "race"],
+            Some("init x = 0\nT0 write x 1\n"),
+        );
+        assert_eq!(code, 0, "{out}");
     }
 
     const RACY_TRACE: &str = "\

@@ -9,8 +9,9 @@
 
 use std::fmt::Write as _;
 
+use jmpax_core::SymbolTable;
 use jmpax_instrument::ChaosStats;
-use jmpax_lattice::Exactness;
+use jmpax_lattice::{AnalysisReport, Exactness, SuiteReport};
 use jmpax_observer::{ResilienceSummary, ServeSummary};
 use jmpax_telemetry::json::write_string;
 use jmpax_telemetry::Snapshot;
@@ -112,6 +113,182 @@ pub fn serve_summary_text(summary: &ServeSummary) -> String {
     out
 }
 
+fn access_label(is_write: bool) -> &'static str {
+    if is_write {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+/// The human-readable `jmpax check --analysis …` report: one section per
+/// analysis in selection order, each with its verdict line and findings,
+/// then a shared confidence line when the pass was degraded.
+#[must_use]
+pub fn check_suite_text(suite: &SuiteReport, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    for report in &suite.reports {
+        match report {
+            AnalysisReport::Ltl(ltl) => {
+                let _ = writeln!(
+                    out,
+                    "ltl: {} states in {} levels",
+                    ltl.states_explored, ltl.levels_built
+                );
+                if ltl.satisfied() {
+                    let _ = writeln!(out, "  property satisfied on every run");
+                }
+                for v in &ltl.violations {
+                    let _ = writeln!(out, "  violation at cut {} in state {}", v.cut, v.state);
+                }
+            }
+            AnalysisReport::Race(race) => {
+                let _ = writeln!(
+                    out,
+                    "race: {} races found ({} accesses checked, {} lock transfers)",
+                    race.races_found, race.accesses_checked, race.sync_transfers
+                );
+                for f in &race.findings {
+                    let _ = writeln!(
+                        out,
+                        "  race on {}: T{} {} #{} vs T{} {} #{}",
+                        symbols.name_or_default(f.var),
+                        f.first.thread.0,
+                        access_label(f.first.is_write),
+                        f.first.index,
+                        f.second.thread.0,
+                        access_label(f.second.is_write),
+                        f.second.index,
+                    );
+                }
+            }
+            AnalysisReport::Atomicity(atom) => {
+                let _ = writeln!(
+                    out,
+                    "atomicity: {} violations found ({} transactions, {} accesses checked)",
+                    atom.violations_found, atom.transactions, atom.accesses_checked
+                );
+                for f in &atom.findings {
+                    let _ = writeln!(
+                        out,
+                        "  non-atomic on {}: T{} block #{}..#{} interleaved by T{} at #{}",
+                        symbols.name_or_default(f.var),
+                        f.thread.0,
+                        f.first,
+                        f.second,
+                        f.other.0,
+                        f.interleaved,
+                    );
+                }
+            }
+        }
+    }
+    let exactness = suite.exactness();
+    if !exactness.is_exact() {
+        let _ = writeln!(out, "confidence: {exactness}");
+    }
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if suite.satisfied() {
+            "satisfied"
+        } else {
+            "predicted"
+        }
+    );
+    out
+}
+
+/// The `jmpax check --analysis … --json` report: one object under a
+/// top-level `"check"` key with a per-analysis `"analyses"` array in
+/// selection order. Consumed by the CI analysis-matrix gate — its shape
+/// is load-bearing.
+#[must_use]
+pub fn check_report_json(suite: &SuiteReport, symbols: &SymbolTable) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"check\":{{\"satisfied\":{},\"exactness\":",
+        suite.satisfied()
+    );
+    write_string(&mut out, &suite.exactness().to_string());
+    out.push_str(",\"analyses\":[");
+    for (i, report) in suite.reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_string(&mut out, report.kind().name());
+        let _ = write!(
+            out,
+            ",\"satisfied\":{},\"findings\":{},\"exactness\":",
+            report.satisfied(),
+            report.findings()
+        );
+        write_string(&mut out, &report.exactness().to_string());
+        match report {
+            AnalysisReport::Ltl(ltl) => {
+                let _ = write!(
+                    out,
+                    ",\"states_explored\":{},\"levels_built\":{},\"violations\":{}",
+                    ltl.states_explored,
+                    ltl.levels_built,
+                    ltl.violations.len()
+                );
+            }
+            AnalysisReport::Race(race) => {
+                let _ = write!(
+                    out,
+                    ",\"accesses_checked\":{},\"sync_transfers\":{},\"races\":[",
+                    race.accesses_checked, race.sync_transfers
+                );
+                for (j, f) in race.findings.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"var\":");
+                    write_string(&mut out, &symbols.name_or_default(f.var));
+                    let _ = write!(
+                        out,
+                        ",\"first\":{{\"thread\":{},\"index\":{},\"write\":{}}},\
+                         \"second\":{{\"thread\":{},\"index\":{},\"write\":{}}}}}",
+                        f.first.thread.0,
+                        f.first.index,
+                        f.first.is_write,
+                        f.second.thread.0,
+                        f.second.index,
+                        f.second.is_write,
+                    );
+                }
+                out.push(']');
+            }
+            AnalysisReport::Atomicity(atom) => {
+                let _ = write!(
+                    out,
+                    ",\"transactions\":{},\"accesses_checked\":{},\"violations\":[",
+                    atom.transactions, atom.accesses_checked
+                );
+                for (j, f) in atom.findings.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"var\":");
+                    write_string(&mut out, &symbols.name_or_default(f.var));
+                    let _ = write!(
+                        out,
+                        ",\"thread\":{},\"other\":{},\"first\":{},\"interleaved\":{},\"second\":{}}}",
+                        f.thread.0, f.other.0, f.first, f.interleaved, f.second
+                    );
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
 /// The `/trace` endpoint / `jmpax trace` status document: per-lane event
 /// counts and drops, total flow edges (happens-before plus transport,
 /// matching the Chrome export), and the per-level lattice profile.
@@ -178,13 +355,13 @@ mod tests {
 
     #[test]
     fn serve_report_json_shape_and_escaping() {
-        use jmpax_observer::{TenantOutcome, TenantVerdict};
+        use jmpax_observer::{TenantOutcome, ExactnessVerdict};
         let summary = ServeSummary {
             outcomes: vec![
                 TenantOutcome {
                     tenant: "ok-tenant".to_string(),
                     session: 0,
-                    verdict: TenantVerdict::Exact,
+                    verdict: ExactnessVerdict::Exact,
                     satisfied: true,
                     violations: 0,
                     frames_ok: 12,
@@ -192,13 +369,14 @@ mod tests {
                     evicted: false,
                     shed_chunks: 0,
                     gaps_skipped: 0,
+                    analyses: Vec::new(),
                     flight: Vec::new(),
                     flight_dropped: 0,
                 },
                 TenantOutcome {
                     tenant: "weird \"name\"".to_string(),
                     session: 1,
-                    verdict: TenantVerdict::Error("worker died".to_string()),
+                    verdict: ExactnessVerdict::Error("worker died".to_string()),
                     satisfied: false,
                     violations: 0,
                     frames_ok: 3,
@@ -206,6 +384,7 @@ mod tests {
                     evicted: true,
                     shed_chunks: 2,
                     gaps_skipped: 0,
+                    analyses: Vec::new(),
                     flight: Vec::new(),
                     flight_dropped: 0,
                 },

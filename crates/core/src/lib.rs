@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod analysis;
 pub mod clock;
 pub mod compact;
 pub mod event;
@@ -61,6 +62,7 @@ pub mod symbols;
 pub mod trace;
 
 pub use algorithm::MvcInstrumentor;
+pub use analysis::AnalysisKind;
 pub use clock::VectorClock;
 pub use compact::CountVec;
 pub use event::{Event, EventKind, ThreadId, Value, VarId};

@@ -7,7 +7,7 @@ use jmpax_telemetry::{Counter, Registry};
 use jmpax_trace::{TraceKind, TraceRing, Tracer};
 use parking_lot::Mutex;
 
-use jmpax_core::{Event, Message, Relevance, SymbolTable, ThreadId, VarId, VectorClock};
+use jmpax_core::{AnalysisKind, Event, Message, Relevance, SymbolTable, ThreadId, VarId, VectorClock};
 
 use crate::shared::Shared;
 use crate::sink::{EventSink, VecSink};
@@ -32,6 +32,9 @@ pub(crate) struct SessionInner {
     /// Hands out one per-thread trace lane (`T1`, `T2`, …) at registration;
     /// disabled by default, so untraced sessions never touch a clock.
     tracer: Tracer,
+    /// Analyses this session's observer is asked to run, in run order.
+    /// Empty requests the observer's default selection.
+    analyses: Vec<AnalysisKind>,
 }
 
 impl SessionInner {
@@ -84,6 +87,7 @@ impl Session {
         logging: bool,
         registry: &Registry,
         tracer: &Tracer,
+        analyses: Vec<AnalysisKind>,
     ) -> Self {
         Self {
             inner: Arc::new(SessionInner {
@@ -98,6 +102,7 @@ impl Session {
                 tel_relevant: registry.counter("instrument.events_relevant"),
                 tel_emitted: registry.counter("instrument.messages_emitted"),
                 tracer: tracer.clone(),
+                analyses,
             }),
             vec_sink,
         }
@@ -120,6 +125,7 @@ impl Session {
             telemetry: Registry::disabled(),
             tracer: Tracer::disabled(),
             logging: false,
+            analyses: Vec::new(),
         }
     }
 
@@ -159,6 +165,20 @@ impl Session {
     #[must_use]
     pub fn symbols(&self) -> SymbolTable {
         self.inner.symbols.lock().clone()
+    }
+
+    /// The analyses this session asks its observer to run, in run order
+    /// ([`SessionBuilder::analyses`]). Empty means the observer's default.
+    #[must_use]
+    pub fn analyses(&self) -> &[AnalysisKind] {
+        &self.inner.analyses
+    }
+
+    /// The requested analyses as handshake wire codes — the value a
+    /// [`crate::tcp::SessionHello`] advertises in its `analyses` field.
+    #[must_use]
+    pub fn analysis_codes(&self) -> Vec<u8> {
+        self.inner.analyses.iter().map(|k| k.code()).collect()
     }
 
     /// Creates an instrumented shared variable.
@@ -275,6 +295,7 @@ pub struct SessionBuilder {
     telemetry: Registry,
     tracer: Tracer,
     logging: bool,
+    analyses: Vec<AnalysisKind>,
 }
 
 impl SessionBuilder {
@@ -312,6 +333,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Asks the observer to run these analyses, in this order, over the
+    /// session's stream. The request rides in the handshake
+    /// ([`crate::tcp::SessionHello::analyses`] via
+    /// [`Session::analysis_codes`]); an empty list — the default — lets
+    /// the observer pick its own selection.
+    #[must_use]
+    pub fn analyses(mut self, kinds: &[AnalysisKind]) -> Self {
+        self.analyses = kinds.to_vec();
+        self
+    }
+
     /// Builds the session.
     #[must_use]
     pub fn build(self) -> Session {
@@ -323,6 +355,7 @@ impl SessionBuilder {
                 self.logging,
                 &self.telemetry,
                 &self.tracer,
+                self.analyses,
             ),
             None => {
                 let vec_sink = VecSink::new();
@@ -333,6 +366,7 @@ impl SessionBuilder {
                     self.logging,
                     &self.telemetry,
                     &self.tracer,
+                    self.analyses,
                 )
             }
         }
@@ -632,6 +666,19 @@ mod tests {
             .build();
         s.register_thread().internal_event();
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn builder_advertises_requested_analyses() {
+        let s = Session::new(Relevance::AllWrites);
+        assert!(s.analyses().is_empty(), "default requests nothing");
+        assert!(s.analysis_codes().is_empty());
+
+        let s = Session::builder(Relevance::AllWrites)
+            .analyses(&[AnalysisKind::Race, AnalysisKind::Ltl])
+            .build();
+        assert_eq!(s.analyses(), &[AnalysisKind::Race, AnalysisKind::Ltl]);
+        assert_eq!(s.analysis_codes(), vec![1, 0], "wire codes in run order");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use jmpax_core::Message;
+use jmpax_core::{AnalysisKind, Message};
 
 /// Consumes the messages Algorithm A emits (step 4 of Fig. 2).
 pub trait EventSink: Send {
@@ -94,6 +94,9 @@ pub struct FrameSink {
     /// carried. Shared across clones (the sink itself is shared), so the
     /// ring sits behind a lock — a disabled ring skips it entirely.
     ring: Arc<Mutex<jmpax_trace::TraceRing>>,
+    /// Analyses the observer consuming these frames is asked to run
+    /// ([`FrameSinkBuilder::analyses`]); empty requests its default.
+    analyses: Vec<AnalysisKind>,
 }
 
 impl FrameSink {
@@ -115,6 +118,20 @@ impl FrameSink {
     pub fn take_bytes(&self) -> bytes::Bytes {
         std::mem::take(&mut *self.buffer.lock()).freeze()
     }
+
+    /// The analyses requested for the observer consuming these frames, in
+    /// run order ([`FrameSinkBuilder::analyses`]).
+    #[must_use]
+    pub fn analyses(&self) -> &[AnalysisKind] {
+        &self.analyses
+    }
+
+    /// The requested analyses as handshake wire codes — the value a
+    /// [`crate::tcp::SessionHello`] advertises in its `analyses` field.
+    #[must_use]
+    pub fn analysis_codes(&self) -> Vec<u8> {
+        self.analyses.iter().map(|k| k.code()).collect()
+    }
 }
 
 /// Configures a [`FrameSink`] — obtained from [`FrameSink::builder`].
@@ -123,6 +140,7 @@ pub struct FrameSinkBuilder {
     telemetry: jmpax_telemetry::Registry,
     tracer: Option<jmpax_trace::Tracer>,
     tenant: Option<String>,
+    analyses: Vec<AnalysisKind>,
 }
 
 impl FrameSinkBuilder {
@@ -149,6 +167,17 @@ impl FrameSinkBuilder {
     #[must_use]
     pub fn tracer(mut self, tracer: &jmpax_trace::Tracer) -> Self {
         self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Asks the observer consuming these frames to run these analyses, in
+    /// this order. The request rides in the handshake
+    /// ([`crate::tcp::SessionHello::analyses`] via
+    /// [`FrameSink::analysis_codes`]); an empty list — the default — lets
+    /// the observer pick its own selection.
+    #[must_use]
+    pub fn analyses(mut self, kinds: &[AnalysisKind]) -> Self {
+        self.analyses = kinds.to_vec();
         self
     }
 
@@ -180,6 +209,7 @@ impl FrameSinkBuilder {
                 Some(tracer) => Arc::new(Mutex::new(tracer.ring("wire"))),
                 None => Arc::default(),
             },
+            analyses: self.analyses,
         }
     }
 }
@@ -470,6 +500,18 @@ mod tests {
             snapshot.counter_with("instrument.bytes_encoded", &[("tenant", "t42")]),
             snapshot.counter("instrument.bytes_encoded"),
         );
+    }
+
+    #[test]
+    fn frame_sink_builder_advertises_requested_analyses() {
+        let sink = FrameSink::new();
+        assert!(sink.analyses().is_empty(), "default requests nothing");
+
+        let sink = FrameSink::builder()
+            .analyses(&[AnalysisKind::Ltl, AnalysisKind::Atomicity])
+            .build();
+        assert_eq!(sink.analyses(), &[AnalysisKind::Ltl, AnalysisKind::Atomicity]);
+        assert_eq!(sink.analysis_codes(), vec![0, 2], "wire codes in run order");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! hello   := "JSV1" tenant_len:u16le tenant threads:u32le cap:u32le
-//!            nvars:u16le var*
+//!            nanalyses:u8 analysis* nvars:u16le var*
+//! analysis:= code:u8                               (jmpax_core::AnalysisKind)
 //! var     := name_len:u16le name value
 //! value   := 0:u8 v:i64le | 1:u8 b:u8 | 2:u8      (int / bool / unit)
 //! stream  := v2 frames (magic + version + len + crc + payload)*
@@ -45,6 +46,9 @@ pub const MAX_VARS: usize = 1024;
 /// Most threads a single hello may declare.
 pub const MAX_THREADS: u32 = 1 << 16;
 
+/// Most analysis codes a single hello may request.
+pub const MAX_ANALYSES: usize = 8;
+
 /// What a client announces before streaming frames.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionHello {
@@ -55,6 +59,12 @@ pub struct SessionHello {
     /// Requested frontier cap; `0` accepts the server default. The server
     /// clamps the request to its own ceiling.
     pub frontier_cap: u32,
+    /// Requested analyses as raw [`jmpax_core::AnalysisKind`] wire codes,
+    /// in run order; empty requests the server's default (ptLTL only).
+    /// Codes are carried raw — not eagerly validated — so a daemon can
+    /// reject an unknown request with a clean `Error` verdict naming the
+    /// code instead of dropping the connection.
+    pub analyses: Vec<u8>,
     /// Shared variables in `VarId` order with their initial values.
     pub vars: Vec<(String, Value)>,
 }
@@ -69,6 +79,8 @@ impl SessionHello {
         out.extend_from_slice(self.tenant.as_bytes());
         out.put_u32_le(self.threads);
         out.put_u32_le(self.frontier_cap);
+        out.put_u8(self.analyses.len() as u8);
+        out.extend_from_slice(&self.analyses);
         out.put_u16_le(self.vars.len() as u16);
         for (name, value) in &self.vars {
             out.put_u16_le(name.len() as u16);
@@ -111,6 +123,14 @@ impl SessionHello {
             return Err(bad_hello("thread count out of bounds"));
         }
         let frontier_cap = read_u32(reader)?;
+        let mut nanalyses = [0u8; 1];
+        reader.read_exact(&mut nanalyses)?;
+        let nanalyses = nanalyses[0] as usize;
+        if nanalyses > MAX_ANALYSES {
+            return Err(bad_hello("too many analyses"));
+        }
+        let mut analyses = vec![0u8; nanalyses];
+        reader.read_exact(&mut analyses)?;
         let nvars = read_u16(reader)? as usize;
         if nvars > MAX_VARS {
             return Err(bad_hello("too many variables"));
@@ -144,6 +164,7 @@ impl SessionHello {
             tenant,
             threads,
             frontier_cap,
+            analyses,
             vars,
         })
     }
@@ -331,12 +352,37 @@ mod tests {
             tenant: "tenant-a".to_string(),
             threads: 3,
             frontier_cap: 64,
+            analyses: vec![0, 1, 2],
             vars: vec![
                 ("x".to_string(), Value::Int(0)),
                 ("flag".to_string(), Value::Bool(true)),
                 ("u".to_string(), Value::Unit),
             ],
         }
+    }
+
+    #[test]
+    fn hello_carries_unknown_analysis_codes_through() {
+        // Unknown codes must survive the round trip: rejection (by name,
+        // with a clean Error verdict) is the daemon's decision, not the
+        // codec's.
+        let hello = SessionHello {
+            analyses: vec![0, 200],
+            ..sample_hello()
+        };
+        let encoded = hello.encode();
+        let decoded = SessionHello::decode(&mut &encoded[..]).unwrap();
+        assert_eq!(decoded.analyses, vec![0, 200]);
+    }
+
+    #[test]
+    fn hello_rejects_too_many_analyses() {
+        let hello = SessionHello {
+            analyses: vec![0; MAX_ANALYSES + 1],
+            ..sample_hello()
+        };
+        let encoded = hello.encode();
+        assert!(SessionHello::decode(&mut &encoded[..]).is_err());
     }
 
     #[test]

@@ -1,0 +1,666 @@
+//! Pluggable online analyses over one instrumentation stream.
+//!
+//! The paper's Section 4 observer is analysis-agnostic: Algorithm A emits
+//! `⟨e, i, V⟩` messages, and *any* consumer that understands vector clocks
+//! can run over them. This module turns that claim into an API:
+//!
+//! * [`Analysis`] — the trait every online analysis implements. The driver
+//!   feeds each causally delivered event exactly once via
+//!   [`Analysis::on_event`]; [`Analysis::finish`] closes the analysis and
+//!   folds in the transport's [`Exactness`].
+//! * [`AnalysisSuite`] — the driver: one [`CausalBuffer`] delivery pass
+//!   fanning every delivered event out to an ordered set of analyses, so
+//!   N analyses cost one decode→reassemble→deliver pass, not N.
+//! * [`LtlLatticeAnalysis`] — the paper's predictive ptLTL lattice checker
+//!   ([`StreamingAnalyzer`]) behind the trait.
+//! * [`RaceAnalysis`] — happens-before data-race detection over the
+//!   synchronization-only causal order (see [`race`]).
+//! * [`AtomicityAnalysis`] — conflict-atomicity checking of lock-delimited
+//!   transaction blocks (see [`atomicity`]).
+//!
+//! ## Determinism
+//!
+//! Every analysis consumes the *causal delivery order* produced by
+//! [`CausalBuffer`], which depends only on the message set — never on
+//! worker count, eval-cache setting, or arrival jitter that causal
+//! reordering can absorb. Running `[ltl, race, atomicity]` together is
+//! therefore bit-identical, per analysis, to running each alone over the
+//! same stream (property-tested in `tests/multi_analysis_equiv.rs`).
+//!
+//! ## Exactness
+//!
+//! [`Analysis::finish`] receives the transport/delivery losses (skipped
+//! gaps, undeliverable messages); each analysis combines them with its own
+//! internal losses (e.g. frontier-cap pruning) so every report carries one
+//! uniform [`Exactness`] verdict.
+
+pub mod atomicity;
+pub mod race;
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use jmpax_core::{AnalysisKind, CausalBuffer, Event, EventKind, Message, VarId, VectorClock};
+use jmpax_spec::{Monitor, ProgramState};
+use jmpax_telemetry::Registry;
+use jmpax_trace::Tracer;
+
+use crate::builder::{StreamReport, StreamingAnalyzer};
+use crate::config::AnalysisConfig;
+use crate::parallel::ExpansionPool;
+use crate::reassemble::Exactness;
+
+pub use atomicity::{AtomicityAnalysis, AtomicityFinding, AtomicityReport};
+pub use race::{RaceAccess, RaceAnalysis, RaceFinding, RaceReport};
+
+/// One online analysis consuming the causally delivered `⟨e, i, V⟩`
+/// stream.
+///
+/// Implementations must be deterministic in the delivered event sequence:
+/// two runs over the same sequence must produce identical reports. The
+/// driver guarantees the sequence itself is worker-count independent, so
+/// this contract is what makes suite reports bit-identical at any
+/// parallelism (DESIGN.md §16).
+pub trait Analysis: Send {
+    /// Which analysis this is (names the report section and the
+    /// `analysis.<kind>.*` telemetry prefix).
+    fn kind(&self) -> AnalysisKind;
+
+    /// Consumes one causally delivered event and the emitting thread's
+    /// vector clock after that event (the message's `V_i`).
+    fn on_event(&mut self, event: &Event, clock: &VectorClock);
+
+    /// Notification that the lattice-building analysis in the same suite
+    /// sealed level `level`. Only fired when a lattice-building analysis
+    /// (today: ptLTL) runs in the suite; analyses must not let it affect
+    /// their report (trace/telemetry side effects only), or suite
+    /// composition would break per-analysis bit-identity.
+    fn on_level_sealed(&mut self, level: u64) {
+        let _ = level;
+    }
+
+    /// How many lattice levels this analysis has sealed so far. Only a
+    /// lattice-building analysis (ptLTL) reports nonzero; the suite polls
+    /// it to drive [`Analysis::on_level_sealed`] on its peers.
+    fn levels_sealed(&self) -> u64 {
+        0
+    }
+
+    /// Publishes the analysis's live counters gathered so far.
+    fn record(&self, registry: &Registry);
+
+    /// Closes the analysis. `transport` carries the delivery losses the
+    /// driver observed (reassembly gaps, undeliverable messages); the
+    /// report's exactness combines it with the analysis's own losses.
+    fn finish(self: Box<Self>, transport: Exactness) -> AnalysisReport;
+}
+
+/// The report of one completed analysis — the common enum behind every
+/// [`Analysis::finish`].
+#[derive(Clone, Debug)]
+pub enum AnalysisReport {
+    /// The ptLTL lattice checker's report.
+    Ltl(StreamReport),
+    /// The data-race detector's report.
+    Race(RaceReport),
+    /// The atomicity checker's report.
+    Atomicity(AtomicityReport),
+}
+
+impl AnalysisReport {
+    /// Which analysis produced this report.
+    #[must_use]
+    pub fn kind(&self) -> AnalysisKind {
+        match self {
+            AnalysisReport::Ltl(_) => AnalysisKind::Ltl,
+            AnalysisReport::Race(_) => AnalysisKind::Race,
+            AnalysisReport::Atomicity(_) => AnalysisKind::Atomicity,
+        }
+    }
+
+    /// True when the analysis found nothing wrong.
+    #[must_use]
+    pub fn satisfied(&self) -> bool {
+        match self {
+            AnalysisReport::Ltl(r) => r.satisfied(),
+            AnalysisReport::Race(r) => r.satisfied(),
+            AnalysisReport::Atomicity(r) => r.satisfied(),
+        }
+    }
+
+    /// Total findings (property violations, races, atomicity violations).
+    #[must_use]
+    pub fn findings(&self) -> u64 {
+        match self {
+            AnalysisReport::Ltl(r) => r.violations.len() as u64,
+            AnalysisReport::Race(r) => r.races_found,
+            AnalysisReport::Atomicity(r) => r.violations_found,
+        }
+    }
+
+    /// The report's exactness verdict.
+    #[must_use]
+    pub fn exactness(&self) -> Exactness {
+        match self {
+            AnalysisReport::Ltl(r) => r.exactness,
+            AnalysisReport::Race(r) => r.exactness,
+            AnalysisReport::Atomicity(r) => r.exactness,
+        }
+    }
+
+    /// The ptLTL report, when this is one.
+    #[must_use]
+    pub fn as_ltl(&self) -> Option<&StreamReport> {
+        match self {
+            AnalysisReport::Ltl(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The race report, when this is one.
+    #[must_use]
+    pub fn as_race(&self) -> Option<&RaceReport> {
+        match self {
+            AnalysisReport::Race(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The atomicity report, when this is one.
+    #[must_use]
+    pub fn as_atomicity(&self) -> Option<&AtomicityReport> {
+        match self {
+            AnalysisReport::Atomicity(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Publishes the report's statistics under both the legacy `lattice.*`
+    /// names (ptLTL only) and the uniform `analysis.<kind>.*` family.
+    pub fn record(&self, registry: &Registry) {
+        match self {
+            AnalysisReport::Ltl(r) => r.record(registry),
+            AnalysisReport::Race(r) => r.record(registry),
+            AnalysisReport::Atomicity(r) => r.record(registry),
+        }
+    }
+
+    /// Publishes only the uniform `analysis.<kind>.*` family. The suite
+    /// driver uses this at finish: a telemetered ptLTL analyzer has
+    /// already published its legacy `lattice.*` counters live, so
+    /// re-recording them here would double-count.
+    pub fn record_analysis(&self, registry: &Registry) {
+        match self {
+            AnalysisReport::Ltl(r) => r.record_analysis(registry),
+            AnalysisReport::Race(r) => r.record(registry),
+            AnalysisReport::Atomicity(r) => r.record(registry),
+        }
+    }
+}
+
+/// Reports of a whole suite run, in the suite's analysis order.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteReport {
+    /// One report per analysis, in configuration order.
+    pub reports: Vec<AnalysisReport>,
+}
+
+impl SuiteReport {
+    /// The report of the given analysis kind, if it ran.
+    #[must_use]
+    pub fn get(&self, kind: AnalysisKind) -> Option<&AnalysisReport> {
+        self.reports.iter().find(|r| r.kind() == kind)
+    }
+
+    /// True when every analysis found nothing wrong.
+    #[must_use]
+    pub fn satisfied(&self) -> bool {
+        self.reports.iter().all(AnalysisReport::satisfied)
+    }
+
+    /// The combined exactness across every report.
+    #[must_use]
+    pub fn exactness(&self) -> Exactness {
+        self.reports
+            .iter()
+            .fold(Exactness::Exact, |acc, r| acc.combine(r.exactness()))
+    }
+
+    /// Total findings across every report.
+    #[must_use]
+    pub fn findings(&self) -> u64 {
+        self.reports.iter().map(AnalysisReport::findings).sum()
+    }
+
+    /// Publishes every report's statistics.
+    pub fn record(&self, registry: &Registry) {
+        for r in &self.reports {
+            r.record(registry);
+        }
+    }
+}
+
+/// Drives an ordered set of [`Analysis`] implementations over one causal
+/// delivery pass.
+///
+/// Messages may arrive in any order; a [`CausalBuffer`] restores a causal
+/// delivery order and every delivered event is fanned out to every
+/// analysis, in configuration order. Messages whose causal predecessors
+/// never arrive are counted as skipped gaps and degrade every report.
+pub struct AnalysisSuite {
+    analyses: Vec<Box<dyn Analysis>>,
+    buffer: CausalBuffer,
+    /// Index of the lattice-building (ptLTL) analysis, for level-seal
+    /// fan-out.
+    ltl: Option<usize>,
+    levels_seen: u64,
+    registry: Registry,
+}
+
+impl std::fmt::Debug for AnalysisSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSuite")
+            .field("analyses", &self.analyses.iter().map(|a| a.kind()).collect::<Vec<_>>())
+            .field("pending", &self.buffer.pending_len())
+            .finish()
+    }
+}
+
+impl AnalysisSuite {
+    /// Builds a suite over the given analyses, in order.
+    #[must_use]
+    pub fn new(analyses: Vec<Box<dyn Analysis>>) -> Self {
+        let ltl = analyses.iter().position(|a| a.kind() == AnalysisKind::Ltl);
+        Self {
+            analyses,
+            buffer: CausalBuffer::new(),
+            ltl,
+            levels_seen: 0,
+            registry: Registry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry registry: per-analysis counters are published
+    /// when the suite finishes.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// The analyses in this suite, in order.
+    #[must_use]
+    pub fn kinds(&self) -> Vec<AnalysisKind> {
+        self.analyses.iter().map(|a| a.kind()).collect()
+    }
+
+    /// Offers one message (any arrival order); every event that becomes
+    /// causally deliverable is dispatched to every analysis.
+    pub fn push(&mut self, message: Message) {
+        for delivered in self.buffer.push(message) {
+            for a in &mut self.analyses {
+                a.on_event(&delivered.event, &delivered.clock);
+            }
+            self.fan_out_seals();
+        }
+    }
+
+    /// Offers many messages.
+    pub fn push_all(&mut self, messages: impl IntoIterator<Item = Message>) {
+        for m in messages {
+            self.push(m);
+        }
+    }
+
+    /// Propagates lattice level seals from the ptLTL analysis to every
+    /// other analysis in the suite.
+    fn fan_out_seals(&mut self) {
+        let Some(ltl) = self.ltl else { return };
+        let sealed = self.analyses[ltl].levels_sealed();
+        while self.levels_seen < sealed {
+            self.levels_seen += 1;
+            let level = self.levels_seen;
+            for a in &mut self.analyses {
+                a.on_level_sealed(level);
+            }
+        }
+    }
+
+    /// Closes every analysis. `transport` carries upstream losses (frame
+    /// corruption, reassembly gaps); messages still stuck in the causal
+    /// buffer — their predecessors never arrived — are added as skipped
+    /// gaps. Reports come back in configuration order.
+    #[must_use]
+    pub fn finish(mut self, transport: Exactness) -> SuiteReport {
+        let stranded = self.buffer.pending_len() as u64;
+        let exact = transport.combine(Exactness::degraded(0, stranded));
+        self.fan_out_seals();
+        let mut reports = Vec::with_capacity(self.analyses.len());
+        for a in self.analyses {
+            a.record(&self.registry);
+            let report = a.finish(exact);
+            report.record_analysis(&self.registry);
+            reports.push(report);
+        }
+        SuiteReport { reports }
+    }
+}
+
+/// Everything needed to *construct* analyses for a suite run: the ptLTL
+/// monitor and initial state (when LTL is requested), thread count, the
+/// synchronization variables race/atomicity analyses build their
+/// happens-before from, and the shared tuning/observability plumbing.
+#[derive(Debug)]
+pub struct SuiteBuilder {
+    kinds: Vec<AnalysisKind>,
+    threads: usize,
+    sync_vars: BTreeSet<VarId>,
+    config: AnalysisConfig,
+    registry: Registry,
+    tracer: Option<Tracer>,
+    pool: Option<Arc<ExpansionPool>>,
+}
+
+impl SuiteBuilder {
+    /// Starts a builder for the given analyses over `threads` threads.
+    /// An empty `kinds` list defaults to `[ltl]`.
+    #[must_use]
+    pub fn new(kinds: &[AnalysisKind], threads: usize) -> Self {
+        let kinds = if kinds.is_empty() {
+            vec![AnalysisKind::Ltl]
+        } else {
+            kinds.to_vec()
+        };
+        Self {
+            kinds,
+            threads,
+            sync_vars: BTreeSet::new(),
+            config: AnalysisConfig::default(),
+            registry: Registry::disabled(),
+            tracer: None,
+            pool: None,
+        }
+    }
+
+    /// Declares the synchronization (lock) variables whose writes carry
+    /// happens-before for the race and atomicity analyses.
+    #[must_use]
+    pub fn sync_vars(mut self, vars: impl IntoIterator<Item = VarId>) -> Self {
+        self.sync_vars = vars.into_iter().collect();
+        self
+    }
+
+    /// Applies the shared analysis tuning knobs.
+    #[must_use]
+    pub fn config(mut self, config: &AnalysisConfig) -> Self {
+        self.config = *config;
+        self
+    }
+
+    /// Attaches telemetry.
+    #[must_use]
+    pub fn telemetry(mut self, registry: &Registry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// Attaches causal tracing.
+    #[must_use]
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Shares a persistent expansion pool with the ptLTL analysis.
+    #[must_use]
+    pub fn pool(mut self, pool: Arc<ExpansionPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Builds the suite. `ltl` supplies the monitor and initial program
+    /// state; it is required iff [`AnalysisKind::Ltl`] is requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when LTL is requested without a monitor — the caller
+    /// validates analysis selections before building.
+    #[must_use]
+    pub fn build(self, ltl: Option<(Monitor, &ProgramState)>) -> AnalysisSuite {
+        let mut ltl = ltl;
+        let mut analyses: Vec<Box<dyn Analysis>> = Vec::with_capacity(self.kinds.len());
+        for kind in &self.kinds {
+            match kind {
+                AnalysisKind::Ltl => {
+                    let (monitor, initial) = ltl
+                        .take()
+                        .expect("LTL analysis requested without a monitor");
+                    let mut analyzer = StreamingAnalyzer::with_telemetry(
+                        monitor,
+                        initial,
+                        self.threads,
+                        &self.registry,
+                    )
+                    .with_config(&self.config);
+                    if let Some(t) = &self.tracer {
+                        analyzer = analyzer.with_trace(t);
+                    }
+                    if let Some(p) = &self.pool {
+                        analyzer = analyzer.with_pool(Arc::clone(p));
+                    }
+                    analyses.push(Box::new(LtlLatticeAnalysis::from_analyzer(analyzer)));
+                }
+                AnalysisKind::Race => {
+                    let mut a = RaceAnalysis::new(self.threads, self.sync_vars.clone());
+                    if let Some(t) = &self.tracer {
+                        a = a.with_trace(t);
+                    }
+                    analyses.push(Box::new(a));
+                }
+                AnalysisKind::Atomicity => {
+                    let mut a = AtomicityAnalysis::new(self.threads, self.sync_vars.clone());
+                    if let Some(t) = &self.tracer {
+                        a = a.with_trace(t);
+                    }
+                    analyses.push(Box::new(a));
+                }
+            }
+        }
+        AnalysisSuite::new(analyses).with_telemetry(&self.registry)
+    }
+}
+
+/// The paper's predictive ptLTL lattice checker as a pluggable
+/// [`Analysis`]: a thin adapter around [`StreamingAnalyzer`] (the
+/// hardwired `Pipeline`-only consumer this trait replaced).
+#[derive(Debug)]
+pub struct LtlLatticeAnalysis {
+    analyzer: StreamingAnalyzer,
+}
+
+impl LtlLatticeAnalysis {
+    /// Builds the analysis for a `threads`-thread stream.
+    #[must_use]
+    pub fn new(monitor: Monitor, initial: &ProgramState, threads: usize) -> Self {
+        Self::from_analyzer(StreamingAnalyzer::new(monitor, initial, threads))
+    }
+
+    /// Wraps an already-configured [`StreamingAnalyzer`] (telemetry,
+    /// tracing, pool, tuning — everything its builder supports).
+    #[must_use]
+    pub fn from_analyzer(analyzer: StreamingAnalyzer) -> Self {
+        Self { analyzer }
+    }
+
+    /// Applies the shared tuning knobs (parallelism, frontier cap,
+    /// history, eval cache, shard granularity).
+    #[must_use]
+    pub fn with_config(mut self, config: &AnalysisConfig) -> Self {
+        self.analyzer = self.analyzer.with_config(config);
+        self
+    }
+
+    /// Attaches causal tracing (the `lattice` trace lane).
+    #[must_use]
+    pub fn with_trace(mut self, tracer: &Tracer) -> Self {
+        self.analyzer = self.analyzer.with_trace(tracer);
+        self
+    }
+
+    /// Shares a persistent expansion pool.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ExpansionPool>) -> Self {
+        self.analyzer = self.analyzer.with_pool(pool);
+        self
+    }
+}
+
+impl Analysis for LtlLatticeAnalysis {
+    fn kind(&self) -> AnalysisKind {
+        AnalysisKind::Ltl
+    }
+
+    fn on_event(&mut self, event: &Event, clock: &VectorClock) {
+        self.analyzer.push(Message {
+            event: *event,
+            clock: clock.clone(),
+        });
+    }
+
+    fn levels_sealed(&self) -> u64 {
+        u64::from(self.analyzer.levels_built())
+    }
+
+    fn record(&self, _registry: &Registry) {
+        // Live `lattice.*` gauges are wired at construction through
+        // `StreamingAnalyzer::with_telemetry`; the final counters are
+        // published by `AnalysisReport::record` after `finish`.
+    }
+
+    fn finish(self: Box<Self>, transport: Exactness) -> AnalysisReport {
+        let mut report = self.analyzer.finish();
+        report.exactness = report.exactness.combine(transport);
+        AnalysisReport::Ltl(report)
+    }
+}
+
+/// Synchronization-only happens-before clocks, shared by the race and
+/// atomicity analyses.
+///
+/// Program order plus lock transfer: every event ticks its thread's
+/// component; a write to a *synchronization variable* (the Section 3.1
+/// lock pseudo-variables, or any variable the caller declares) joins the
+/// thread's clock with the variable's clock and publishes the result back
+/// — the mutex acquire/release edge. Crucially these clocks carry **no
+/// data-causality edges**: Algorithm A's own `V_i` clocks order a read
+/// after the write it observed, which would hide exactly the races and
+/// serializability violations these analyses exist to find.
+#[derive(Clone, Debug)]
+pub(crate) struct SyncClocks {
+    sync: BTreeSet<VarId>,
+    clocks: Vec<VectorClock>,
+    vars: BTreeMap<VarId, VectorClock>,
+    transfers: u64,
+}
+
+impl SyncClocks {
+    pub(crate) fn new(threads: usize, sync: BTreeSet<VarId>) -> Self {
+        Self {
+            sync,
+            clocks: vec![VectorClock::with_threads(threads); threads.max(1)],
+            vars: BTreeMap::new(),
+            transfers: 0,
+        }
+    }
+
+    pub(crate) fn is_sync(&self, var: VarId) -> bool {
+        self.sync.contains(&var)
+    }
+
+    /// Lock-transfer joins performed so far.
+    pub(crate) fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Advances the clocks past `event` and returns the thread's clock
+    /// after it.
+    pub(crate) fn observe(&mut self, event: &Event) -> VectorClock {
+        let t = event.thread;
+        if self.clocks.len() <= t.index() {
+            self.clocks
+                .resize(t.index() + 1, VectorClock::with_threads(self.clocks.len()));
+        }
+        self.clocks[t.index()].tick(t);
+        if let EventKind::Write { var, .. } = event.kind {
+            if self.sync.contains(&var) {
+                let slot = self.vars.entry(var).or_default();
+                self.clocks[t.index()].join(slot);
+                *slot = self.clocks[t.index()].clone();
+                self.transfers += 1;
+            }
+        }
+        self.clocks[t.index()].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmpax_core::ThreadId;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const X: VarId = VarId(0);
+    const M: VarId = VarId(1);
+
+    #[test]
+    fn sync_clocks_order_lock_transfer() {
+        let mut hb = SyncClocks::new(2, [M].into_iter().collect());
+        let release = hb.observe(&Event::write(T0, M, 0));
+        let acquire = hb.observe(&Event::write(T1, M, 1));
+        assert!(release.le(&acquire), "{release} vs {acquire}");
+        assert_eq!(hb.transfers(), 2);
+    }
+
+    #[test]
+    fn sync_clocks_keep_data_accesses_concurrent() {
+        let mut hb = SyncClocks::new(2, BTreeSet::new());
+        let a = hb.observe(&Event::write(T0, X, 1));
+        let b = hb.observe(&Event::write(T1, X, 2));
+        assert!(a.concurrent(&b));
+    }
+
+    #[test]
+    fn suite_reports_come_back_in_configuration_order() {
+        let kinds = [AnalysisKind::Race, AnalysisKind::Atomicity];
+        let suite = SuiteBuilder::new(&kinds, 2).build(None);
+        assert_eq!(suite.kinds(), kinds.to_vec());
+        let report = suite.finish(Exactness::Exact);
+        let got: Vec<AnalysisKind> = report.reports.iter().map(AnalysisReport::kind).collect();
+        assert_eq!(got, kinds.to_vec());
+        assert!(report.satisfied());
+        assert!(report.exactness().is_exact());
+    }
+
+    #[test]
+    fn stranded_messages_degrade_every_report() {
+        let kinds = [AnalysisKind::Race];
+        let mut suite = SuiteBuilder::new(&kinds, 2).build(None);
+        // Seq 2 from T0 without seq 1: never deliverable.
+        suite.push(Message {
+            event: Event::write(T0, X, 1),
+            clock: VectorClock::from_components(vec![2, 0]),
+        });
+        let report = suite.finish(Exactness::Exact);
+        let (_, gaps) = report.reports[0].exactness().losses();
+        assert_eq!(gaps, 1);
+        assert!(!report.exactness().is_exact());
+    }
+
+    #[test]
+    fn empty_kind_list_defaults_to_ltl() {
+        let b = SuiteBuilder::new(&[], 2);
+        assert_eq!(b.kinds, vec![AnalysisKind::Ltl]);
+    }
+}

@@ -73,7 +73,7 @@ pub struct Violation {
 
 /// Result of a full predictive analysis.
 #[derive(Clone, Debug)]
-pub struct Analysis {
+pub struct LatticeAnalysis {
     /// Number of distinct global states (lattice nodes).
     pub states: usize,
     /// Number of lattice levels.
@@ -93,7 +93,7 @@ pub struct Analysis {
     pub exactness: crate::reassemble::Exactness,
 }
 
-impl Analysis {
+impl LatticeAnalysis {
     /// True when no run violates the property.
     #[must_use]
     pub fn satisfied(&self) -> bool {
@@ -132,26 +132,38 @@ impl Analysis {
         registry
             .counter("lattice.violations")
             .add(self.violations.len() as u64);
+        // The uniform per-analysis family (`analysis.<kind>.*`), mirroring
+        // `StreamReport::record_analysis`, so full-lattice and streaming
+        // runs of the ptLTL checker are comparable under one metric name.
+        registry
+            .counter("analysis.ltl.violations")
+            .add(self.violations.len() as u64);
+        registry
+            .counter("analysis.ltl.states_explored")
+            .add(self.states as u64);
+        registry
+            .counter("analysis.ltl.levels_built")
+            .add(self.levels as u64);
     }
 }
 
 /// Convenience: build the lattice from `input` and analyze it with the
 /// default (sequential, exact) configuration.
 #[must_use]
-pub fn analyze(input: LatticeInput, monitor: &Monitor) -> Analysis {
+pub fn analyze(input: LatticeInput, monitor: &Monitor) -> LatticeAnalysis {
     analyze_with(input, monitor, &AnalysisConfig::default())
 }
 
 /// Builds the lattice from `input` (honoring `config.parallelism` — see
 /// [`Lattice::build_with`]) and checks `monitor` against every run.
 #[must_use]
-pub fn analyze_with(input: LatticeInput, monitor: &Monitor, config: &AnalysisConfig) -> Analysis {
+pub fn analyze_with(input: LatticeInput, monitor: &Monitor, config: &AnalysisConfig) -> LatticeAnalysis {
     analyze_lattice(&Lattice::build_with(input, config), monitor, *config)
 }
 
 /// Checks `monitor` against every run of the materialized lattice.
 #[must_use]
-pub fn analyze_lattice(lattice: &Lattice, monitor: &Monitor, options: AnalysisConfig) -> Analysis {
+pub fn analyze_lattice(lattice: &Lattice, monitor: &Monitor, options: AnalysisConfig) -> LatticeAnalysis {
     let n = lattice.node_count();
     // Alive memories per node, with run-prefix counts (for exact violating
     // run counting) and one predecessor `(node, memory)` for reconstruction.
@@ -225,7 +237,7 @@ pub fn analyze_lattice(lattice: &Lattice, monitor: &Monitor, options: AnalysisCo
         });
     }
 
-    Analysis {
+    LatticeAnalysis {
         states: lattice.node_count(),
         levels: lattice.level_count(),
         max_level_width: lattice.max_level_width(),
@@ -285,7 +297,7 @@ pub fn analyze_multi(
     lattice: &Lattice,
     monitors: &[Monitor],
     options: AnalysisConfig,
-) -> Vec<Analysis> {
+) -> Vec<LatticeAnalysis> {
     monitors
         .iter()
         .map(|m| analyze_lattice(lattice, m, options))

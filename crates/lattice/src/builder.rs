@@ -101,6 +101,26 @@ impl StreamReport {
         registry
             .counter("lattice.non_writes_skipped")
             .add(self.non_writes_skipped);
+        self.record_analysis(registry);
+    }
+
+    /// Publishes the uniform `analysis.ltl.*` metric family every
+    /// pluggable analysis exposes (`crate::analyses`). The legacy
+    /// `lattice.*` names above stay for dashboards; these are the
+    /// cross-analysis view.
+    pub fn record_analysis(&self, registry: &Registry) {
+        registry
+            .counter("analysis.ltl.violations")
+            .add(self.violations.len() as u64);
+        registry
+            .counter("analysis.ltl.states_explored")
+            .add(self.states_explored);
+        registry
+            .counter("analysis.ltl.levels_built")
+            .add(u64::from(self.levels_built));
+        let (pruned, gaps) = self.exactness.losses();
+        registry.counter("analysis.ltl.frontier_pruned").add(pruned);
+        registry.counter("analysis.ltl.gaps_skipped").add(gaps);
     }
 }
 
@@ -536,6 +556,14 @@ impl StreamingAnalyzer {
     #[must_use]
     pub fn frontier_width(&self) -> usize {
         self.frontier.len()
+    }
+
+    /// Lattice levels sealed (frontier advances performed) so far. The
+    /// analysis-suite driver polls this to fan `on_level_sealed`
+    /// notifications out to co-running analyses.
+    #[must_use]
+    pub fn levels_built(&self) -> u32 {
+        self.levels_built
     }
 
     fn is_top(&self, cut: &Cut) -> bool {

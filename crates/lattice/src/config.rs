@@ -1,8 +1,8 @@
 //! The one configuration type shared by every analysis entrypoint.
 //!
 //! Three PRs of feature work left each knob on its own constructor:
-//! counterexample budgets on [`crate::analysis::analyze_lattice`]'s old
-//! `AnalysisOptions`, beam pruning on
+//! counterexample budgets on [`crate::analysis::analyze_lattice`],
+//! beam pruning on
 //! [`crate::StreamingAnalyzer::with_frontier_cap`], trail history on
 //! [`crate::StreamingAnalyzer::with_history`]. Adding a parallelism knob
 //! the same way would have made the combinatorial API worse, so all of

@@ -23,10 +23,14 @@
 //!   at most two consecutive levels (the paper: "at most two consecutive
 //!   levels in the computation lattice need to be stored at any moment"),
 //!   accepting messages in any delivery order.
+//! * [`analyses`] — the pluggable [`Analysis`] trait and the
+//!   [`AnalysisSuite`] driver that fans one causal delivery pass out to
+//!   N analyses (ptLTL, race detection, atomicity checking).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyses;
 pub mod analysis;
 pub mod builder;
 pub mod config;
@@ -37,7 +41,13 @@ pub mod input;
 mod parallel;
 pub mod reassemble;
 
-pub use analysis::{analyze, analyze_multi, analyze_with, Analysis, Counterexample, RunStep, Violation};
+pub use analyses::{
+    Analysis, AnalysisReport, AnalysisSuite, AtomicityAnalysis, AtomicityReport,
+    LtlLatticeAnalysis, RaceAnalysis, RaceReport, SuiteBuilder, SuiteReport,
+};
+pub use analysis::{
+    analyze, analyze_multi, analyze_with, Counterexample, LatticeAnalysis, RunStep, Violation,
+};
 pub use builder::{StreamReport, StreamingAnalyzer};
 pub use config::{AnalysisConfig, DEFAULT_SHARD_GRANULARITY};
 pub use parallel::ExpansionPool;

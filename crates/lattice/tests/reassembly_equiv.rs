@@ -8,7 +8,7 @@
 //! reordering and duplication alone lose nothing.
 
 use jmpax_core::{Event, Message, MvcInstrumentor, Relevance, SymbolTable, ThreadId, VarId};
-use jmpax_lattice::analysis::{analyze_lattice, Analysis};
+use jmpax_lattice::analysis::{analyze_lattice, LatticeAnalysis};
 use jmpax_lattice::AnalysisConfig;
 use jmpax_lattice::{Lattice, LatticeInput, Reassembler};
 use jmpax_spec::{parse, Monitor, ProgramState};
@@ -49,7 +49,7 @@ fn monitor_and_initial(vars: usize) -> (Monitor, ProgramState, SymbolTable) {
     (monitor, initial, syms)
 }
 
-fn analyze(messages: Vec<Message>, initial: ProgramState, monitor: &Monitor) -> Analysis {
+fn analyze(messages: Vec<Message>, initial: ProgramState, monitor: &Monitor) -> LatticeAnalysis {
     let input = LatticeInput::from_messages(messages, initial).expect("valid input");
     let lattice = Lattice::build(input);
     analyze_lattice(&lattice, monitor, AnalysisConfig::default())

@@ -29,6 +29,7 @@ pub mod pipeline;
 pub mod races;
 pub mod report;
 pub mod serve;
+pub mod verdict;
 
 pub use deadlock::{predict_deadlocks, DeadlockCycle, DeadlockDetector, LockEdge};
 pub use jpax::observed_violation;
@@ -41,10 +42,11 @@ pub use pipeline::{
 };
 pub use races::{detect_races, Race, RaceDetector};
 pub use serve::{
-    FileLogSink, FlightDump, FlightEntry, FlightKind, FlightRecorder, LogLevel, LogSink, LogValue,
-    MemoryLogSink, OpsLog, ServeConfig, ServeObservability, ServeSummary, Server, ServerHandle,
-    ShedPolicy, StderrLogSink, TenantOutcome, TenantStatus, TenantTable, TenantVerdict,
+    AnalysisOutcome, FileLogSink, FlightDump, FlightEntry, FlightKind, FlightRecorder, LogLevel,
+    LogSink, LogValue, MemoryLogSink, OpsLog, ServeConfig, ServeObservability, ServeSummary,
+    Server, ServerHandle, ShedPolicy, StderrLogSink, TenantOutcome, TenantStatus, TenantTable,
 };
+pub use verdict::ExactnessVerdict;
 pub use report::{
     render_analysis, render_counterexample, render_deadlocks, render_races, render_violation,
 };

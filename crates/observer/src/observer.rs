@@ -1,7 +1,7 @@
 //! The message-consuming observer front end.
 
 use jmpax_core::{CausalBuffer, Message};
-use jmpax_lattice::analysis::{analyze_lattice, Analysis};
+use jmpax_lattice::analysis::{analyze_lattice, LatticeAnalysis};
 use jmpax_lattice::{AnalysisConfig, Exactness, Lattice, LatticeInput, StreamingAnalyzer};
 use jmpax_spec::{Monitor, ProgramState};
 
@@ -9,13 +9,13 @@ use jmpax_spec::{Monitor, ProgramState};
 #[derive(Clone, Debug)]
 pub enum Verdict {
     /// Every consistent run satisfies the property.
-    Satisfied(Analysis),
+    Satisfied(LatticeAnalysis),
     /// Some runs violate the property. When `observed_ok` is true the
     /// violation is a *prediction*: the observed run itself was successful
     /// (this is the paper's headline capability).
     Violated {
         /// The full analysis (counts, violations, counterexamples).
-        analysis: Analysis,
+        analysis: LatticeAnalysis,
         /// Whether the observed run itself satisfied the property.
         observed_ok: bool,
     },
@@ -24,7 +24,7 @@ pub enum Verdict {
 impl Verdict {
     /// The underlying analysis.
     #[must_use]
-    pub fn analysis(&self) -> &Analysis {
+    pub fn analysis(&self) -> &LatticeAnalysis {
         match self {
             Verdict::Satisfied(a) | Verdict::Violated { analysis: a, .. } => a,
         }
@@ -51,7 +51,7 @@ impl Verdict {
     /// The underlying analysis, mutably — used by resilient ingestion to
     /// thread transport-fault degradation into the verdict.
     #[must_use]
-    pub fn analysis_mut(&mut self) -> &mut Analysis {
+    pub fn analysis_mut(&mut self) -> &mut LatticeAnalysis {
         match self {
             Verdict::Satisfied(a) | Verdict::Violated { analysis: a, .. } => a,
         }

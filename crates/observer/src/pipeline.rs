@@ -17,11 +17,15 @@
 //! calls, so repeated checks (e.g. `jmpax serve` tenant sessions) never pay
 //! thread-spawn cost again.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-use jmpax_core::{Execution, Message, Relevance, SymbolTable};
-use jmpax_lattice::{AnalysisConfig, ExpansionPool, StreamReport, StreamingAnalyzer};
+use jmpax_core::{AnalysisKind, Execution, Message, Relevance, SymbolTable, VarId};
+use jmpax_lattice::{
+    AnalysisConfig, AnalysisReport, ExpansionPool, StreamReport, StreamingAnalyzer, SuiteBuilder,
+    SuiteReport,
+};
 use jmpax_spec::{parse, Monitor, ParseError, ProgramState};
 use jmpax_telemetry::Registry;
 use jmpax_trace::{TraceKind, TraceRing, Tracer};
@@ -111,6 +115,8 @@ pub struct PipelineConfig {
     telemetry: Registry,
     tracer: Option<Tracer>,
     analysis: AnalysisConfig,
+    analyses: Vec<AnalysisKind>,
+    sync_vars: BTreeSet<VarId>,
 }
 
 impl PipelineConfig {
@@ -168,6 +174,31 @@ impl PipelineConfig {
     pub fn analysis(mut self, config: AnalysisConfig) -> Self {
         self.analysis = config;
         self
+    }
+
+    /// Selects which analyses [`Pipeline::check_stream_suite`] runs over
+    /// the one shared delivery pass, in order. Empty (the default) means
+    /// `[ltl]` — the paper's predictive lattice checker only.
+    #[must_use]
+    pub fn analyses(mut self, kinds: &[AnalysisKind]) -> Self {
+        self.analyses = kinds.to_vec();
+        self
+    }
+
+    /// Declares the synchronization (lock) variables whose writes carry
+    /// happens-before for the race and atomicity analyses (the
+    /// Section 3.1 lock pseudo-variables, or any variable used as a
+    /// flag/mutex).
+    #[must_use]
+    pub fn sync_vars(mut self, vars: impl IntoIterator<Item = VarId>) -> Self {
+        self.sync_vars = vars.into_iter().collect();
+        self
+    }
+
+    /// The configured analysis selection (empty = default `[ltl]`).
+    #[must_use]
+    pub fn configured_analyses(&self) -> &[AnalysisKind] {
+        &self.analyses
     }
 }
 
@@ -332,9 +363,10 @@ impl Pipeline {
     /// in its handshake); the configured [`AnalysisConfig`] — parallelism,
     /// frontier cap, history — and telemetry registry apply as in
     /// [`Pipeline::check_execution`]. The report's
-    /// [`jmpax_lattice::Exactness`] reflects frontier-cap pruning only;
-    /// transport-level losses are the caller's to
-    /// [`jmpax_lattice::Exactness::combine`] in.
+    /// [`jmpax_lattice::Exactness`] reflects frontier-cap pruning and
+    /// causally undeliverable (stranded) messages; transport-level losses
+    /// are the caller's to [`jmpax_lattice::Exactness::combine`] in — or
+    /// use [`Pipeline::check_stream_suite`], which folds them in.
     pub fn check_stream(
         &self,
         monitor: Monitor,
@@ -342,18 +374,65 @@ impl Pipeline {
         threads: usize,
         messages: impl IntoIterator<Item = Message>,
     ) -> StreamReport {
+        let mut suite = self.check_stream_suite(
+            &[AnalysisKind::Ltl],
+            Some((monitor, initial)),
+            threads,
+            jmpax_lattice::Exactness::Exact,
+            messages,
+        );
+        match suite.reports.pop() {
+            Some(AnalysisReport::Ltl(report)) => report,
+            other => unreachable!("LTL-only suite produced {other:?}"),
+        }
+    }
+
+    /// Runs an ordered *suite* of analyses — ptLTL, race detection,
+    /// atomicity checking — over one shared causal delivery pass of an
+    /// already-decoded message stream. This is the multi-analysis
+    /// generalization of [`Pipeline::check_stream`]: N analyses cost one
+    /// decode→reassemble→deliver pass, not N.
+    ///
+    /// `kinds` selects and orders the analyses; empty falls back to the
+    /// config's [`PipelineConfig::analyses`] selection (itself defaulting
+    /// to `[ltl]`). `ltl` supplies the monitor and initial state, required
+    /// iff the selection includes [`AnalysisKind::Ltl`]. `transport`
+    /// carries upstream losses (frame corruption, reassembly gaps) to fold
+    /// into every report's exactness; messages whose causal predecessors
+    /// never arrive are added on top as skipped gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the selection includes LTL but `ltl` is `None` —
+    /// validate selections (e.g. with [`AnalysisKind::parse_list`])
+    /// before calling.
+    pub fn check_stream_suite(
+        &self,
+        kinds: &[AnalysisKind],
+        ltl: Option<(Monitor, &ProgramState)>,
+        threads: usize,
+        transport: jmpax_lattice::Exactness,
+        messages: impl IntoIterator<Item = Message>,
+    ) -> SuiteReport {
         let registry = &self.config.telemetry;
-        let mut analyzer =
-            StreamingAnalyzer::with_telemetry(monitor, initial, threads.max(1), registry)
-                .with_config(&self.config.analysis);
+        let kinds = if kinds.is_empty() {
+            &self.config.analyses
+        } else {
+            kinds
+        };
+        let mut builder = SuiteBuilder::new(kinds, threads.max(1))
+            .sync_vars(self.config.sync_vars.iter().copied())
+            .config(&self.config.analysis)
+            .telemetry(registry);
         if let Some(tracer) = &self.config.tracer {
-            analyzer = analyzer.with_trace(tracer);
+            builder = builder.tracer(tracer);
         }
         if let Some(pool) = self.shared_pool() {
-            analyzer = analyzer.with_pool(pool);
+            builder = builder.pool(pool);
         }
-        analyzer.push_all(messages);
-        let report = analyzer.finish();
+        let mut suite = builder.build(ltl);
+        suite.push_all(messages);
+        let report = suite.finish(transport);
         if report.satisfied() {
             registry.counter("observer.verdict.satisfied").inc();
         } else {

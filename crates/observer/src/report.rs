@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 
 use jmpax_core::SymbolTable;
-use jmpax_lattice::{Analysis, Counterexample, Violation};
+use jmpax_lattice::{Counterexample, LatticeAnalysis, Violation};
 use jmpax_spec::ProgramState;
 
 fn render_state(state: &ProgramState, symbols: &SymbolTable) -> String {
@@ -74,7 +74,7 @@ pub fn render_violation(v: &Violation, symbols: &SymbolTable) -> String {
 /// Renders a whole analysis summary in the shape the paper reports its
 /// examples ("6 states to analyze and three corresponding runs").
 #[must_use]
-pub fn render_analysis(a: &Analysis, symbols: &SymbolTable) -> String {
+pub fn render_analysis(a: &LatticeAnalysis, symbols: &SymbolTable) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -41,6 +41,7 @@ mod tenant;
 
 use std::time::Duration;
 
+use jmpax_core::AnalysisKind;
 use jmpax_lattice::{AnalysisConfig, Exactness};
 use jmpax_telemetry::Registry;
 
@@ -75,6 +76,11 @@ pub struct ServeConfig {
     /// the server-side ceiling for tenant-requested caps
     /// ([`AnalysisConfig::with_requested_frontier_cap`]).
     pub analysis: AnalysisConfig,
+    /// Analyses run for tenants whose handshake requests none. Empty
+    /// means LTL only. A tenant that *does* request analyses gets exactly
+    /// those; unknown codes in a handshake are rejected with a clean
+    /// `Error` verdict before a session starts.
+    pub analyses: Vec<AnalysisKind>,
     /// Reassembly stall budget (messages a gap may stall before being
     /// skipped).
     pub stall_budget: u64,
@@ -111,6 +117,7 @@ impl ServeConfig {
         Self {
             spec: spec.to_string(),
             analysis: AnalysisConfig::default(),
+            analyses: Vec::new(),
             stall_budget: jmpax_lattice::DEFAULT_STALL_BUDGET,
             max_sessions: 256,
             queue_depth: 64,
@@ -125,28 +132,38 @@ impl ServeConfig {
     }
 }
 
-/// How a tenant's session ended.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TenantVerdict {
-    /// Every consistent run was checked; nothing was lost anywhere.
-    Exact,
-    /// The property was checked over what survived: transport damage,
-    /// shed chunks, eviction, or frontier pruning cost information.
-    Degraded(Exactness),
-    /// The session never produced an analyzable stream (handshake
-    /// violation, worker crash).
-    Error(String),
+pub use crate::verdict::ExactnessVerdict;
+
+/// One analysis's slice of a tenant verdict — an entry of the outcome's
+/// `"analyses"` JSON array when the session ran a multi-analysis suite.
+#[derive(Clone, Debug)]
+pub struct AnalysisOutcome {
+    /// Which analysis (`ltl`, `race`, `atomicity`).
+    pub kind: AnalysisKind,
+    /// True when this analysis found nothing.
+    pub satisfied: bool,
+    /// Findings: LTL violations, races, or atomicity violations.
+    pub findings: u64,
+    /// This analysis's own exactness (they share transport losses but
+    /// degrade independently past that point).
+    pub exactness: Exactness,
 }
 
-impl TenantVerdict {
-    /// Stable label for reports and JSON.
-    #[must_use]
-    pub fn label(&self) -> &'static str {
-        match self {
-            TenantVerdict::Exact => "Exact",
-            TenantVerdict::Degraded(_) => "Degraded",
-            TenantVerdict::Error(_) => "Error",
-        }
+impl AnalysisOutcome {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "{{\"name\":\"{}\",\"satisfied\":{},\"findings\":{},\"exactness\":",
+                self.kind.name(),
+                self.satisfied,
+                self.findings
+            ),
+        );
+        jmpax_telemetry::json::write_string(&mut out, &self.exactness.to_string());
+        out.push('}');
+        out
     }
 }
 
@@ -159,7 +176,7 @@ pub struct TenantOutcome {
     /// Daemon-assigned session number (accept order).
     pub session: u64,
     /// Exact / Degraded / Error.
-    pub verdict: TenantVerdict,
+    pub verdict: ExactnessVerdict,
     /// True when no violation was found (only meaningful outside
     /// `Error`).
     pub satisfied: bool,
@@ -176,6 +193,10 @@ pub struct TenantOutcome {
     pub shed_chunks: u64,
     /// Sequence gaps the reassembler skipped (Theorem-3 accounting).
     pub gaps_skipped: u64,
+    /// Per-analysis verdicts, in the session's selection order. Empty for
+    /// plain single-LTL sessions (the top-level fields carry everything);
+    /// error outcomes have none.
+    pub analyses: Vec<AnalysisOutcome>,
     /// Flight-recorder dump; populated the moment the verdict leaves
     /// `Exact`, empty for exact sessions.
     pub flight: Vec<FlightEntry>,
@@ -196,7 +217,7 @@ impl TenantOutcome {
             self.session,
             self.verdict.label()
         ));
-        if let TenantVerdict::Error(reason) = &self.verdict {
+        if let ExactnessVerdict::Error(reason) = &self.verdict {
             out.push_str(",\"error\":");
             jmpax_telemetry::json::write_string(&mut out, reason);
         }
@@ -212,6 +233,16 @@ impl TenantOutcome {
         }
         if self.gaps_skipped > 0 {
             out.push_str(&format!(",\"gaps_skipped\":{}", self.gaps_skipped));
+        }
+        if !self.analyses.is_empty() {
+            out.push_str(",\"analyses\":[");
+            for (i, a) in self.analyses.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&a.to_json());
+            }
+            out.push(']');
         }
         if !self.flight.is_empty() || self.flight_dropped > 0 {
             out.push_str(&format!(",\"flight_dropped\":{},\"flight\":[", self.flight_dropped));
@@ -242,22 +273,22 @@ impl ServeSummary {
     /// Outcomes with an `Exact` verdict.
     #[must_use]
     pub fn exact(&self) -> usize {
-        self.count(|v| matches!(v, TenantVerdict::Exact))
+        self.count(|v| matches!(v, ExactnessVerdict::Exact))
     }
 
     /// Outcomes with a `Degraded` verdict.
     #[must_use]
     pub fn degraded(&self) -> usize {
-        self.count(|v| matches!(v, TenantVerdict::Degraded(_)))
+        self.count(|v| matches!(v, ExactnessVerdict::Degraded(_)))
     }
 
     /// Outcomes with an `Error` verdict.
     #[must_use]
     pub fn errors(&self) -> usize {
-        self.count(|v| matches!(v, TenantVerdict::Error(_)))
+        self.count(|v| matches!(v, ExactnessVerdict::Error(_)))
     }
 
-    fn count(&self, pred: impl Fn(&TenantVerdict) -> bool) -> usize {
+    fn count(&self, pred: impl Fn(&ExactnessVerdict) -> bool) -> usize {
         self.outcomes.iter().filter(|o| pred(&o.verdict)).count()
     }
 }

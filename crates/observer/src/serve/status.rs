@@ -285,14 +285,14 @@ impl ServeObservability {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{TenantVerdict, TenantOutcome};
+    use super::super::{ExactnessVerdict, TenantOutcome};
     use super::*;
 
     fn outcome(session: u64, tenant: &str) -> TenantOutcome {
         TenantOutcome {
             tenant: tenant.to_string(),
             session,
-            verdict: TenantVerdict::Exact,
+            verdict: ExactnessVerdict::Exact,
             satisfied: true,
             violations: 0,
             frames_ok: 10,
@@ -300,6 +300,7 @@ mod tests {
             evicted: false,
             shed_chunks: 0,
             gaps_skipped: 0,
+            analyses: Vec::new(),
             flight: Vec::new(),
             flight_dropped: 0,
         }

@@ -21,7 +21,7 @@ use std::sync::mpsc::{Receiver, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
 
-use jmpax_core::SymbolTable;
+use jmpax_core::{AnalysisKind, SymbolTable};
 use jmpax_instrument::tcp::SessionHello;
 use jmpax_instrument::ResilientFrameDecoder;
 use jmpax_lattice::{Exactness, Reassembler};
@@ -31,7 +31,7 @@ use jmpax_telemetry::Counter;
 use super::flight::FlightRecorder;
 use super::ops::{LogLevel, LogValue};
 use super::status::TenantTable;
-use super::{ServeConfig, ShedPolicy, TenantOutcome, TenantVerdict};
+use super::{AnalysisOutcome, ServeConfig, ShedPolicy, TenantOutcome, ExactnessVerdict};
 use crate::pipeline::{Pipeline, PipelineConfig};
 
 /// `serve.verdict_state{tenant=…}` gauge values.
@@ -58,6 +58,7 @@ struct WorkerResult {
     frames_ok: u64,
     messages: u64,
     gaps_skipped: u64,
+    analyses: Vec<AnalysisOutcome>,
 }
 
 /// Serves one accepted connection end-to-end and returns the outcome that
@@ -91,28 +92,71 @@ pub(super) fn run_session(
             return None;
         }
     };
+    // --- Analysis selection: the handshake wins, config is the default. -
+    // Unknown codes are a handshake error — the client learns *which*
+    // code via a clean `Error` verdict, and no session starts.
+    let mut kinds: Vec<AnalysisKind> = Vec::new();
+    for &code in &hello.analyses {
+        match AnalysisKind::from_code(code) {
+            Ok(kind) => {
+                if !kinds.contains(&kind) {
+                    kinds.push(kind);
+                }
+            }
+            Err(code) => {
+                tel.counter("serve.handshake_errors").inc();
+                ops.event(
+                    LogLevel::Error,
+                    "handshake_failed",
+                    Some(&hello.tenant),
+                    Some(session),
+                    &[(
+                        "error",
+                        LogValue::Str(format!("unsupported analysis code {code}")),
+                    )],
+                );
+                reject(
+                    &mut stream,
+                    session,
+                    &format!("unsupported analysis code {code}"),
+                );
+                return None;
+            }
+        }
+    }
+    if kinds.is_empty() {
+        kinds = if config.analyses.is_empty() {
+            vec![AnalysisKind::Ltl]
+        } else {
+            config.analyses.clone()
+        };
+    }
+    let needs_ltl = kinds.contains(&AnalysisKind::Ltl);
+
     let declared: Vec<&str> = hello.vars.iter().map(|(n, _)| n.as_str()).collect();
-    if let Some(missing) = spec_var_names
-        .iter()
-        .find(|n| !declared.contains(&n.as_str()))
-    {
-        tel.counter("serve.handshake_errors").inc();
-        ops.event(
-            LogLevel::Error,
-            "handshake_failed",
-            Some(&hello.tenant),
-            Some(session),
-            &[(
-                "error",
-                LogValue::Str(format!("missing spec variable {missing:?}")),
-            )],
-        );
-        reject(
-            &mut stream,
-            session,
-            &format!("handshake does not declare spec variable {missing:?}"),
-        );
-        return None;
+    if needs_ltl {
+        if let Some(missing) = spec_var_names
+            .iter()
+            .find(|n| !declared.contains(&n.as_str()))
+        {
+            tel.counter("serve.handshake_errors").inc();
+            ops.event(
+                LogLevel::Error,
+                "handshake_failed",
+                Some(&hello.tenant),
+                Some(session),
+                &[(
+                    "error",
+                    LogValue::Str(format!("missing spec variable {missing:?}")),
+                )],
+            );
+            reject(
+                &mut stream,
+                session,
+                &format!("handshake does not declare spec variable {missing:?}"),
+            );
+            return None;
+        }
     }
 
     // --- Per-tenant monitor, initial state, and analysis config. --------
@@ -127,21 +171,26 @@ pub(super) fn run_session(
     }
     // The spec was validated at bind time; failures here would mean the
     // tenant's declarations broke parsing in a way the coverage check
-    // missed — still the tenant's problem, not the daemon's.
-    let monitor = match parse(&config.spec, &mut symbols) {
-        Ok(formula) => match formula.monitor() {
-            Ok(monitor) => monitor.with_telemetry(tel),
+    // missed — still the tenant's problem, not the daemon's. Sessions
+    // that did not select the LTL analysis never parse the spec.
+    let monitor = if needs_ltl {
+        match parse(&config.spec, &mut symbols) {
+            Ok(formula) => match formula.monitor() {
+                Ok(monitor) => Some(monitor.with_telemetry(tel)),
+                Err(err) => {
+                    tel.counter("serve.handshake_errors").inc();
+                    reject(&mut stream, session, &format!("spec rejected: {err}"));
+                    return None;
+                }
+            },
             Err(err) => {
                 tel.counter("serve.handshake_errors").inc();
                 reject(&mut stream, session, &format!("spec rejected: {err}"));
                 return None;
             }
-        },
-        Err(err) => {
-            tel.counter("serve.handshake_errors").inc();
-            reject(&mut stream, session, &format!("spec rejected: {err}"));
-            return None;
         }
+    } else {
+        None
     };
     let initial = ProgramState::from_map(initial_map);
     let analysis = config
@@ -189,10 +238,12 @@ pub(super) fn run_session(
         let flight = flight.clone();
         let frames_labeled = frames_labeled.clone();
         let gaps_labeled = gaps_labeled.clone();
+        let kinds = kinds.clone();
         std::thread::spawn(move || {
             run_worker(
                 &config,
                 analysis,
+                &kinds,
                 monitor,
                 &initial,
                 threads,
@@ -332,7 +383,7 @@ pub(super) fn run_session(
             let verdict = if exactness.is_exact() {
                 tel.counter("serve.verdicts_exact").inc();
                 state_gauge.set(STATE_EXACT);
-                TenantVerdict::Exact
+                ExactnessVerdict::Exact
             } else {
                 tel.counter("serve.verdicts_degraded").inc();
                 state_gauge.set(STATE_DEGRADED);
@@ -343,7 +394,7 @@ pub(super) fn run_session(
                     Some(session),
                     &[("exactness", LogValue::Str(exactness.to_string()))],
                 );
-                TenantVerdict::Degraded(exactness)
+                ExactnessVerdict::Degraded(exactness)
             };
             TenantOutcome {
                 tenant: hello.tenant,
@@ -356,6 +407,7 @@ pub(super) fn run_session(
                 evicted,
                 shed_chunks,
                 gaps_skipped: result.gaps_skipped,
+                analyses: result.analyses,
                 flight: Vec::new(),
                 flight_dropped: 0,
             }
@@ -374,7 +426,7 @@ pub(super) fn run_session(
             TenantOutcome {
                 tenant: hello.tenant,
                 session,
-                verdict: TenantVerdict::Error("analysis worker died".to_string()),
+                verdict: ExactnessVerdict::Error("analysis worker died".to_string()),
                 satisfied: false,
                 violations: 0,
                 frames_ok: 0,
@@ -382,6 +434,7 @@ pub(super) fn run_session(
                 evicted,
                 shed_chunks,
                 gaps_skipped: 0,
+                analyses: Vec::new(),
                 flight: Vec::new(),
                 flight_dropped: 0,
             }
@@ -389,7 +442,7 @@ pub(super) fn run_session(
     };
     // The moment a session leaves Exact, the flight recorder becomes the
     // evidence: dump it into the ops log and attach it to the outcome.
-    let outcome = if matches!(outcome.verdict, TenantVerdict::Exact) {
+    let outcome = if matches!(outcome.verdict, ExactnessVerdict::Exact) {
         outcome
     } else {
         let dump = flight.dump();
@@ -434,7 +487,8 @@ pub(super) fn run_session(
 fn run_worker(
     config: &ServeConfig,
     analysis: jmpax_lattice::AnalysisConfig,
-    monitor: Monitor,
+    kinds: &[AnalysisKind],
+    monitor: Option<Monitor>,
     initial: &ProgramState,
     threads: usize,
     rx: &Receiver<WorkItem>,
@@ -471,24 +525,47 @@ fn run_worker(
 
     let pipeline = Pipeline::new(PipelineConfig::new().telemetry(tel).analysis(analysis));
     let message_count = messages.len() as u64;
-    let stream = pipeline.check_stream(monitor, initial, threads, messages);
 
     // Same accounting as `check_frames_resilient`: transport losses the
-    // reassembler could not observe still forbid an Exact verdict.
+    // reassembler could not observe still forbid an Exact verdict. The
+    // suite folds this into every analysis's report.
     let transport_lost =
         decoded.frames_corrupt + decoded.frames_resynced + u64::from(decoded.truncated);
     let unaccounted = transport_lost.saturating_sub(reassembly.messages_lost());
-    let exactness = stream
-        .exactness
-        .combine(reassembly.exactness())
+    let transport = reassembly
+        .exactness()
         .combine(Exactness::degraded(0, unaccounted));
+    let suite = pipeline.check_stream_suite(
+        kinds,
+        monitor.map(|m| (m, initial)),
+        threads,
+        transport,
+        messages,
+    );
+    // Plain single-LTL sessions keep their historical one-verdict shape;
+    // anything else reports per analysis as well.
+    let analyses = if kinds == [AnalysisKind::Ltl] {
+        Vec::new()
+    } else {
+        suite
+            .reports
+            .iter()
+            .map(|r| AnalysisOutcome {
+                kind: r.kind(),
+                satisfied: r.satisfied(),
+                findings: r.findings(),
+                exactness: r.exactness(),
+            })
+            .collect()
+    };
     WorkerResult {
-        exactness,
-        satisfied: stream.satisfied(),
-        violations: stream.violations.len(),
+        exactness: suite.exactness(),
+        satisfied: suite.satisfied(),
+        violations: suite.findings() as usize,
         frames_ok: decoded.frames_ok,
         messages: message_count,
         gaps_skipped: reassembly.skipped_gaps(),
+        analyses,
     }
 }
 

@@ -15,7 +15,7 @@ use std::time::Duration;
 use jmpax_core::{Execution, Relevance, SymbolTable, ThreadId, Value};
 use jmpax_instrument::tcp::{send_raw_session, SessionHello};
 use jmpax_instrument::{ChaosConfig, ChaosSink, EventSink as _};
-use jmpax_observer::serve::{ServeConfig, Server, ShedPolicy, TenantVerdict};
+use jmpax_observer::serve::{ServeConfig, Server, ShedPolicy, ExactnessVerdict};
 use jmpax_telemetry::Registry;
 
 const SPEC: &str = "(x > 0) -> [y = 0, y > z)";
@@ -45,6 +45,7 @@ fn hello_for(tenant: &str) -> SessionHello {
         tenant: tenant.to_string(),
         threads: 2,
         frontier_cap: 0,
+        analyses: vec![],
         vars: vec![
             ("x".to_string(), Value::Int(-1)),
             ("y".to_string(), Value::Int(0)),
@@ -160,8 +161,8 @@ fn hundred_concurrent_lossy_sessions_one_daemon() {
     assert_eq!(summary.exact() + summary.degraded(), SESSIONS as usize + 1);
     for outcome in &summary.outcomes {
         match &outcome.verdict {
-            TenantVerdict::Exact => assert!(!outcome.evicted),
-            TenantVerdict::Degraded(_) | TenantVerdict::Error(_) => {}
+            ExactnessVerdict::Exact => assert!(!outcome.evicted),
+            ExactnessVerdict::Degraded(_) | ExactnessVerdict::Error(_) => {}
         }
     }
 
@@ -191,15 +192,15 @@ fn hundred_concurrent_lossy_sessions_one_daemon() {
             .gauge_with("serve.verdict_state", &[("tenant", &outcome.tenant)])
             .expect("verdict_state series per tenant");
         match &outcome.verdict {
-            TenantVerdict::Exact => assert_eq!(state, 1, "tenant {}", outcome.tenant),
-            TenantVerdict::Degraded(_) => assert_eq!(state, 2, "tenant {}", outcome.tenant),
-            TenantVerdict::Error(_) => assert_eq!(state, 3, "tenant {}", outcome.tenant),
+            ExactnessVerdict::Exact => assert_eq!(state, 1, "tenant {}", outcome.tenant),
+            ExactnessVerdict::Degraded(_) => assert_eq!(state, 2, "tenant {}", outcome.tenant),
+            ExactnessVerdict::Error(_) => assert_eq!(state, 3, "tenant {}", outcome.tenant),
         }
     }
     // Non-Exact outcomes carry flight-recorder evidence; labeled gap
     // counters agree with the outcome's accounting.
     for outcome in &summary.outcomes {
-        if !matches!(outcome.verdict, TenantVerdict::Exact) {
+        if !matches!(outcome.verdict, ExactnessVerdict::Exact) {
             assert!(
                 !outcome.flight.is_empty(),
                 "non-Exact tenant {} must carry a flight dump",
@@ -285,6 +286,7 @@ fn hostile_handshakes_are_rejected_not_fatal() {
         tenant: "undeclared".to_string(),
         threads: 1,
         frontier_cap: 0,
+        analyses: vec![],
         vars: vec![("unrelated".to_string(), Value::Int(0))],
     };
     let mut stream = TcpStream::connect(addr).unwrap();
@@ -504,4 +506,81 @@ fn flight_recorder_dump_matches_gaps_skipped() {
             .counter_with("serve.gaps_skipped", &[("tenant", "lossy")]),
         Some(outcome.gaps_skipped)
     );
+}
+
+#[test]
+fn handshake_selects_analyses_and_rejects_unknown_codes() {
+    let registry = Registry::enabled();
+    let mut config = ServeConfig::new(SPEC);
+    config.telemetry = registry.clone();
+    config.read_timeout = Duration::from_millis(10);
+    config.idle_timeout = Duration::from_millis(300);
+    let server = Server::bind(0, config).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn();
+
+    // An unknown analysis code is a handshake error: a clean `Error`
+    // verdict naming the code, no session, daemon keeps serving.
+    let mut unknown = hello_for("unknown-kind");
+    unknown.analyses = vec![0, 200];
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&unknown.encode()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    assert!(line.contains("\"verdict\":\"Error\""), "{line}");
+    assert!(line.contains("unsupported analysis code 200"), "{line}");
+
+    // A session requesting the full suite gets one verdict with a
+    // per-analysis section for each requested kind, in request order.
+    let mut symbols = SymbolTable::new();
+    let ex = workload(&mut symbols);
+    let vars: Vec<_> = ["x", "y", "z"]
+        .iter()
+        .map(|n| symbols.lookup(n).unwrap())
+        .collect();
+    let messages = ex.instrument(Relevance::writes_of(vars));
+    let mut clean = bytes::BytesMut::new();
+    for m in &messages {
+        jmpax_instrument::encode_frame_v2(m, &mut clean);
+    }
+    let mut suite_hello = hello_for("full-suite");
+    suite_hello.analyses = vec![0, 1, 2];
+    let verdict = send_raw_session(addr, &suite_hello, &clean).expect("suite session");
+    assert!(verdict.contains("\"verdict\":\"Exact\""), "{verdict}");
+    let parsed = jmpax_telemetry::json::parse(&verdict).expect("verdict parses");
+    let analyses = parsed
+        .get("analyses")
+        .and_then(jmpax_telemetry::json::Value::as_array)
+        .expect("analyses array");
+    let names: Vec<_> = analyses
+        .iter()
+        .map(|a| a.get("name").and_then(jmpax_telemetry::json::Value::as_str).unwrap())
+        .collect();
+    assert_eq!(names, ["ltl", "race", "atomicity"], "{verdict}");
+    for a in analyses {
+        assert_eq!(
+            a.get("exactness").and_then(jmpax_telemetry::json::Value::as_str),
+            Some("Exact"),
+            "{verdict}"
+        );
+    }
+
+    // A race-only session never parses the spec, so it may omit the
+    // spec's variables from its handshake entirely.
+    let race_only = SessionHello {
+        tenant: "race-only".to_string(),
+        threads: 2,
+        frontier_cap: 0,
+        analyses: vec![1],
+        vars: vec![("unrelated".to_string(), Value::Int(0))],
+    };
+    let verdict = send_raw_session(addr, &race_only, &clean).expect("race-only session");
+    assert!(verdict.contains("\"verdict\":\"Exact\""), "{verdict}");
+    assert!(verdict.contains("\"name\":\"race\""), "{verdict}");
+    assert!(!verdict.contains("\"name\":\"ltl\""), "{verdict}");
+
+    let summary = handle.stop();
+    assert_eq!(summary.outcomes.len(), 2, "rejected hello never became a session");
+    assert_eq!(summary.rejected, 1);
 }

@@ -150,6 +150,17 @@ pub fn to_chrome_json(data: &TraceData) -> String {
                         );
                     });
                 }
+                TraceKind::Finding { analysis, var } => {
+                    push_event(&mut out, &mut first, |out| {
+                        let _ = write!(
+                            out,
+                            "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"p\",\
+                             \"name\":\"{analysis} finding\",\"cat\":\"analysis\",\
+                             \"args\":{{\"var\":{}}}}}",
+                            var.map_or(-1i64, i64::from)
+                        );
+                    });
+                }
                 TraceKind::GapSkipped { thread, from, to } => {
                     push_event(&mut out, &mut first, |out| {
                         let _ = write!(

@@ -137,6 +137,15 @@ pub enum TraceKind {
         /// Successor contributions the shard produced before the exchange.
         contributions: u64,
     },
+    /// A pluggable analysis reported a finding — a data race, an
+    /// atomicity violation (instant). Recorded on the analysis's own lane
+    /// (`analysis.<name>`).
+    Finding {
+        /// The reporting analysis's stable name (`"race"`, `"atomicity"`).
+        analysis: &'static str,
+        /// The variable the finding is about, when it has one.
+        var: Option<u32>,
+    },
     /// The reassembler gave up on a sequence gap (instant).
     GapSkipped {
         /// Thread whose stream had the gap.

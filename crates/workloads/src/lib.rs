@@ -15,6 +15,10 @@
 //! * [`peterson`] — Peterson's mutual-exclusion protocol: a correct
 //!   algorithm on which the predictive analysis raises *no* false alarm,
 //!   because the causal order is rich enough.
+//! * [`racy`] — a textbook data race (plus a lock-fixed control) for the
+//!   `--analysis race` detector.
+//! * [`nonatomic`] — a lost-update atomicity bug (plus a guarded control)
+//!   for the `--analysis atomicity` checker.
 //! * [`synthetic`] — random structured programs for scaling experiments.
 
 #![forbid(unsafe_code)]
@@ -24,7 +28,9 @@ pub mod bank;
 pub mod dining;
 pub mod handoff;
 pub mod landing;
+pub mod nonatomic;
 pub mod peterson;
+pub mod racy;
 pub mod synthetic;
 pub mod xyz;
 
@@ -91,6 +97,10 @@ mod tests {
             crate::dining::workload(3, true),
             crate::handoff::workload(2, false),
             crate::handoff::workload(2, true),
+            crate::racy::workload(false),
+            crate::racy::workload(true),
+            crate::nonatomic::workload(false),
+            crate::nonatomic::workload(true),
             crate::synthetic::workload(crate::synthetic::SyntheticConfig::default()),
         ];
         for w in workloads {
